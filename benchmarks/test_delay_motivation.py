@@ -1,0 +1,70 @@
+"""Section 2's delay motivation, quantified.
+
+Paper: "long distance interconnections are routed in level B using
+wider lines to yield shorter propagation delays".  For every routed
+level B net of the ami33 suite we compute the Elmore delay over its
+actual m3/m4 geometry and compare against the lumped estimate of the
+same net routed in m1/m2 channels.  Asserted shape: long nets are
+faster over-cell, and the advantage grows with length.
+"""
+
+from repro.technology import Technology
+from repro.reporting import format_table
+from repro.timing import channel_net_delay_estimate, levelb_net_delays
+
+from conftest import print_experiment
+
+BUCKETS = ((0, 200), (200, 500), (500, 10**9))
+
+
+def test_delay_motivation(benchmark, flow_results):
+    overcell = flow_results[("ami33", "overcell")]
+    tech = Technology.four_layer()
+
+    def analyse():
+        stats = {b: [0, 0.0, 0.0] for b in BUCKETS}  # count, lb, ch
+        for routed in overcell.levelb.routed:
+            delays = levelb_net_delays(routed, tech)
+            if not delays:
+                continue
+            levelb_worst = max(delays.values())
+            channel = channel_net_delay_estimate(routed.net, tech)
+            hpwl = routed.net.half_perimeter
+            for lo, hi in BUCKETS:
+                if lo <= hpwl < hi:
+                    entry = stats[(lo, hi)]
+                    entry[0] += 1
+                    entry[1] += levelb_worst
+                    entry[2] += channel
+        return stats
+
+    stats = benchmark.pedantic(analyse, rounds=1, iterations=1)
+
+    rows = []
+    for (lo, hi), (count, lb, ch) in stats.items():
+        if count == 0:
+            continue
+        label = f"{lo}-{hi if hi < 10**9 else 'inf'}"
+        speedup = ch / lb if lb else float("inf")
+        rows.append([
+            label, count, f"{lb / count:.2f}", f"{ch / count:.2f}",
+            f"{speedup:.2f}x",
+        ])
+    print_experiment(
+        "Delay motivation: level B (m3/m4 Elmore) vs channel estimate (m1/m2)",
+        format_table(
+            ["HPWL bucket", "Nets", "Level B avg ps", "Channel avg ps", "Speedup"],
+            rows,
+        ),
+    )
+    # Long nets must be faster over-cell; the advantage must grow with
+    # length (the paper's reason to send long nets to level B).
+    long_bucket = stats[BUCKETS[-1]]
+    assert long_bucket[0] > 0
+    assert long_bucket[1] < long_bucket[2], "long nets must be faster on m3/m4"
+    speedups = []
+    for bucket in BUCKETS:
+        count, lb, ch = stats[bucket]
+        if count:
+            speedups.append(ch / lb)
+    assert speedups == sorted(speedups), "advantage must grow with length"

@@ -1,0 +1,93 @@
+"""Flow-level scalability (the O(n*h*v) claim, end to end).
+
+Section 3.4 bounds the level B routing time by O(n*h*v).  With
+bounded search regions the practical per-connection cost is far below
+the h*v worst case; this experiment runs the full over-cell flow on a
+family of growing random designs and checks that measured time per
+two-terminal connection grows sub-linearly in the design size (i.e.
+total time stays well under the quadratic envelope).
+"""
+
+import time
+
+from repro.bench_suite import make_design
+from repro.bench_suite.generator import SuiteProfile
+from repro.flow import overcell_flow
+from repro.reporting import format_table
+
+from conftest import print_experiment
+
+# Constant net and pin density (ami33-like cells at ~3.5 nets/cell) so
+# the family scales the problem without saturating the over-cell area.
+SIZES = [
+    # (cells, nets)
+    (9, 30),
+    (18, 60),
+    (29, 100),
+    (46, 160),
+]
+
+
+def scaled_design(cells: int, nets: int):
+    return make_design(
+        SuiteProfile(
+            name=f"scale{nets}",
+            seed=nets,
+            num_cells=cells,
+            cell_width_range=(96, 240),
+            cell_height_range=(64, 160),
+            num_regular_nets=nets - max(1, nets // 20),
+            critical_pin_counts=tuple(
+                6 for _ in range(max(1, nets // 20))
+            ),
+        )
+    )
+
+
+def test_flow_scalability(benchmark):
+    def sweep():
+        rows = []
+        for cells, nets in SIZES:
+            design = scaled_design(cells, nets)
+            started = time.perf_counter()
+            result = overcell_flow(design)
+            elapsed = time.perf_counter() - started
+            connections = sum(
+                len(r.connections) for r in result.levelb.routed
+            )
+            grid = result.levelb.tig.grid
+            rows.append(
+                (
+                    nets,
+                    connections,
+                    grid.num_vtracks * grid.num_htracks,
+                    elapsed,
+                    result.completion,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        [nets, conns, f"{hv:,}", f"{elapsed*1000:.0f}",
+         f"{elapsed*1e6/max(conns,1):.0f}", f"{done:.0%}"]
+        for nets, conns, hv, elapsed, done in rows
+    ]
+    print_experiment(
+        "Over-cell flow scalability (time vs design size)",
+        format_table(
+            ["Nets", "2-term conns", "h*v", "Flow ms", "us/conn", "Done"],
+            table,
+        ),
+    )
+    for nets, conns, hv, elapsed, done in rows:
+        assert done == 1.0
+    # Sub-quadratic end to end: growing connections by a factor f must
+    # not grow total time by more than ~f^2 (generous; the paper's
+    # bound would allow f * (h*v growth)).
+    first, last = rows[0], rows[-1]
+    conn_factor = last[1] / first[1]
+    time_factor = last[3] / max(first[3], 1e-9)
+    assert time_factor < conn_factor ** 2, (
+        f"time grew {time_factor:.1f}x for {conn_factor:.1f}x connections"
+    )

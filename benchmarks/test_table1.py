@@ -1,0 +1,47 @@
+"""Table 1 - information about the three layout examples.
+
+Paper: per example, the number of level A nets and their average pins
+per net were 4 (44.25) for ami33, 21 (9.19) for Xerox and 56 (3.23)
+for ex3.  The synthetic suites reproduce those partition statistics
+exactly; the benchmark times suite generation plus partitioning.
+"""
+
+import pytest
+
+from repro.bench_suite import SUITES
+from repro.partition import partition_nets
+from repro.reporting import format_table, table1_rows
+from repro.reporting.tables import TABLE1_HEADERS
+
+from conftest import SUITE_NAMES, print_experiment
+
+PAPER_LEVEL_A = {
+    "ami33": (4, 44.25),
+    "xerox": (21, 9.19),
+    "ex3": (56, 3.23),
+}
+
+
+def test_table1(benchmark, flow_results, designs):
+    def build_all():
+        out = {}
+        for suite in SUITE_NAMES:
+            design = SUITES[suite]()
+            set_a, set_b = partition_nets(design.routable_nets())
+            out[suite] = (design, set_a, set_b)
+        return out
+
+    built = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    rows = []
+    for suite in SUITE_NAMES:
+        design, set_a, set_b = built[suite]
+        rows += table1_rows(design, flow_results[(suite, "overcell")])
+        paper_nets, paper_avg = PAPER_LEVEL_A[suite]
+        assert len(set_a) == paper_nets
+        avg = sum(n.degree for n in set_a) / len(set_a)
+        assert avg == pytest.approx(paper_avg, abs=0.01)
+    print_experiment(
+        "Table 1: example information (level A partition as in the paper)",
+        format_table(TABLE1_HEADERS, rows),
+    )

@@ -1,0 +1,77 @@
+"""Table 3 - over-cell router vs an optimistic 4-layer channel router.
+
+The paper had no complete multi-layer channel router available, so it
+granted the comparison an *optimistic* 50% channel-area reduction over
+the two-layer result and still measured a further area win for the
+over-cell approach (ami33: 2,261,480 -> 1,874,880, about 17%; ex3:
+3,548,475 -> 3,061,635, about 14%; the Xerox row is only partially
+legible).  Shape asserted here: the over-cell flow's area undercuts
+the optimistic model on every suite.  A design-rule-aware variant of
+the model (track halving at coarser upper-layer pitch) is reported
+alongside as an ablation of the paper's 50% assumption.
+"""
+
+from repro.bench_suite import SUITES
+from repro.flow import multilayer_channel_flow, percent_reduction
+from repro.reporting import format_table, table3_rows
+from repro.reporting.tables import TABLE3_HEADERS
+
+from conftest import SUITE_NAMES, print_experiment
+
+PAPER_REDUCTIONS = {"ami33": 17.1, "ex3": 13.7}  # from the legible rows
+
+
+def test_table3(benchmark, flow_results):
+    def run_ml_all():
+        out = {}
+        for suite in SUITE_NAMES:
+            out[suite, "optimistic"] = multilayer_channel_flow(SUITES[suite]())
+            out[suite, "dra"] = multilayer_channel_flow(
+                SUITES[suite](), model="design-rule"
+            )
+            out[suite, "hvh"] = multilayer_channel_flow(
+                SUITES[suite](), model="hvh"
+            )
+        return out
+
+    ml = benchmark.pedantic(run_ml_all, rounds=1, iterations=1)
+
+    rows = []
+    ablation_rows = []
+    for suite in SUITE_NAMES:
+        overcell = flow_results[(suite, "overcell")]
+        optimistic = ml[suite, "optimistic"]
+        rows += table3_rows(optimistic, overcell)
+        reduction = percent_reduction(
+            optimistic.layout_area, overcell.layout_area
+        )
+        # The paper's headline: a further reduction remains even
+        # against the optimistic channel model.
+        assert reduction > 0.0, f"{suite}: over-cell must still win"
+        dra = ml[suite, "dra"]
+        hvh = ml[suite, "hvh"]
+        ablation_rows.append([
+            suite,
+            f"{optimistic.layout_area:,}",
+            f"{dra.layout_area:,}",
+            f"{hvh.layout_area:,}",
+            f"{percent_reduction(hvh.layout_area, optimistic.layout_area):.1f}",
+        ])
+        # Design-rule awareness can only hurt the channel model, and
+        # the *real* HVH router lands near the design-rule model, not
+        # the optimistic one - vindicating the paper's area argument.
+        assert dra.layout_area >= optimistic.layout_area
+        assert hvh.layout_area >= optimistic.layout_area
+        # Over-cell beats even the real multi-layer channel router.
+        assert overcell.layout_area < hvh.layout_area
+    print_experiment(
+        "Table 3: optimistic 4-layer channel model vs 4-layer over-cell router",
+        format_table(TABLE3_HEADERS, rows)
+        + "\n\nAblation - what the 50% assumption hides (design-rule model "
+        "and a real HVH 3-layer router):\n"
+        + format_table(
+            ["Example", "Optimistic", "Design-rule", "Real HVH",
+             "Optimism vs HVH %"],
+            ablation_rows,
+        ),
+    )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's full experiment on the ami33-like benchmark.
+
+Runs the three flows the paper compares:
+
+* two-layer channel routing (the conventional baseline),
+* the proposed four-layer over-cell flow (level A + level B),
+* the optimistic four-layer channel-router model of Table 3,
+
+prints Tables 1-3 for this example, and writes the level B routing
+plot (the paper's Figure 3) to ``ami33_levelb.svg`` plus a terminal
+ASCII preview.
+
+Run:  python examples/full_flow_ami33.py [suite]
+      (suite: ami33 | xerox | ex3; default ami33)
+"""
+
+import sys
+
+from repro.bench_suite import SUITES
+from repro.flow import multilayer_channel_flow, overcell_flow, two_layer_flow
+from repro.reporting import format_table, table1_rows, table2_rows, table3_rows
+from repro.reporting.tables import TABLE1_HEADERS, TABLE2_HEADERS, TABLE3_HEADERS
+from repro.viz import render_levelb_ascii
+from repro.viz.svg import svg_flow_result
+
+
+def main():
+    suite = sys.argv[1] if len(sys.argv) > 1 else "ami33"
+    design = SUITES[suite]()
+    print(f"Running flows on {design} ...")
+
+    baseline = two_layer_flow(design)
+    print(f"  {baseline.summary()}")
+    overcell = overcell_flow(design)
+    print(f"  {overcell.summary()}")
+    ml_channel = multilayer_channel_flow(design)
+    print(f"  {ml_channel.summary()}")
+
+    print("\nTable 1 - example information:")
+    print(format_table(TABLE1_HEADERS, table1_rows(design, overcell)))
+
+    print("\nTable 2 - % reduction, over-cell flow vs two-layer channel:")
+    print(format_table(TABLE2_HEADERS, table2_rows(baseline, overcell)))
+
+    print("\nTable 3 - layout area vs optimistic 4-layer channel model:")
+    print(format_table(TABLE3_HEADERS, table3_rows(ml_channel, overcell)))
+
+    svg_path = f"{suite}_levelb.svg"
+    with open(svg_path, "w") as fh:
+        fh.write(svg_flow_result(overcell))
+    print(f"\nFigure 3 (level B routing) written to {svg_path}")
+
+    print("\nASCII preview of the level B routing:")
+    print(
+        render_levelb_ascii(
+            overcell.levelb, width=100, cells=design.cells.values()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Net partitioning strategies and cost-weight tuning (sections 2 & 3.2).
+
+The paper gives the user two levers:
+
+* the partition of nets into channel-routed set A and over-cell set B
+  ("if layout area optimization is the priority, channel areas can be
+  eliminated and the entire set routed in level B"), and
+* the cost weights; sparse designs balance wire length against corner
+  context with w1=1, w2*=10, dense ones weight the corner term higher.
+
+This example sweeps both on one design and prints the trade-offs.
+
+Run:  python examples/partition_and_weights.py
+"""
+
+from repro.bench_suite import random_design
+from repro.core import LevelBConfig
+from repro.core.cost import CostWeights
+from repro.flow import FlowParams, overcell_flow, two_layer_flow
+from repro.partition import PartitionStrategy
+from repro.reporting import format_table
+
+
+def fresh_design():
+    return random_design("sweep", seed=42, num_cells=12, num_nets=48,
+                         num_critical=5)
+
+
+def sweep_partitions():
+    print("Partition strategy sweep")
+    rows = []
+    baseline = two_layer_flow(fresh_design())
+    rows.append(["two-layer baseline", "-", f"{baseline.layout_area:,}",
+                 f"{baseline.wire_length:,}", f"{baseline.via_count}"])
+    strategies = [
+        (PartitionStrategy.CRITICAL_TO_A, None, "critical->A (paper)"),
+        (PartitionStrategy.ALL_B, None, "all nets over-cell"),
+        (PartitionStrategy.LONG_TO_B, 150, "long nets (>150) -> B"),
+    ]
+    for strategy, threshold, label in strategies:
+        params = FlowParams(partition=strategy, length_threshold=threshold)
+        result = overcell_flow(fresh_design(), params)
+        rows.append([
+            label,
+            f"{result.notes['level_a_nets']}/{result.notes['level_b_nets']}",
+            f"{result.layout_area:,}",
+            f"{result.wire_length:,}",
+            f"{result.via_count}",
+        ])
+    print(format_table(
+        ["Strategy", "A/B nets", "Area", "Wire length", "Vias"], rows
+    ))
+
+
+def sweep_weights():
+    print("\nCost-weight sweep (level B only)")
+    rows = []
+    for weights, label in [
+        (CostWeights.sparse(), "sparse  (w1=1, w2*=10)"),
+        (CostWeights.dense(), "dense   (w1=1, w2*=30)"),
+        (CostWeights.length_only(), "length-only (w2*=0)"),
+    ]:
+        params = FlowParams(levelb=LevelBConfig(weights=weights))
+        result = overcell_flow(fresh_design(), params)
+        lb = result.levelb
+        rows.append([
+            label,
+            f"{lb.completion_rate:.1%}",
+            f"{lb.total_wire_length:,}",
+            lb.total_corners,
+            lb.ripups,
+        ])
+    print(format_table(
+        ["Weights", "Completion", "Level B wire", "Corners", "Rip-ups"], rows
+    ))
+
+
+def main():
+    sweep_partitions()
+    sweep_weights()
+
+
+if __name__ == "__main__":
+    main()

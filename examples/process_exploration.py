@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Process exploration: how the m3/m4 design rules shape the result.
+
+The paper's area argument hinges on the over-cell layers' design
+rules: coarser pitch costs routing capacity, wider/thicker lines buy
+delay.  This example sweeps the metal3/metal4 pitch and resistance on
+one design and reports area, completion and worst Elmore delay for
+each process point - the kind of what-if a technology team would run.
+
+Run:  python examples/process_exploration.py
+"""
+
+from repro.bench_suite import random_design
+from repro.flow import FlowParams, overcell_flow
+from repro.reporting import format_table
+from repro.technology import Layer, RoutingDirection, Technology, ViaRule
+from repro.timing import levelb_net_delays
+
+
+def make_tech(mc_pitch: int, mc_width: int, mc_sheet: float) -> Technology:
+    """A 4-layer stack with parameterised over-cell layers."""
+    return Technology(
+        name=f"explore-p{mc_pitch}",
+        layers=(
+            Layer(1, "metal1", RoutingDirection.VERTICAL, 8, 4,
+                  sheet_resistance=0.09, cap_per_lambda=0.23),
+            Layer(2, "metal2", RoutingDirection.HORIZONTAL, 8, 4,
+                  sheet_resistance=0.07, cap_per_lambda=0.21),
+            Layer(3, "metal3", RoutingDirection.VERTICAL, mc_pitch, mc_width,
+                  sheet_resistance=mc_sheet, cap_per_lambda=0.19),
+            Layer(4, "metal4", RoutingDirection.HORIZONTAL, mc_pitch, mc_width,
+                  sheet_resistance=mc_sheet * 0.8, cap_per_lambda=0.18),
+        ),
+        vias=(ViaRule(1, 2, 4), ViaRule(2, 3, 6), ViaRule(3, 4, 8)),
+    )
+
+
+PROCESS_POINTS = [
+    # (label, pitch, width, sheet resistance)
+    ("aggressive (fine pitch)", 8, 4, 0.07),
+    ("baseline (paper-like)", 12, 6, 0.04),
+    ("conservative (coarse)", 16, 8, 0.03),
+    ("very coarse", 24, 12, 0.02),
+]
+
+
+def main():
+    rows = []
+    for label, pitch, width, sheet in PROCESS_POINTS:
+        tech = make_tech(pitch, width, sheet)
+        design = random_design("process", seed=55, num_cells=10,
+                               num_nets=36, num_critical=3)
+        result = overcell_flow(design, FlowParams(technology=tech))
+        levelb = result.levelb
+        worst = 0.0
+        for routed in levelb.routed:
+            delays = levelb_net_delays(routed, tech)
+            if delays:
+                worst = max(worst, max(delays.values()))
+        grid = levelb.tig.grid
+        rows.append([
+            label,
+            f"{pitch}/{width}",
+            f"{result.layout_area:,}",
+            f"{levelb.completion_rate:.0%}",
+            f"{grid.utilization():.1%}",
+            f"{levelb.total_wire_length:,}",
+            f"{worst:.1f}",
+        ])
+    print("Over-cell process exploration (same design, four m3/m4 recipes)\n")
+    print(format_table(
+        ["Process point", "Pitch/width", "Area", "Done",
+         "Grid used", "Level B wire", "Worst delay ps"],
+        rows,
+    ))
+    print(
+        "\nReading: finer over-cell pitch adds routing capacity (lower grid\n"
+        "utilisation) but narrower lines raise delay; coarse recipes save\n"
+        "resistance at the cost of capacity - at some point completion or\n"
+        "area must give.  The paper's design rules sit in the middle."
+    )
+
+
+if __name__ == "__main__":
+    main()

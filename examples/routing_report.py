@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Post-routing analysis: reports, congestion, timing, persistence.
+
+Runs the over-cell flow on the xerox-like suite, then exercises the
+analysis and I/O layers a downstream user would reach for:
+
+* a full text routing report (metrics, congestion heatmap, slowest
+  Elmore sinks),
+* per-net delay inspection for the nets the paper would call
+  "long distance interconnections",
+* saving the design and the routing result as JSON.
+
+Run:  python examples/routing_report.py
+"""
+
+import json
+
+from repro.analysis import congestion_map, routing_report
+from repro.bench_suite import xerox_like
+from repro.flow import overcell_flow
+from repro.io import flow_result_to_dict, save_design
+from repro.technology import Technology
+from repro.timing import levelb_net_delays
+
+
+def main():
+    design = xerox_like()
+    result = overcell_flow(design)
+
+    print(routing_report(result, top_n=8))
+
+    # The delay story behind the paper's partitioning advice: the ten
+    # longest level B nets and their worst Elmore sink delays.
+    tech = Technology.four_layer()
+    rows = []
+    for routed in result.levelb.routed:
+        delays = levelb_net_delays(routed, tech)
+        if delays:
+            rows.append(
+                (routed.net.half_perimeter, routed.net.name, max(delays.values()))
+            )
+    rows.sort(reverse=True)
+    print("\nLongest level B nets (HPWL -> worst sink delay):")
+    for hpwl, name, worst in rows[:10]:
+        print(f"  {name:10s} HPWL {hpwl:6d}  worst {worst:8.2f} ps")
+
+    # Congestion hotspots above 40% utilisation.
+    cmap = congestion_map(result.levelb.tig.grid)
+    print(
+        f"\ncongestion: mean {cmap.mean:.1%}, peak {cmap.peak:.1%}, "
+        f"{len(cmap.hotspots(0.4))} bins above 40%"
+    )
+
+    save_design(design, "xerox_design.json")
+    with open("xerox_result.json", "w") as fh:
+        json.dump(flow_result_to_dict(result), fh, indent=2)
+    print("\nwrote xerox_design.json and xerox_result.json")
+
+
+if __name__ == "__main__":
+    main()

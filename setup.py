@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works on offline machines that
+lack the ``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Post-routing analysis: congestion, coupling and timing reports."""
+
+from repro.analysis.congestion import CongestionMap, congestion_map
+from repro.analysis.report import routing_report
+from repro.analysis.wirelength import WirelengthStats, wirelength_stats
+
+__all__ = [
+    "CongestionMap",
+    "congestion_map",
+    "routing_report",
+    "WirelengthStats",
+    "wirelength_stats",
+]

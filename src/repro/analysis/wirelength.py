@@ -1,0 +1,73 @@
+"""Routed-wirelength quality statistics.
+
+For every completed level B net, compares the routed wire length
+against the net's bounding-box half-perimeter (HPWL).  HPWL lower-
+bounds any rectilinear Steiner tree, so the ratio ``routed / HPWL``
+is a conservative optimality measure: 1.0 is unbeatable for
+two-terminal nets, and multi-terminal nets legitimately exceed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WirelengthStats:
+    """Aggregate routed-vs-HPWL quality of a level B result."""
+
+    nets: int
+    total_routed: int
+    total_hpwl: int
+    mean_ratio: float
+    max_ratio: float
+    worst_net: Optional[str]
+
+    @property
+    def overall_ratio(self) -> float:
+        if self.total_hpwl == 0:
+            return 1.0
+        return self.total_routed / self.total_hpwl
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"wirelength quality: {self.nets} nets, overall "
+            f"{self.overall_ratio:.3f}x HPWL (mean {self.mean_ratio:.3f}, "
+            f"max {self.max_ratio:.3f} on {self.worst_net})"
+        )
+
+
+def wirelength_stats(levelb_result) -> WirelengthStats:
+    """Compute :class:`WirelengthStats` for a level B result.
+
+    Incomplete nets and nets with zero HPWL (coincident pins) are
+    skipped - a partial route's length says nothing about quality.
+    """
+    ratios: List[Tuple[float, str]] = []
+    total_routed = 0
+    total_hpwl = 0
+    for routed in levelb_result.routed:
+        if not routed.complete:
+            continue
+        hpwl = routed.net.half_perimeter
+        if hpwl <= 0:
+            continue
+        length = routed.wire_length
+        total_routed += length
+        total_hpwl += hpwl
+        ratios.append((length / hpwl, routed.net.name))
+    if not ratios:
+        return WirelengthStats(
+            nets=0, total_routed=0, total_hpwl=0,
+            mean_ratio=1.0, max_ratio=1.0, worst_net=None,
+        )
+    worst_ratio, worst_net = max(ratios)
+    return WirelengthStats(
+        nets=len(ratios),
+        total_routed=total_routed,
+        total_hpwl=total_hpwl,
+        mean_ratio=sum(r for r, _ in ratios) / len(ratios),
+        max_ratio=worst_ratio,
+        worst_net=worst_net,
+    )

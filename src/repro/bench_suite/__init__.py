@@ -1,0 +1,36 @@
+"""Deterministic synthetic versions of the paper's three examples.
+
+The paper evaluates on two MCNC macro-cell benchmarks (ami33 and Xerox,
+from Preas' DAC'87 benchmark set) and an industrial chip (ex3).  The
+original placement/netlist data is not redistributable, so this package
+generates layouts matching each example's *published statistics* - cell
+count, net count, and the exact level A partition the paper reports
+(ami33: 4 nets averaging 44.25 pins; Xerox: 21 @ 9.19; ex3: 56 @ 3.23).
+The routers only see geometry and netlist structure, so matching those
+statistics exercises identical code paths; see DESIGN.md section 2.
+"""
+
+from repro.bench_suite.generator import (
+    SuiteProfile,
+    ami33_like,
+    ex3_like,
+    make_design,
+    random_design,
+    xerox_like,
+)
+
+SUITES = {
+    "ami33": ami33_like,
+    "xerox": xerox_like,
+    "ex3": ex3_like,
+}
+
+__all__ = [
+    "SuiteProfile",
+    "make_design",
+    "random_design",
+    "ami33_like",
+    "xerox_like",
+    "ex3_like",
+    "SUITES",
+]

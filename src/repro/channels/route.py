@@ -1,0 +1,262 @@
+"""Channel routing results: geometry, metrics and validation.
+
+Both detailed channel routers emit a :class:`ChannelRoute`.  Rows are
+indexed top to bottom: row ``-1`` is the top channel boundary, rows
+``0 .. tracks-1`` are routing tracks, row ``tracks`` is the bottom
+boundary.  Horizontal trunks run on the horizontal layer (metal2),
+vertical jogs on the vertical layer (metal1); wires of different nets
+may therefore cross but never overlap on the same layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.channels.problem import ChannelProblem, ChannelRoutingError
+
+TOP_ROW = -1
+
+
+@dataclass(frozen=True)
+class HorizontalSpan:
+    """A trunk piece: net ``net`` on track ``track``, columns ``[c1, c2]``.
+
+    ``layer`` selects among the available *horizontal* layers on that
+    track: two-layer routing always uses layer 0; the HVH three-layer
+    router stacks a second trunk per physical track on layer 1.
+    """
+
+    net: int
+    track: int
+    c1: int
+    c2: int
+    layer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.c1 > self.c2:
+            raise ValueError("span c1 > c2")
+        if self.layer < 0:
+            raise ValueError("layer must be >= 0")
+
+    @property
+    def width(self) -> int:
+        return self.c2 - self.c1
+
+
+@dataclass(frozen=True)
+class VerticalJog:
+    """A vertical wire at ``column`` between rows ``r1 < r2``.
+
+    Boundary rows (``-1`` top, ``tracks`` bottom) represent pin
+    connections on the channel edges.
+    """
+
+    net: int
+    column: int
+    r1: int
+    r2: int
+
+    def __post_init__(self) -> None:
+        if self.r1 >= self.r2:
+            raise ValueError("jog needs r1 < r2")
+
+
+@dataclass
+class ChannelRoute:
+    """A completed channel routing."""
+
+    tracks: int
+    length: int
+    spans: List[HorizontalSpan] = field(default_factory=list)
+    jogs: List[VerticalJog] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def height(self, track_pitch: int) -> int:
+        """Channel height: tracks plus boundary clearances."""
+        return (self.tracks + 1) * track_pitch
+
+    def row_y(self, row: int, track_pitch: int) -> int:
+        """Vertical position of a row, top boundary at 0, growing down."""
+        return (row + 1) * track_pitch
+
+    def wire_length(self, track_pitch: int, column_pitch: int) -> int:
+        """Total routed wire length in lambda."""
+        horizontal = sum(s.width for s in self.spans) * column_pitch
+        vertical = sum(
+            self.row_y(j.r2, track_pitch) - self.row_y(j.r1, track_pitch)
+            for j in self.jogs
+        )
+        return horizontal + vertical
+
+    def via_count(self) -> int:
+        """Layer-change vias.
+
+        Convention: a vertical jog places a via on every track it
+        touches where its own net has a trunk covering that column -
+        its endpoints, plus same-net trunks it passes through (which is
+        how a single pin vertical connects several doglegged trunk
+        pieces of one net).
+        """
+        span_at: Dict[Tuple[int, int], List[HorizontalSpan]] = {}
+        for span in self.spans:
+            span_at.setdefault((span.net, span.track), []).append(span)
+        vias = 0
+        for jog in self.jogs:
+            lo = max(0, jog.r1)
+            hi = min(self.tracks - 1, jog.r2)
+            for row in range(lo, hi + 1):
+                for span in span_at.get((jog.net, row), ()):
+                    if span.c1 <= jog.column <= span.c2:
+                        vias += 1
+                        break
+        return vias
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self, problem: ChannelProblem) -> None:
+        """Verify the routing solves ``problem``; raise on any violation.
+
+        Checks: geometric legality (no same-layer overlaps), every pin
+        connected, every jog endpoint landed on metal, and per-net
+        connectivity (single component).
+        """
+        self._check_span_overlaps()
+        self._check_jog_overlaps()
+        self._check_pins(problem)
+        self._check_connectivity(problem)
+
+    def _check_span_overlaps(self) -> None:
+        by_track: Dict[Tuple[int, int], List[HorizontalSpan]] = {}
+        for span in self.spans:
+            if not 0 <= span.track < self.tracks:
+                raise ChannelRoutingError(f"span {span} off-track")
+            if not 0 <= span.c1 <= span.c2 < self.length:
+                raise ChannelRoutingError(f"span {span} outside channel")
+            by_track.setdefault((span.track, span.layer), []).append(span)
+        for track, spans in by_track.items():
+            spans.sort(key=lambda s: s.c1)
+            for a, b in zip(spans, spans[1:]):
+                if b.c1 <= a.c2 and a.net != b.net:
+                    raise ChannelRoutingError(
+                        f"track {track}: nets {a.net} and {b.net} overlap"
+                    )
+
+    def _check_jog_overlaps(self) -> None:
+        by_col: Dict[int, List[VerticalJog]] = {}
+        for jog in self.jogs:
+            if not 0 <= jog.column < self.length:
+                raise ChannelRoutingError(f"jog {jog} outside channel")
+            if jog.r1 < TOP_ROW or jog.r2 > self.tracks:
+                raise ChannelRoutingError(f"jog {jog} outside rows")
+            by_col.setdefault(jog.column, []).append(jog)
+        for col, jogs in by_col.items():
+            jogs.sort(key=lambda j: j.r1)
+            for a, b in zip(jogs, jogs[1:]):
+                if b.r1 < a.r2 and a.net != b.net:
+                    raise ChannelRoutingError(
+                        f"column {col}: jogs of nets {a.net} and {b.net} overlap"
+                    )
+                if b.r1 <= a.r2 and a.net != b.net and b.r1 == a.r2:
+                    raise ChannelRoutingError(
+                        f"column {col}: jogs of nets {a.net} and {b.net} touch"
+                    )
+
+    def _check_pins(self, problem: ChannelProblem) -> None:
+        for col in range(problem.length):
+            top_net = problem.top[col]
+            if top_net and problem.pin_count(top_net) < 2:
+                top_net = 0  # single-pin nets need no wiring
+            if top_net:
+                if not any(
+                    j.net == top_net and j.column == col and j.r1 == TOP_ROW
+                    for j in self.jogs
+                ):
+                    raise ChannelRoutingError(
+                        f"top pin of net {top_net} at column {col} unconnected"
+                    )
+            bottom_net = problem.bottom[col]
+            if bottom_net and problem.pin_count(bottom_net) < 2:
+                bottom_net = 0
+            if bottom_net:
+                if not any(
+                    j.net == bottom_net and j.column == col and j.r2 == self.tracks
+                    for j in self.jogs
+                ):
+                    raise ChannelRoutingError(
+                        f"bottom pin of net {bottom_net} at column {col} unconnected"
+                    )
+
+    def _check_connectivity(self, problem: ChannelProblem) -> None:
+        for net in problem.nets():
+            self._check_net_connectivity(net, problem)
+
+    def _check_net_connectivity(self, net: int, problem: ChannelProblem) -> None:
+        spans = [s for s in self.spans if s.net == net]
+        jogs = [j for j in self.jogs if j.net == net]
+        pins: List[Tuple[str, int]] = []
+        for col in range(problem.length):
+            if problem.top[col] == net:
+                pins.append(("T", col))
+            if problem.bottom[col] == net:
+                pins.append(("B", col))
+        # Union-find over elements: spans, jogs, pins.
+        elements: List[object] = list(spans) + list(jogs) + list(pins)
+        index = {id(e): i for i, e in enumerate(elements)}
+        parent = list(range(len(elements)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(a: object, b: object) -> None:
+            ra, rb = find(index[id(a)]), find(index[id(b)])
+            parent[ra] = rb
+
+        for jog in jogs:
+            for span in spans:
+                if span.c1 <= jog.column <= span.c2 and jog.r1 <= span.track <= jog.r2:
+                    union(jog, span)
+            for pin in pins:
+                side, col = pin
+                if col != jog.column:
+                    continue
+                if side == "T" and jog.r1 == TOP_ROW:
+                    union(jog, pin)
+                if side == "B" and jog.r2 == self.tracks:
+                    union(jog, pin)
+            # Jog endpoints on tracks must land on this net's metal.
+            for row in (jog.r1, jog.r2):
+                if 0 <= row < self.tracks and not any(
+                    s.track == row and s.c1 <= jog.column <= s.c2 for s in spans
+                ):
+                    raise ChannelRoutingError(
+                        f"net {net}: jog endpoint at ({jog.column},{row}) "
+                        "lands on no trunk"
+                    )
+        # Jogs touching at a shared row/column connect (same-net merge).
+        for i, a in enumerate(jogs):
+            for b in jogs[i + 1 :]:
+                if a.column == b.column and a.r1 <= b.r2 and b.r1 <= a.r2:
+                    union(a, b)
+        # Same-track trunks that overlap or abut are one piece of metal.
+        for i, a in enumerate(spans):
+            for b in spans[i + 1 :]:
+                if a.track == b.track and a.c1 <= b.c2 and b.c1 <= a.c2:
+                    union(a, b)
+        if not elements:
+            return
+        roots = {find(index[id(e)]) for e in list(pins) + list(spans)}
+        if len(roots) > 1:
+            raise ChannelRoutingError(f"net {net} is disconnected")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChannelRoute({self.tracks} tracks x {self.length} cols, "
+            f"{len(self.spans)} spans, {len(self.jogs)} jogs)"
+        )

@@ -1,0 +1,112 @@
+"""Vertical constraint graphs for channel routing.
+
+At every column with a top pin of net ``u`` and a bottom pin of net
+``w`` (``u != w``), the trunk carrying ``u``'s pin connection must lie
+above the trunk carrying ``w``'s - an edge ``u -> w``.  Cycles make
+dogleg-free left-edge routing infeasible; dogleg splitting usually
+(not always) breaks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.channels.problem import ChannelProblem
+
+
+@dataclass
+class VerticalConstraintGraph:
+    """A DAG-or-not over hashable node keys (nets or subnet keys)."""
+
+    edges: Dict[Hashable, Set[Hashable]] = field(default_factory=dict)
+    nodes: Set[Hashable] = field(default_factory=set)
+
+    @staticmethod
+    def from_problem(problem: ChannelProblem) -> "VerticalConstraintGraph":
+        """Net-level VCG (one node per net, no doglegs)."""
+        g = VerticalConstraintGraph()
+        for net in problem.nets():
+            g.add_node(net)
+        for col in range(problem.length):
+            u, w = problem.top[col], problem.bottom[col]
+            if u and w and u != w:
+                g.add_edge(u, w)
+        return g
+
+    def add_node(self, node: Hashable) -> None:
+        self.nodes.add(node)
+        self.edges.setdefault(node, set())
+
+    def add_edge(self, above: Hashable, below: Hashable) -> None:
+        self.add_node(above)
+        self.add_node(below)
+        self.edges[above].add(below)
+
+    def predecessors(self, node: Hashable) -> Set[Hashable]:
+        return {u for u, vs in self.edges.items() if node in vs}
+
+    def has_cycle(self) -> bool:
+        return self.find_cycle() is not None
+
+    def find_cycle(self) -> Optional[List[Hashable]]:
+        """A node list forming a cycle, or ``None`` when the graph is a DAG."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in self.nodes}
+        stack_path: List[Hashable] = []
+
+        def visit(node: Hashable) -> Optional[List[Hashable]]:
+            color[node] = GRAY
+            stack_path.append(node)
+            for succ in sorted(self.edges.get(node, ()), key=repr):
+                if color[succ] == GRAY:
+                    return stack_path[stack_path.index(succ) :]
+                if color[succ] == WHITE:
+                    found = visit(succ)
+                    if found is not None:
+                        return found
+            stack_path.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(self.nodes, key=repr):
+            if color[node] == WHITE:
+                found = visit(node)
+                if found is not None:
+                    return list(found)
+        return None
+
+    def longest_path_length(self) -> int:
+        """Longest chain length (a track-count lower bound); raises on cycles."""
+        if self.has_cycle():
+            raise ValueError("longest path undefined on cyclic VCG")
+        memo: Dict[Hashable, int] = {}
+
+        def depth(node: Hashable) -> int:
+            if node in memo:
+                return memo[node]
+            succs = self.edges.get(node, ())
+            memo[node] = 1 + (max((depth(s) for s in succs), default=0))
+            return memo[node]
+
+        return max((depth(n) for n in self.nodes), default=0)
+
+    def topological_order(self) -> List[Hashable]:
+        """A deterministic topological order; raises on cycles."""
+        if self.has_cycle():
+            raise ValueError("topological order undefined on cyclic VCG")
+        indegree: Dict[Hashable, int] = {n: 0 for n in self.nodes}
+        for _, succs in self.edges.items():
+            for s in succs:
+                indegree[s] += 1
+        ready = sorted((n for n, d in indegree.items() if d == 0), key=repr)
+        order: List[Hashable] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for s in sorted(self.edges.get(node, ()), key=repr):
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    ready.append(s)
+            ready.sort(key=repr)
+        return order

@@ -1,0 +1,256 @@
+"""A Yoshimura-Kuh style net-merging channel router.
+
+Yoshimura & Kuh's classic algorithm (the paper's reference [2], and
+the basis of the three-layer router of reference [1]) reduces channel
+height by *merging* nets: two nets whose trunk intervals do not overlap
+and whose merger keeps the vertical constraint graph acyclic may share
+a track.  Sweeping the channel left to right, every net that starts is
+offered a merge with a net that has already ended, preferring the
+candidate that keeps the merged VCG's longest path - the track-count
+lower bound - smallest.
+
+Like the original (and unlike the dogleg left-edge router), this
+implementation does not split nets, so vertical-constraint cycles are
+a hard infeasibility and raise :class:`ChannelRoutingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.channels.problem import ChannelProblem, ChannelRoutingError
+from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog
+from repro.channels.vcg import VerticalConstraintGraph
+
+
+@dataclass(eq=False)  # identity semantics: nodes mutate as they fuse
+class _MergedNode:
+    """A set of nets sharing one track."""
+
+    nets: List[int]
+    intervals: List[Tuple[int, int]]  # disjoint trunk spans, sorted
+
+    def overlaps(self, other: "_MergedNode") -> bool:
+        for a1, a2 in self.intervals:
+            for b1, b2 in other.intervals:
+                if a1 <= b2 and b1 <= a2:
+                    return True
+        return False
+
+
+class YKChannelRouter:
+    """Net-merging channel router (no doglegs)."""
+
+    # ------------------------------------------------------------------
+    def route(self, problem: ChannelProblem) -> ChannelRoute:
+        trunk_nets = [
+            net
+            for net in problem.nets()
+            if problem.pin_count(net) >= 2
+        ]
+        vcg = VerticalConstraintGraph.from_problem(problem)
+        cycle = vcg.find_cycle()
+        if cycle is not None:
+            raise ChannelRoutingError(
+                f"vertical constraint cycle among nets: {cycle}"
+            )
+        spans = {net: problem.span(net) for net in trunk_nets}
+        real_trunks = [n for n in trunk_nets if spans[n][0] < spans[n][1]]
+        merged = self._merge(problem, real_trunks, spans, vcg)
+        assignment = self._assign_tracks(merged, vcg)
+        tracks = (max(assignment.values()) + 1) if assignment else 0
+        route_spans: List[HorizontalSpan] = []
+        net_track: Dict[int, int] = {}
+        for node, track in assignment.items():
+            for net in node.nets:
+                net_track[net] = track
+                lo, hi = spans[net]
+                route_spans.append(
+                    HorizontalSpan(net=net, track=track, c1=lo, c2=hi)
+                )
+        jogs = self._make_jogs(problem, spans, net_track, tracks)
+        return ChannelRoute(
+            tracks=tracks, length=problem.length, spans=route_spans, jogs=jogs
+        )
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        problem: ChannelProblem,
+        nets: List[int],
+        spans: Dict[int, Tuple[int, int]],
+        vcg: VerticalConstraintGraph,
+    ) -> List[_MergedNode]:
+        """Left-to-right merge sweep; mutates ``vcg`` by node fusion."""
+        node_of: Dict[int, _MergedNode] = {
+            net: _MergedNode(nets=[net], intervals=[spans[net]]) for net in nets
+        }
+        starts = sorted(nets, key=lambda n: (spans[n][0], spans[n][1], n))
+        ended: List[_MergedNode] = []
+        active: List[Tuple[int, _MergedNode]] = []  # (end column, node)
+        for net in starts:
+            lo, hi = spans[net]
+            # Retire merged nodes fully left of this net.
+            still_active: List[Tuple[int, _MergedNode]] = []
+            for end, node in active:
+                if end < lo:
+                    if node not in ended:
+                        ended.append(node)
+                else:
+                    still_active.append((end, node))
+            active = still_active
+            node = node_of[net]
+            best: Optional[_MergedNode] = None
+            best_depth: Optional[int] = None
+            for candidate in ended:
+                if candidate is node or candidate.overlaps(node):
+                    continue
+                depth = self._merged_depth(vcg, candidate, node)
+                if depth is None:
+                    continue  # would create a cycle
+                if best_depth is None or depth < best_depth:
+                    best, best_depth = candidate, depth
+            if best is not None:
+                self._fuse(vcg, best, node)
+                for member in node.nets:
+                    node_of[member] = best
+                best.nets.extend(node.nets)
+                best.intervals = sorted(best.intervals + node.intervals)
+                ended.remove(best)
+                node = best
+            active.append((max(i[1] for i in node.intervals), node))
+        seen: Set[int] = set()
+        out: List[_MergedNode] = []
+        for node in node_of.values():
+            if id(node) not in seen:
+                seen.add(id(node))
+                out.append(node)
+        return out
+
+    def _merged_depth(
+        self,
+        vcg: VerticalConstraintGraph,
+        a: _MergedNode,
+        b: _MergedNode,
+    ) -> Optional[int]:
+        """Longest VCG path if ``a`` and ``b`` fused, or None on a cycle.
+
+        Works on a temporary graph over merged-node representatives.
+        """
+        probe = VerticalConstraintGraph()
+        groups: Dict[int, int] = {}
+
+        def rep_of(net: int) -> int:
+            return groups.get(net, net)
+
+        for member in a.nets + b.nets:
+            groups[member] = a.nets[0]
+        for node in vcg.nodes:
+            probe.add_node(rep_of(node))
+        for src, dsts in vcg.edges.items():
+            for dst in dsts:
+                u, w = rep_of(src), rep_of(dst)
+                if u != w:
+                    probe.add_edge(u, w)
+        if probe.has_cycle():
+            return None
+        return probe.longest_path_length()
+
+    def _fuse(
+        self,
+        vcg: VerticalConstraintGraph,
+        keep: _MergedNode,
+        absorb: _MergedNode,
+    ) -> None:
+        """Fuse ``absorb``'s representative into ``keep``'s in the VCG."""
+        keep_rep = keep.nets[0]
+        absorb_rep = absorb.nets[0]
+        if absorb_rep == keep_rep:
+            return
+        vcg.add_node(keep_rep)
+        out_edges = set(vcg.edges.get(absorb_rep, ()))
+        for dst in out_edges:
+            if dst != keep_rep:
+                vcg.add_edge(keep_rep, dst)
+        vcg.edges[absorb_rep] = set()
+        for src, dsts in vcg.edges.items():
+            if absorb_rep in dsts:
+                dsts.discard(absorb_rep)
+                if src != keep_rep:
+                    vcg.add_edge(src, keep_rep)
+        vcg.nodes.discard(absorb_rep)
+        vcg.edges.pop(absorb_rep, None)
+
+    # ------------------------------------------------------------------
+    def _assign_tracks(
+        self,
+        merged: List[_MergedNode],
+        vcg: VerticalConstraintGraph,
+    ) -> Dict[_MergedNode, int]:
+        """Topological track assignment of merged nodes."""
+        by_rep: Dict[int, _MergedNode] = {node.nets[0]: node for node in merged}
+        if vcg.has_cycle():  # pragma: no cover - fusion preserves acyclicity
+            raise ChannelRoutingError("merged VCG became cyclic")
+        order = [rep for rep in vcg.topological_order() if rep in by_rep]
+        # Include merged nodes with no VCG presence (no constraints).
+        for rep, node in sorted(by_rep.items()):
+            if rep not in order:
+                order.append(rep)
+        assignment: Dict[_MergedNode, int] = {}
+        track_members: List[List[_MergedNode]] = []
+        preds_cache: Dict[int, Set[int]] = {
+            rep: vcg.predecessors(rep) for rep in order
+        }
+        rep_of_net: Dict[int, int] = {}
+        for node in merged:
+            for net in node.nets:
+                rep_of_net[net] = node.nets[0]
+        for rep in order:
+            node = by_rep[rep]
+            min_track = 0
+            for pred in preds_cache[rep]:
+                pred_rep = rep_of_net.get(pred, pred)
+                pred_node = by_rep.get(pred_rep)
+                if pred_node is not None and pred_node in assignment:
+                    min_track = max(min_track, assignment[pred_node] + 1)
+            track = min_track
+            while True:
+                while len(track_members) <= track:
+                    track_members.append([])
+                if all(not node.overlaps(other) for other in track_members[track]):
+                    break
+                track += 1
+            assignment[node] = track
+            track_members[track].append(node)
+        return assignment
+
+    # ------------------------------------------------------------------
+    def _make_jogs(
+        self,
+        problem: ChannelProblem,
+        spans: Dict[int, Tuple[int, int]],
+        net_track: Dict[int, int],
+        tracks: int,
+    ) -> List[VerticalJog]:
+        jogs: List[VerticalJog] = []
+        for col in range(problem.length):
+            t_net, b_net = problem.top[col], problem.bottom[col]
+            if t_net and t_net == b_net:
+                jogs.append(VerticalJog(net=t_net, column=col, r1=-1, r2=tracks))
+                continue
+            if t_net and problem.pin_count(t_net) >= 2:
+                row = net_track.get(t_net)
+                if row is None:  # zero-width trunk: direct drop-through
+                    jogs.append(
+                        VerticalJog(net=t_net, column=col, r1=-1, r2=tracks)
+                    )
+                else:
+                    jogs.append(VerticalJog(net=t_net, column=col, r1=-1, r2=row))
+            if b_net and problem.pin_count(b_net) >= 2:
+                row = net_track.get(b_net)
+                if row is not None:
+                    jogs.append(
+                        VerticalJog(net=b_net, column=col, r1=row, r2=tracks)
+                    )
+        return jogs

@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+Three subcommands cover the common library entry points::
+
+    python -m repro suite  --name ami33 --out ami33.json
+    python -m repro flow   --suite ami33 --flow overcell --svg out.svg
+    python -m repro tables --suite ami33
+
+``flow`` accepts either ``--suite <name>`` (a built-in synthetic
+benchmark) or ``--design <file.json>`` (a design written by
+``repro.io.save_design``), runs the requested flow, prints the summary
+line, and optionally writes an SVG plot and/or a JSON result summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench_suite import SUITES
+from repro.flow import multilayer_channel_flow, overcell_flow, two_layer_flow
+from repro.io import flow_result_to_dict, load_design, save_design
+from repro.reporting import (
+    format_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.reporting.tables import TABLE1_HEADERS, TABLE2_HEADERS, TABLE3_HEADERS
+from repro.viz.svg import svg_flow_result
+
+_FLOWS = {
+    "two-layer": two_layer_flow,
+    "overcell": overcell_flow,
+    "ml-channel": multilayer_channel_flow,
+}
+
+
+def _load_design_arg(args: argparse.Namespace):
+    if getattr(args, "design", None):
+        return load_design(args.design)
+    if getattr(args, "suite", None):
+        return SUITES[args.suite]()
+    raise SystemExit("one of --suite or --design is required")
+
+
+def _flow_params(args: argparse.Namespace):
+    """FlowParams honouring an optional ``--tech`` JSON file."""
+    from repro.flow import FlowParams
+    from repro.io import load_technology
+
+    if getattr(args, "tech", None):
+        return FlowParams(technology=load_technology(args.tech))
+    return FlowParams()
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    design = SUITES[args.name]()
+    save_design(design, args.out)
+    print(f"wrote {design.stats()} to {args.out}")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    design = _load_design_arg(args)
+    result = _FLOWS[args.flow](design, _flow_params(args))
+    print(result.summary())
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(svg_flow_result(result))
+        print(f"layout plot written to {args.svg}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(flow_result_to_dict(result), fh, indent=2)
+        print(f"result summary written to {args.json}")
+    return 0 if result.completion == 1.0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import routing_report
+
+    design = _load_design_arg(args)
+    params = _flow_params(args)
+    result = _FLOWS[args.flow](design, params)
+    print(routing_report(result, technology=params.technology, top_n=args.top))
+    if args.html:
+        from repro.reporting import html_report
+
+        with open(args.html, "w") as fh:
+            fh.write(
+                html_report(
+                    result, technology=params.technology, top_n=args.top
+                )
+            )
+        print(f"HTML report written to {args.html}")
+    return 0 if result.completion == 1.0 else 1
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    design = _load_design_arg(args)
+    baseline = two_layer_flow(design)
+    overcell = overcell_flow(design)
+    ml = multilayer_channel_flow(design)
+    print("Table 1 - example information")
+    print(format_table(TABLE1_HEADERS, table1_rows(design, overcell)))
+    print("\nTable 2 - % reduction vs two-layer channel routing")
+    print(format_table(TABLE2_HEADERS, table2_rows(baseline, overcell)))
+    print("\nTable 3 - vs optimistic 4-layer channel model")
+    print(format_table(TABLE3_HEADERS, table3_rows(ml, overcell)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Over-cell multi-layer router (Katsadas & Chen, DAC 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="generate a synthetic benchmark")
+    p_suite.add_argument("--name", choices=sorted(SUITES), required=True)
+    p_suite.add_argument("--out", required=True, help="output JSON path")
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_flow = sub.add_parser("flow", help="run one routing flow")
+    p_flow.add_argument("--suite", choices=sorted(SUITES))
+    p_flow.add_argument("--design", help="design JSON (repro.io format)")
+    p_flow.add_argument(
+        "--flow", choices=sorted(_FLOWS), default="overcell"
+    )
+    p_flow.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_flow.add_argument("--svg", help="write an SVG layout plot")
+    p_flow.add_argument("--json", help="write a JSON result summary")
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_tables = sub.add_parser("tables", help="print the paper's tables")
+    p_tables.add_argument("--suite", choices=sorted(SUITES))
+    p_tables.add_argument("--design", help="design JSON (repro.io format)")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_report = sub.add_parser(
+        "report", help="run a flow and print the full routing report"
+    )
+    p_report.add_argument("--suite", choices=sorted(SUITES))
+    p_report.add_argument("--design", help="design JSON (repro.io format)")
+    p_report.add_argument("--flow", choices=sorted(_FLOWS), default="overcell")
+    p_report.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_report.add_argument("--top", type=int, default=5,
+                          help="slowest pins to list")
+    p_report.add_argument("--html", help="also write a single-file HTML report")
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

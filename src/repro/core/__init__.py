@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the level B over-cell router.
+
+The router solves the two-dimensional routing problem over the whole
+layout (between-cell *and* over-cell areas) on the metal3/metal4 pair:
+
+* :mod:`repro.core.tig` - the Track Intersection Graph solution-space
+  representation (bipartite: vertical tracks vs. horizontal tracks,
+  edges are usable intersections) and grid terminals.
+* :mod:`repro.core.search` - the modified breadth-first search (MBFS)
+  that finds *all* minimum-corner paths for a two-terminal connection
+  and records them in Path Selection Trees.
+* :mod:`repro.core.cost` - the corner cost model
+  ``C = w1*wl + sum_j(w21*drg_j + w22*dup_j + w23*acf_j)``.
+* :mod:`repro.core.select` - backtracking (depth-first with bounding)
+  over the Path Selection Trees to pick the cheapest candidate.
+* :mod:`repro.core.steiner` - the Steiner-Prim decomposition of
+  multi-terminal nets into two-terminal connections.
+* :mod:`repro.core.ordering` - serial net ordering (longest distance
+  first by default, user criteria supported).
+* :mod:`repro.core.router` - the :class:`LevelBRouter` orchestrator.
+"""
+
+from repro.core.tig import GridTerminal, TrackIntersectionGraph
+from repro.core.cost import CostWeights
+from repro.core.search import MBFSearch, PSTNode, SearchResult
+from repro.core.select import select_best_path
+from repro.core.ordering import NetOrdering, order_nets
+from repro.core.router import LevelBConfig, LevelBResult, LevelBRouter, RoutedNet
+
+__all__ = [
+    "GridTerminal",
+    "TrackIntersectionGraph",
+    "CostWeights",
+    "MBFSearch",
+    "PSTNode",
+    "SearchResult",
+    "select_best_path",
+    "NetOrdering",
+    "order_nets",
+    "LevelBConfig",
+    "LevelBResult",
+    "LevelBRouter",
+    "RoutedNet",
+]

@@ -1,0 +1,119 @@
+"""The path cost model of section 3.2.
+
+The path selected among the minimum-corner candidates minimises
+
+    C = w1*wl + sum_{j=1..k} (w21*drg_j + w22*dup_j + w23*acf_j)
+
+where ``wl`` is the candidate's wire length and, for each corner ``j``,
+
+``drg_j``
+    a measure of the proximity of the corner to routed grid points,
+``dup_j``
+    a measure of the proximity of the corner to unrouted net terminals,
+``acf_j``
+    the area congestion factor around the corner.
+
+The paper leaves the three measures' exact definitions open; we define
+each as a normalised density over a square window of ``radius`` tracks
+around the corner (values in ``[0, 1]``), read straight off the
+occupancy array.  The weights default to the paper's sparse-design
+setting ``w1 = 1``, ``w21 = w22 = w23 = 10``; for dense designs the
+paper advises weighting the corner term higher, which the
+:meth:`CostWeights.dense` preset does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grid import RoutingGrid
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights and window radius for the corner cost model."""
+
+    w1: float = 1.0
+    w21: float = 10.0
+    w22: float = 10.0
+    w23: float = 10.0
+    radius: int = 3
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise ValueError("cost window radius must be >= 1")
+        if min(self.w1, self.w21, self.w22, self.w23) < 0:
+            raise ValueError("cost weights must be non-negative")
+
+    @staticmethod
+    def sparse() -> "CostWeights":
+        """The paper's setting for sparse net distributions."""
+        return CostWeights(w1=1.0, w21=10.0, w22=10.0, w23=10.0)
+
+    @staticmethod
+    def dense() -> "CostWeights":
+        """Corner term weighted higher, for dense net distributions."""
+        return CostWeights(w1=1.0, w21=30.0, w22=30.0, w23=30.0)
+
+    @staticmethod
+    def length_only() -> "CostWeights":
+        """Ablation: ignore corner context, minimise wire length only."""
+        return CostWeights(w1=1.0, w21=0.0, w22=0.0, w23=0.0)
+
+
+class CornerCostEvaluator:
+    """Evaluates the per-corner term of the cost function on a grid.
+
+    A small memo keyed on the corner's indices makes repeated
+    evaluation of shared Path Selection Tree prefixes cheap; the memo
+    must be discarded once the grid mutates (the router creates one
+    evaluator per two-terminal connection).
+
+    ``extra_terms`` hooks in user cost-function extensions (paper
+    section 3.2's "additional terms ... for nets with special
+    constraints"), each a
+    :class:`~repro.core.coupling.PathCostTerm` evaluated once per
+    candidate path by the selector.
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        weights: CostWeights,
+        extra_terms: tuple = (),
+    ) -> None:
+        self.grid = grid
+        self.weights = weights
+        self.extra_terms = tuple(extra_terms)
+        self._memo: dict[tuple[int, int], float] = {}
+
+    def extra_cost(self, points, corners) -> float:
+        """Sum of the user extension terms for one candidate."""
+        return sum(
+            term.cost(self.grid, points, corners) for term in self.extra_terms
+        )
+
+    def corner_cost(self, v_idx: int, h_idx: int) -> float:
+        """``w21*drg + w22*dup + w23*acf`` for a corner at (v, h)."""
+        key = (v_idx, h_idx)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        w = self.weights
+        r = w.radius
+        drg = self.grid.routed_density_near(v_idx, h_idx, r)
+        # Normalise the raw terminal count by the window cell count so
+        # all three measures share the [0, 1] scale.
+        window = (2 * r + 1) ** 2
+        dup = min(1.0, self.grid.unrouted_terminals_near(v_idx, h_idx, r) / window)
+        acf = self.grid.congestion_near(v_idx, h_idx, r)
+        cost = w.w21 * drg + w.w22 * dup + w.w23 * acf
+        self._memo[key] = cost
+        return cost
+
+    def path_cost(self, wire_length: int, corners: list[tuple[int, int]]) -> float:
+        """Full cost ``C`` of a candidate path."""
+        total = self.weights.w1 * float(wire_length)
+        for v_idx, h_idx in corners:
+            total += self.corner_cost(v_idx, h_idx)
+        return total

@@ -1,0 +1,535 @@
+"""The level B router: serial over-cell routing on metal3/metal4.
+
+Ties the pieces together exactly as section 3 describes:
+
+1. define routing tracks over the whole layout and assign a pair of
+   tracks to each net terminal;
+2. order the nets (longest distance first by default);
+3. for each two-terminal connection, search a bounded region with the
+   modified BFS, select the best minimum-corner path from the Path
+   Selection Trees under the section 3.2 cost function, and commit it
+   to the occupancy array (the ``O(t)`` update of section 3.4);
+4. decompose multi-terminal nets with the Steiner-Prim builder,
+   connecting each new terminal to the closest point (terminal or
+   Steiner point) of the partially routed tree;
+5. widen the search region and retry when a bounded search fails.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry import Interval, Path, Point, Rect
+from repro.netlist import Net
+from repro.technology import Technology
+from repro.core.cost import CornerCostEvaluator, CostWeights
+from repro.core.ordering import NetOrdering, order_nets
+from repro.core.search import CandidatePath, MBFSearch, candidate_paths
+from repro.core.select import select_best_path
+from repro.core.steiner import SteinerTreeBuilder
+from repro.core.tig import GridTerminal, TrackIntersectionGraph
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """An over-cell area excluded from level B routing.
+
+    ``block_h`` / ``block_v`` select which layer of the pair the
+    obstacle occupies: pre-existing metal4 straps block horizontal
+    wiring only, metal3 blocks vertical only, and user-excluded areas
+    over sensitive circuits block both (the paper's cross-talk case).
+    """
+
+    rect: Rect
+    block_h: bool = True
+    block_v: bool = True
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class LevelBConfig:
+    """Tuning knobs for the level B router."""
+
+    weights: CostWeights = field(default_factory=CostWeights.sparse)
+    ordering: NetOrdering = NetOrdering.LONGEST_FIRST
+    region_margin_tracks: int = 8
+    region_growth: int = 4
+    max_region_expansions: int = 2
+    max_depth: int = 12
+    max_nodes_per_search: int = 250_000
+    max_entries_per_track: int = 8
+    # The MBFS excludes paths with more than one corner per track, so
+    # on congested grids a routable connection can be invisible to it
+    # (the paper conditions 100% completion on the solution space).
+    # The fallback re-tries failed connections with the Lee/Dijkstra
+    # maze search over the whole grid before giving up.
+    maze_fallback: bool = True
+    maze_via_penalty: float = 10.0
+    # Bounded rip-up-and-reroute: when a net stays unroutable even via
+    # the maze fallback, up to ``max_ripups`` neighbouring nets are
+    # ripped up and rerouted after it.  A completion aid beyond the
+    # paper (whose experiments assume the solution space admits 100%
+    # completion); set to 0 to disable.
+    max_ripups: int = 24
+    # Cross-talk control (paper section 3.2's extension hook): when any
+    # net is marked ``is_sensitive`` the router adds a
+    # ParallelRunPenalty so other nets avoid long parallel runs next to
+    # it (and it next to them).  Set the weight to 0 to disable.
+    parallel_run_weight: float = 20.0
+    parallel_run_separation: int = 1
+    # Post-routing refinement: after all nets route, each net is
+    # ripped up and rerouted once per pass with full knowledge of the
+    # others (serial routers over-constrain early nets).  A net's old
+    # wiring is freed before its reroute, so with the maze fallback on
+    # the pass can never lose a connection; quality-only.
+    refinement_passes: int = 0
+
+
+@dataclass
+class RoutedConnection:
+    """One committed two-terminal connection."""
+
+    source: GridTerminal
+    target: GridTerminal
+    path: Path
+    corners: List[Tuple[int, int]]
+    cost: float
+    expansions_used: int
+
+    @property
+    def wire_length(self) -> int:
+        return self.path.length
+
+    @property
+    def corner_count(self) -> int:
+        return len(self.corners)
+
+
+@dataclass
+class RoutedNet:
+    """All connections realised for one net."""
+
+    net: Net
+    net_id: int
+    connections: List[RoutedConnection] = field(default_factory=list)
+    failed_terminals: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.failed_terminals == 0
+
+    @property
+    def wire_length(self) -> int:
+        return sum(c.wire_length for c in self.connections)
+
+    @property
+    def corner_count(self) -> int:
+        return sum(c.corner_count for c in self.connections)
+
+
+@dataclass
+class LevelBResult:
+    """Aggregate outcome of a level B routing run."""
+
+    tig: TrackIntersectionGraph
+    routed: List[RoutedNet]
+    elapsed_s: float
+    nodes_created: int
+    ripups: int = 0
+
+    @property
+    def total_wire_length(self) -> int:
+        return sum(r.wire_length for r in self.routed)
+
+    @property
+    def total_corners(self) -> int:
+        return sum(r.corner_count for r in self.routed)
+
+    @property
+    def total_vias(self) -> int:
+        """m3-m4 corner vias plus one terminal via stack per connected pin."""
+        stacks = sum(
+            r.net.degree - r.failed_terminals for r in self.routed
+        )
+        return self.total_corners + stacks
+
+    @property
+    def nets_attempted(self) -> int:
+        return len(self.routed)
+
+    @property
+    def nets_completed(self) -> int:
+        return sum(1 for r in self.routed if r.complete)
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.routed:
+            return 1.0
+        return self.nets_completed / len(self.routed)
+
+    def net_result(self, name: str) -> RoutedNet:
+        for r in self.routed:
+            if r.net.name == name:
+                return r
+        raise KeyError(f"net {name!r} was not routed at level B")
+
+
+class LevelBRouter:
+    """Routes a set of nets over the whole layout area.
+
+    Parameters
+    ----------
+    bounds:
+        The fixed layout rectangle (known after level A, section 2).
+    nets:
+        Set B nets; their pins must have placed positions.
+    technology:
+        Supplies the m3 (vertical) and m4 (horizontal) pitches.
+    obstacles:
+        Over-cell exclusions (:class:`Obstacle` or bare :class:`Rect`).
+    config:
+        Router tuning; defaults follow the paper's sparse setting.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        nets: Sequence[Net],
+        *,
+        technology: Optional[Technology] = None,
+        obstacles: Iterable[Obstacle | Rect] = (),
+        config: Optional[LevelBConfig] = None,
+    ) -> None:
+        self.bounds = bounds
+        self.config = config or LevelBConfig()
+        tech = technology or Technology.four_layer()
+        if tech.num_layers < 4:
+            raise ValueError("level B routing needs a 4-layer technology")
+        self.technology = tech
+        self.nets = [n for n in nets if n.degree >= 2]
+        terminal_points = [p for net in self.nets for p in net.pin_positions()]
+        for p in terminal_points:
+            if not bounds.contains_point(p):
+                raise ValueError(f"terminal {p} outside layout bounds {bounds}")
+        self.tig = TrackIntersectionGraph.over_area(
+            bounds,
+            v_pitch=tech.layer(3).pitch,
+            h_pitch=tech.layer(4).pitch,
+            terminal_points=terminal_points,
+        )
+        self.obstacles: List[Obstacle] = []
+        for obs in obstacles:
+            if isinstance(obs, Rect):
+                obs = Obstacle(rect=obs)
+            self.obstacles.append(obs)
+            self.tig.add_obstacle(
+                obs.rect, block_h=obs.block_h, block_v=obs.block_v
+            )
+        self._net_ids: Dict[Net, int] = {
+            net: i + 1 for i, net in enumerate(sorted(self.nets, key=lambda n: n.name))
+        }
+        for net, net_id in self._net_ids.items():
+            self.tig.register_net(net_id, net.pin_positions())
+        self._nodes_created = 0
+        self._sensitive_ids = frozenset(
+            self._net_ids[n] for n in self.nets if n.is_sensitive
+        )
+
+    def _extra_terms_for(self, net_id: int) -> Tuple:
+        """Cost-function extension terms for one net's connections.
+
+        A sensitive net keeps clear of *all* foreign wiring; every
+        other net keeps clear of the sensitive nets.
+        """
+        cfg = self.config
+        if not self._sensitive_ids or cfg.parallel_run_weight <= 0:
+            return ()
+        from repro.core.coupling import ParallelRunPenalty
+
+        if net_id in self._sensitive_ids:
+            targets = None  # avoid everyone
+        else:
+            targets = self._sensitive_ids - {net_id}
+        return (
+            ParallelRunPenalty(
+                targets,
+                weight=cfg.parallel_run_weight,
+                separation=cfg.parallel_run_separation,
+                exclude=net_id,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def net_id(self, net: Net) -> int:
+        return self._net_ids[net]
+
+    def route(self) -> LevelBResult:
+        """Route every net serially in the configured order.
+
+        Nets that fail outright trigger the bounded rip-up loop: the
+        blockers crowding the failed terminals are unrouted, the failed
+        net retries first, and the victims re-route after it.
+        """
+        started = time.perf_counter()
+        queue: List[Net] = order_nets(self.nets, self.config.ordering)
+        results: Dict[Net, RoutedNet] = {}
+        ripups_left = self.config.max_ripups
+        ripup_count = 0
+        while queue:
+            net = queue.pop(0)
+            outcome = self._route_net(net)
+            results[net] = outcome
+            if outcome.complete or ripups_left <= 0:
+                continue
+            victims = self._pick_ripup_victims(net, results)
+            if not victims:
+                continue
+            ripups_left -= len(victims)
+            ripup_count += len(victims)
+            self._unroute_net(net)
+            results.pop(net)
+            for victim in victims:
+                self._unroute_net(victim)
+                results.pop(victim, None)
+                if victim in queue:
+                    queue.remove(victim)
+            queue = [net] + victims + queue
+        for _ in range(self.config.refinement_passes):
+            self._refine(results)
+        routed = [results[net] for net in self.nets if net in results]
+        return LevelBResult(
+            tig=self.tig,
+            routed=routed,
+            elapsed_s=time.perf_counter() - started,
+            nodes_created=self._nodes_created,
+            ripups=ripup_count,
+        )
+
+    def _refine(self, results: Dict[Net, RoutedNet]) -> None:
+        """One refinement pass: reroute every net with others in place.
+
+        Nets revisit in routing order.  A net's own wiring is freed
+        before its reroute, so its previous path remains available; a
+        reroute that somehow loses connections (possible only with the
+        maze fallback disabled, since the MBFS is incomplete) is
+        rolled back by restoring the better of the two outcomes.
+        """
+        for net in order_nets(list(results), self.config.ordering):
+            old = results[net]
+            if not old.connections and old.complete:
+                continue  # nothing wired (coincident pins)
+            self._unroute_net(net)
+            new = self._route_net(net)
+            if (new.failed_terminals, new.wire_length, new.corner_count) <= (
+                old.failed_terminals,
+                old.wire_length,
+                old.corner_count,
+            ):
+                results[net] = new
+                continue
+            # Roll back: restore the original wiring verbatim.
+            self._unroute_net(net)
+            grid = self.tig.grid
+            net_id = self._net_ids[net]
+            for term in self.tig.terminals_of(net_id):
+                grid.mark_terminal_routed(term.v_idx, term.h_idx)
+            for conn in old.connections:
+                commit_points(
+                    grid, net_id, conn.path.waypoints(), conn.corners
+                )
+            results[net] = old
+
+    def _pick_ripup_victims(
+        self, net: Net, results: Dict[Net, RoutedNet]
+    ) -> List[Net]:
+        """Routed nets crowding the failed net's terminals (at most 3)."""
+        grid = self.tig.grid
+        net_id = self._net_ids[net]
+        counts: Dict[int, int] = {}
+        for term in self.tig.terminals_of(net_id):
+            for owner in grid.owners_near(term.v_idx, term.h_idx, radius=2):
+                if owner != net_id:
+                    counts[owner] = counts.get(owner, 0) + 1
+        by_id = {self._net_ids[n]: n for n in self.nets}
+        ranked = sorted(counts, key=lambda o: (-counts[o], o))
+        victims = []
+        for owner in ranked:
+            victim = by_id.get(owner)
+            if victim is not None and victim in results:
+                victims.append(victim)
+            if len(victims) == 3:
+                break
+        return victims
+
+    def _unroute_net(self, net: Net) -> None:
+        """Rip a net's wiring off the grid and re-reserve its terminals."""
+        net_id = self._net_ids[net]
+        grid = self.tig.grid
+        grid.clear_net(net_id)
+        for term in self.tig.terminals_of(net_id):
+            grid.reserve_terminal(term.v_idx, term.h_idx, net_id)
+
+    # ------------------------------------------------------------------
+    def _route_net(self, net: Net) -> RoutedNet:
+        net_id = self._net_ids[net]
+        grid = self.tig.grid
+        terminals = self.tig.terminals_of(net_id)
+        # The net's own terminals stop repelling corners once it routes.
+        for t in terminals:
+            grid.mark_terminal_routed(t.v_idx, t.h_idx)
+        result = RoutedNet(net=net, net_id=net_id)
+        unique = _dedupe_terminals(terminals)
+        if len(unique) < 2:
+            return result  # all pins coincide; nothing to wire
+        if len(unique) == 2:
+            conn = self._route_connection(net_id, unique[0], unique[1])
+            if conn is None:
+                result.failed_terminals += 1
+            else:
+                result.connections.append(conn)
+            return result
+        builder = SteinerTreeBuilder(grid, net_id, unique)
+        while not builder.done:
+            source = builder.next_source()
+            conn = None
+            for target in builder.attach_candidates(source):
+                conn = self._route_connection(net_id, source, target)
+                if conn is not None:
+                    break
+            if conn is None:
+                builder.fail(source)
+                result.failed_terminals += 1
+            else:
+                builder.commit(source, conn.path.waypoints())
+                result.connections.append(conn)
+        return result
+
+    def _route_connection(
+        self, net_id: int, source: GridTerminal, target: GridTerminal
+    ) -> Optional[RoutedConnection]:
+        """Search/select/commit one connection with region escalation."""
+        if source == target:
+            return None
+        grid = self.tig.grid
+        cfg = self.config
+        for attempt, region in enumerate(self._regions(source, target)):
+            search = MBFSearch(
+                grid,
+                net_id,
+                source,
+                target,
+                region=region,
+                max_depth=cfg.max_depth,
+                max_nodes=cfg.max_nodes_per_search,
+                max_entries_per_track=cfg.max_entries_per_track,
+            )
+            outcome = search.run()
+            self._nodes_created += outcome.nodes_created
+            if not outcome.found:
+                continue
+            cands = candidate_paths(outcome, grid)
+            evaluator = CornerCostEvaluator(
+                grid, cfg.weights, extra_terms=self._extra_terms_for(net_id)
+            )
+            best, cost = select_best_path(cands, evaluator)
+            if best is None:
+                continue
+            self._commit(net_id, best)
+            return RoutedConnection(
+                source=source,
+                target=target,
+                path=Path.from_points(best.points)
+                if len(best.points) >= 2
+                else Path.from_points([best.points[0], best.points[0]]),
+                corners=best.corners,
+                cost=cost,
+                expansions_used=attempt,
+            )
+        if cfg.maze_fallback:
+            return self._maze_rescue(net_id, source, target)
+        return None
+
+    def _maze_rescue(
+        self, net_id: int, source: GridTerminal, target: GridTerminal
+    ) -> Optional[RoutedConnection]:
+        """Last-resort whole-grid maze search for one connection."""
+        from repro.maze.lee import lee_search  # local import: cycle guard
+
+        grid = self.tig.grid
+        waypoints, corners, stats = lee_search(
+            grid,
+            net_id,
+            source,
+            target,
+            via_penalty=self.config.maze_via_penalty,
+        )
+        self._nodes_created += stats.nodes_expanded
+        if waypoints is None or corners is None:
+            return None
+        commit_points(grid, net_id, waypoints, corners)
+        return RoutedConnection(
+            source=source,
+            target=target,
+            path=Path.from_points(waypoints),
+            corners=corners,
+            cost=float("nan"),
+            expansions_used=-1,  # marks a maze rescue
+        )
+
+    def _regions(
+        self, source: GridTerminal, target: GridTerminal
+    ) -> Iterable[Optional[Tuple[Interval, Interval]]]:
+        """Index-space search regions, smallest first, whole grid last."""
+        cfg = self.config
+        v_box = Interval.spanning(source.v_idx, target.v_idx)
+        h_box = Interval.spanning(source.h_idx, target.h_idx)
+        margin = cfg.region_margin_tracks
+        for _ in range(cfg.max_region_expansions + 1):
+            yield (v_box.expanded(margin), h_box.expanded(margin))
+            margin *= cfg.region_growth
+        yield None  # unbounded: the entire layout
+
+    def _commit(self, net_id: int, candidate: CandidatePath) -> None:
+        """Claim a selected path on the occupancy grid."""
+        commit_points(
+            self.tig.grid, net_id, candidate.points, candidate.corners
+        )
+
+
+def commit_points(
+    grid,
+    net_id: int,
+    points: Sequence[Point],
+    corners: Iterable[Tuple[int, int]],
+) -> None:
+    """Claim a path (waypoint sequence plus corner vias) for ``net_id``.
+
+    Shared by the level B router and the maze baseline so both mutate
+    the occupancy array identically.  All waypoint coordinates must lie
+    on tracks.
+    """
+    for a, b in zip(points, points[1:]):
+        if a == b:
+            continue
+        if a.y == b.y:
+            h_idx = grid.htracks.index_of(a.y)
+            idxs = grid.vtracks.index_range(min(a.x, b.x), max(a.x, b.x))
+            grid.occupy_h(h_idx, idxs.start, idxs.stop - 1, net_id)
+        else:
+            v_idx = grid.vtracks.index_of(a.x)
+            idxs = grid.htracks.index_range(min(a.y, b.y), max(a.y, b.y))
+            grid.occupy_v(v_idx, idxs.start, idxs.stop - 1, net_id)
+    for v_idx, h_idx in corners:
+        grid.occupy_corner(v_idx, h_idx, net_id)
+
+
+def _dedupe_terminals(terminals: Sequence[GridTerminal]) -> List[GridTerminal]:
+    seen = set()
+    out: List[GridTerminal] = []
+    for t in terminals:
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    return out

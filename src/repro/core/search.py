@@ -1,0 +1,384 @@
+"""Modified breadth-first search over the Track Intersection Graph.
+
+Paper, section 3.1: for each two-terminal connection, *all* paths with
+the minimum number of corners are found by two modified breadth-first
+searches, one starting from each of the source terminal's two tracks.
+The searches build **Path Selection Trees** whose nodes are track
+visits; the best path is later chosen from these trees
+(:mod:`repro.core.select`).
+
+Key properties implemented here, matching the paper:
+
+* A path is a sequence of alternating horizontal and vertical track
+  segments; its corner count equals the number of track switches
+  (the arrival at the target terminal is not a corner, so the example
+  path ``(v2, h4, v6)`` of Figure 1 has exactly one corner).
+* Each vertex (track) is *examined exactly once* - once a track has
+  been reached at some BFS level it is not re-entered at a later
+  level - **except the target vertices**, which may be entered at any
+  level.  This excludes paths with more than one corner on the same
+  track and is what makes the search fast.
+* Several Path Selection Tree nodes may exist for the same track at
+  the same level (one per distinct parent), which is how the trees of
+  Figure 2 contain the vertex ``h4`` twice.
+* The solution space of each search is a rectangular region around the
+  two terminals; the caller widens the region and retries on failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import Interval, Point
+from repro.grid import RoutingGrid
+from repro.core.tig import GridTerminal
+
+VERTICAL = "V"
+HORIZONTAL = "H"
+
+
+@dataclass
+class PSTNode:
+    """One node of a Path Selection Tree: a visit to a track.
+
+    Attributes
+    ----------
+    kind:
+        ``"V"`` when the node is a vertical track, ``"H"`` horizontal.
+    track:
+        Index of the track in its track set.
+    entry:
+        Index on the *orthogonal* track set where the path entered this
+        track (the entry intersection is ``(track, entry)`` for a
+        vertical node and ``(entry, track)`` for a horizontal one).
+    span:
+        The maximal usable index interval along this track around the
+        entry point - how far the wire can slide.  Computed lazily
+        (``None`` until the node is expanded or tested for completion);
+        most frontier-leaf nodes never need it.
+    parent:
+        The previous track visit (``None`` at a root).
+    depth:
+        Number of track switches from the root, i.e. the corner count
+        of a path completed at this node.
+    """
+
+    kind: str
+    track: int
+    entry: int
+    span: Optional[Interval]
+    parent: Optional["PSTNode"]
+    depth: int
+    children: List["PSTNode"] = field(default_factory=list, repr=False)
+
+    @property
+    def entry_intersection(self) -> Tuple[int, int]:
+        """The ``(v_idx, h_idx)`` where the path entered this track."""
+        if self.kind == VERTICAL:
+            return (self.track, self.entry)
+        return (self.entry, self.track)
+
+    def name(self) -> str:
+        """Paper-style vertex name (``v3`` / ``h2``, 1-based)."""
+        return f"{'v' if self.kind == VERTICAL else 'h'}{self.track + 1}"
+
+    def chain(self) -> List["PSTNode"]:
+        """Root-to-this node list."""
+        nodes: List[PSTNode] = []
+        node: Optional[PSTNode] = self
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        return nodes
+
+    def track_sequence(self) -> List[str]:
+        """Paper-style track name sequence from the root."""
+        return [n.name() for n in self.chain()]
+
+
+@dataclass
+class CandidatePath:
+    """A reconstructed minimum-corner candidate for one connection."""
+
+    points: List[Point]
+    corners: List[Tuple[int, int]]
+    length: int
+    leaf: PSTNode
+
+    @property
+    def corner_count(self) -> int:
+        return len(self.corners)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the two MBFS runs for one two-terminal connection."""
+
+    source: GridTerminal
+    target: GridTerminal
+    roots: List[PSTNode]
+    leaves: List[PSTNode]
+    min_corners: Optional[int]
+    nodes_created: int
+    aborted: bool = False
+
+    @property
+    def found(self) -> bool:
+        return self.min_corners is not None
+
+
+class MBFSearch:
+    """One two-terminal search instance.
+
+    Parameters
+    ----------
+    grid:
+        The occupancy grid (the stored TIG).
+    net_id:
+        The routing net; its own wiring and reserved terminals count as
+        usable space.
+    source, target:
+        The connection's terminals (TIG edges).
+    region:
+        Optional ``(v_interval, h_interval)`` *index-space* bounding
+        region; it is expanded, if necessary, to contain both
+        terminals.
+    max_depth:
+        Upper bound on corners considered (default 12).
+    max_nodes:
+        Safety cap on Path Selection Tree size; exceeded searches
+        report ``aborted`` (default 250_000).
+    max_entries_per_track:
+        Cap on same-level duplicate entries kept per track; keeps the
+        PSTs small while retaining path diversity (default 8).
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        net_id: int,
+        source: GridTerminal,
+        target: GridTerminal,
+        region: Optional[Tuple[Interval, Interval]] = None,
+        max_depth: int = 12,
+        max_nodes: int = 250_000,
+        max_entries_per_track: int = 8,
+    ) -> None:
+        self.grid = grid
+        self.net_id = net_id
+        self.source = source
+        self.target = target
+        self.max_depth = max_depth
+        self.max_nodes = max_nodes
+        self.max_entries_per_track = max_entries_per_track
+        if region is None:
+            v_iv = Interval(0, grid.num_vtracks - 1)
+            h_iv = Interval(0, grid.num_htracks - 1)
+        else:
+            v_iv, h_iv = region
+            v_iv = grid.vtracks.clip_indices(
+                v_iv.hull(Interval.spanning(source.v_idx, target.v_idx))
+            )
+            h_iv = grid.htracks.clip_indices(
+                h_iv.hull(Interval.spanning(source.h_idx, target.h_idx))
+            )
+        self.v_region = v_iv
+        self.h_region = h_iv
+        self._nodes_created = 0
+        self._aborted = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        """Run both searches and keep the global minimum-corner leaves."""
+        roots: List[PSTNode] = []
+        all_leaves: List[Tuple[int, List[PSTNode]]] = []
+        best_depth: Optional[int] = None
+        for kind in (VERTICAL, HORIZONTAL):
+            limit = self.max_depth if best_depth is None else best_depth
+            root, leaves, depth = self._single_search(kind, limit)
+            if root is not None:
+                roots.append(root)
+            if depth is not None:
+                all_leaves.append((depth, leaves))
+                best_depth = depth if best_depth is None else min(best_depth, depth)
+        leaves = [
+            leaf for depth, group in all_leaves if depth == best_depth for leaf in group
+        ]
+        return SearchResult(
+            source=self.source,
+            target=self.target,
+            roots=roots,
+            leaves=leaves,
+            min_corners=best_depth,
+            nodes_created=self._nodes_created,
+            aborted=self._aborted,
+        )
+
+    # ------------------------------------------------------------------
+    def _single_search(
+        self, root_kind: str, depth_limit: int
+    ) -> Tuple[Optional[PSTNode], List[PSTNode], Optional[int]]:
+        """One MBFS from one of the source's two tracks."""
+        if root_kind == VERTICAL:
+            track, entry = self.source.v_idx, self.source.h_idx
+        else:
+            track, entry = self.source.h_idx, self.source.v_idx
+        root = PSTNode(
+            kind=root_kind, track=track, entry=entry, span=None, parent=None, depth=0
+        )
+        if self._node_span(root) is None:
+            return None, [], None
+        self._nodes_created += 1
+        # visited[(kind, track)] -> level at which the track was first
+        # reached; target tracks are exempt and never recorded.
+        visited: Dict[Tuple[str, int], int] = {(root_kind, track): 0}
+        if self._completes(root):
+            return root, [root], 0
+        frontier = [root]
+        level = 0
+        while frontier and level < depth_limit:
+            level += 1
+            next_frontier: List[PSTNode] = []
+            completions: List[PSTNode] = []
+            entries_this_level: Dict[Tuple[str, int], int] = {}
+            for node in frontier:
+                children = self._expand(node, visited, entries_this_level, level)
+                if children is None:  # node budget exhausted
+                    self._aborted = True
+                    return root, [], None
+                for child in children:
+                    if self._is_target_track(
+                        child.kind, child.track
+                    ) and self._completes(child):
+                        completions.append(child)
+                    next_frontier.append(child)
+            if completions:
+                return root, completions, level
+            frontier = next_frontier
+        return root, [], None
+
+    def _node_span(self, node: PSTNode) -> Optional[Interval]:
+        """The node's slide interval, computed on first use."""
+        if node.span is None:
+            if node.kind == VERTICAL:
+                node.span = self.grid.free_span_v(
+                    node.track, node.entry, self.net_id, within=self.h_region
+                )
+            else:
+                node.span = self.grid.free_span_h(
+                    node.track, node.entry, self.net_id, within=self.v_region
+                )
+        return node.span
+
+    def _expand(
+        self,
+        node: PSTNode,
+        visited: Dict[Tuple[str, int], int],
+        entries_this_level: Dict[Tuple[str, int], int],
+        level: int,
+    ) -> Optional[List[PSTNode]]:
+        """Children of ``node``: turns onto crossing tracks in its span.
+
+        Corner availability along the whole span is checked in one
+        vectorised pass; children are created without spans (lazy).
+        """
+        grid = self.grid
+        net = self.net_id
+        span = self._node_span(node)
+        if span is None:  # entry cell got unusable - cannot happen mid-search
+            return []
+        child_kind = HORIZONTAL if node.kind == VERTICAL else VERTICAL
+        if node.kind == VERTICAL:
+            crossings = grid.corner_candidates_on_v(
+                node.track, span.lo, span.hi, net
+            )
+        else:
+            crossings = grid.corner_candidates_on_h(
+                node.track, span.lo, span.hi, net
+            )
+        children: List[PSTNode] = []
+        for cross in crossings:
+            if cross == node.entry:
+                continue
+            key = (child_kind, cross)
+            is_target = self._is_target_track(child_kind, cross)
+            if not is_target:
+                seen_level = visited.get(key)
+                if seen_level is not None and seen_level < level:
+                    continue
+                if entries_this_level.get(key, 0) >= self.max_entries_per_track:
+                    continue
+                visited.setdefault(key, level)
+                entries_this_level[key] = entries_this_level.get(key, 0) + 1
+            child = PSTNode(
+                kind=child_kind,
+                track=cross,
+                entry=node.track,
+                span=None,
+                parent=node,
+                depth=node.depth + 1,
+            )
+            node.children.append(child)
+            self._nodes_created += 1
+            if self._nodes_created > self.max_nodes:
+                return None
+            children.append(child)
+        return children
+
+    def _is_target_track(self, kind: str, track: int) -> bool:
+        if kind == VERTICAL:
+            return track == self.target.v_idx
+        return track == self.target.h_idx
+
+    def _completes(self, node: PSTNode) -> bool:
+        """Can the path slide along ``node``'s track onto the terminal?"""
+        if node.kind == VERTICAL:
+            if node.track != self.target.v_idx:
+                return False
+            span = self._node_span(node)
+            return span is not None and span.contains(self.target.h_idx)
+        if node.track != self.target.h_idx:
+            return False
+        span = self._node_span(node)
+        return span is not None and span.contains(self.target.v_idx)
+
+
+# ----------------------------------------------------------------------
+# Path reconstruction
+# ----------------------------------------------------------------------
+def candidate_paths(
+    result: SearchResult, grid: RoutingGrid
+) -> List[CandidatePath]:
+    """Geometric candidates for every minimum-corner leaf.
+
+    Each candidate's point list runs source, corners..., target with
+    consecutive points axis-aligned; duplicate consecutive points
+    (a corner coinciding with a terminal) are merged.
+    """
+    out: List[CandidatePath] = []
+    src = result.source.position(grid)
+    dst = result.target.position(grid)
+    for leaf in result.leaves:
+        chain = leaf.chain()
+        corners: List[Tuple[int, int]] = []
+        for parent, child in zip(chain, chain[1:]):
+            if parent.kind == VERTICAL:
+                corners.append((parent.track, child.track))
+            else:
+                corners.append((child.track, parent.track))
+        points: List[Point] = [src]
+        for v_idx, h_idx in corners:
+            x, y = grid.coord_of(v_idx, h_idx)
+            points.append(Point(x, y))
+        points.append(dst)
+        deduped = [points[0]]
+        for p in points[1:]:
+            if p != deduped[-1]:
+                deduped.append(p)
+        length = sum(a.manhattan_to(b) for a, b in zip(deduped, deduped[1:]))
+        out.append(
+            CandidatePath(points=deduped, corners=corners, length=length, leaf=leaf)
+        )
+    return out

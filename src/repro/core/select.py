@@ -1,0 +1,54 @@
+"""Path selection among minimum-corner candidates (section 3.2).
+
+When the searches return several paths with the same (minimum) number
+of corners, the best one is chosen by weighting the Path Selection
+Trees and backtracking through them - a depth-first walk with bounding
+functions.  Two properties of the problem make this cheap, as the paper
+notes: edge weighting is limited to the PSTs (far smaller than the
+whole Track Intersection Graph), and candidates share tree prefixes, so
+per-corner costs are memoised (:class:`repro.core.cost.CornerCostEvaluator`).
+
+The bounding function used here: candidates are visited in ascending
+wire-length order and a partial sum is abandoned as soon as it reaches
+the best complete cost (all cost terms are non-negative).  Since every
+remaining candidate's length-only lower bound is no smaller, the walk
+also terminates early once ``w1 * length`` alone reaches the bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.cost import CornerCostEvaluator
+from repro.core.search import CandidatePath
+
+
+def select_best_path(
+    candidates: List[CandidatePath], evaluator: CornerCostEvaluator
+) -> Tuple[Optional[CandidatePath], float]:
+    """The cheapest candidate under the section 3.2 cost function.
+
+    Returns ``(candidate, cost)``; ``(None, inf)`` for an empty input.
+    Ties resolve to the first-found candidate in length order, which
+    keeps the router deterministic.
+    """
+    best: Optional[CandidatePath] = None
+    best_cost = float("inf")
+    w1 = evaluator.weights.w1
+    for cand in sorted(candidates, key=lambda c: (c.length, c.points[1:2])):
+        partial = w1 * float(cand.length)
+        if partial >= best_cost:
+            break  # every later candidate is at least this long
+        pruned = False
+        for corner in cand.corners:
+            partial += evaluator.corner_cost(*corner)
+            if partial >= best_cost:
+                pruned = True
+                break
+        if pruned:
+            continue
+        partial += evaluator.extra_cost(cand.points, cand.corners)
+        if partial < best_cost:
+            best = cand
+            best_cost = partial
+    return best, best_cost

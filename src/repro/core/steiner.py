@@ -1,0 +1,178 @@
+"""Multi-terminal net decomposition (section 3.3).
+
+The paper routes multi-terminal nets with "a suboptimal algorithm that
+approximates a rectilinear Steiner tree ... based on Prim's algorithm":
+the output component grows one terminal at a time, and the terminal
+selected is the one at minimum distance not only from component
+*terminals* but also from **Steiner points** - any point on the
+component's already-routed segments.  The selected terminal is then
+connected to whichever component point it is closest to.
+
+:class:`SteinerTreeBuilder` drives that loop incrementally: the level B
+router asks for the next (source, attach-point) pair, routes it with
+the regular two-terminal machinery, and commits the realised path back
+into the component so later attachments can use its Steiner points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.geometry import Point, Segment
+from repro.grid import RoutingGrid
+from repro.core.tig import GridTerminal
+
+
+@dataclass(frozen=True)
+class AttachPoint:
+    """A candidate connection target on the partially built tree."""
+
+    terminal: GridTerminal
+    distance: int
+    on_segment: bool  # True: a Steiner point on routed wire; False: a terminal
+
+
+class SteinerTreeBuilder:
+    """Grows one net's routing tree terminal-by-terminal."""
+
+    def __init__(
+        self, grid: RoutingGrid, net_id: int, terminals: Sequence[GridTerminal]
+    ) -> None:
+        if len(terminals) < 2:
+            raise ValueError("Steiner decomposition needs >= 2 terminals")
+        self.grid = grid
+        self.net_id = net_id
+        self._all = list(terminals)
+        self._points = {t: t.position(grid) for t in self._all}
+        start = self._pick_start()
+        self._connected: List[GridTerminal] = [start]
+        self._remaining: List[GridTerminal] = [t for t in self._all if t is not start]
+        self._tree_segments: List[Segment] = []
+        self._failed: List[GridTerminal] = []
+
+    def _pick_start(self) -> GridTerminal:
+        """Deterministic start: the terminal nearest the pin centroid."""
+        pts = list(self._points.values())
+        cx = sum(p.x for p in pts) // len(pts)
+        cy = sum(p.y for p in pts) // len(pts)
+        centroid = Point(cx, cy)
+        return min(
+            self._all,
+            key=lambda t: (self._points[t].manhattan_to(centroid), self._points[t]),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self._remaining
+
+    @property
+    def failed_terminals(self) -> List[GridTerminal]:
+        return list(self._failed)
+
+    def next_source(self) -> GridTerminal:
+        """The unconnected terminal closest to the component (Prim step)."""
+        if not self._remaining:
+            raise RuntimeError("tree already complete")
+        return min(
+            self._remaining,
+            key=lambda t: (self._distance_to_tree(self._points[t]), self._points[t]),
+        )
+
+    def attach_candidates(self, source: GridTerminal, limit: int = 6) -> List[GridTerminal]:
+        """Connection targets for ``source``, nearest first.
+
+        Candidates are Steiner points on routed segments (projected to
+        the nearest track intersection and screened for corner
+        availability) followed by already-connected terminals, deduped,
+        capped at ``limit``.  Connected terminals always appear so a
+        congested Steiner point cannot strand the net.
+        """
+        src_pt = self._points[source]
+        cands: List[AttachPoint] = []
+        for seg in self._tree_segments:
+            attach = self._project_to_segment(src_pt, seg)
+            if attach is None:
+                continue
+            if not self.grid.corner_free(attach.v_idx, attach.h_idx, self.net_id):
+                continue
+            dist = src_pt.manhattan_to(attach.position(self.grid))
+            cands.append(AttachPoint(attach, dist, on_segment=True))
+        for term in self._connected:
+            dist = src_pt.manhattan_to(self._points[term])
+            cands.append(AttachPoint(term, dist, on_segment=False))
+        cands.sort(key=lambda a: (a.distance, a.on_segment, a.terminal.v_idx, a.terminal.h_idx))
+        seen: Set[GridTerminal] = set()
+        out: List[GridTerminal] = []
+        for cand in cands:
+            if cand.terminal in seen or cand.terminal == source:
+                continue
+            seen.add(cand.terminal)
+            out.append(cand.terminal)
+            if len(out) >= limit:
+                break
+        # Guarantee at least the connected terminals survive the cap.
+        for term in self._connected:
+            if term not in seen and term != source:
+                out.append(term)
+                seen.add(term)
+        return out
+
+    def commit(self, source: GridTerminal, path_points: Sequence[Point]) -> None:
+        """Record a successful connection's geometry into the component."""
+        for a, b in zip(path_points, path_points[1:]):
+            if a != b:
+                self._tree_segments.append(Segment(a, b))
+        self._remaining.remove(source)
+        self._connected.append(source)
+
+    def fail(self, source: GridTerminal) -> None:
+        """Give up on a terminal (recorded, removed from the work list)."""
+        self._remaining.remove(source)
+        self._failed.append(source)
+
+    # ------------------------------------------------------------------
+    def _distance_to_tree(self, p: Point) -> int:
+        best = min(self._points[t].manhattan_to(p) for t in self._connected)
+        for seg in self._tree_segments:
+            box = seg.bounds
+            cx = box.x_interval.clamp(p.x)
+            cy = box.y_interval.clamp(p.y)
+            best = min(best, abs(p.x - cx) + abs(p.y - cy))
+        return best
+
+    def _project_to_segment(self, p: Point, seg: Segment) -> Optional[GridTerminal]:
+        """Nearest track intersection to ``p`` on segment ``seg``."""
+        vtracks, htracks = self.grid.vtracks, self.grid.htracks
+        if seg.is_point:
+            return None
+        if seg.is_horizontal:
+            span = seg.span
+            idxs = vtracks.index_range(span.lo, span.hi)
+            if len(idxs) == 0:
+                return None
+            v_idx = _nearest_in_range(vtracks.coords, idxs, p.x)
+            return GridTerminal(v_idx=v_idx, h_idx=htracks.index_of(seg.a.y))
+        span = seg.span
+        idxs = htracks.index_range(span.lo, span.hi)
+        if len(idxs) == 0:
+            return None
+        h_idx = _nearest_in_range(htracks.coords, idxs, p.y)
+        return GridTerminal(v_idx=vtracks.index_of(seg.a.x), h_idx=h_idx)
+
+
+def _nearest_in_range(coords: Sequence[int], idxs: range, value: int) -> int:
+    """Index in ``idxs`` whose coordinate is nearest ``value``."""
+    import bisect
+
+    pos = bisect.bisect_left(coords, value, idxs.start, idxs.stop)
+    best_idx = idxs.start
+    best_d = abs(coords[best_idx] - value)
+    for candidate in (pos - 1, pos):
+        if idxs.start <= candidate < idxs.stop:
+            d = abs(coords[candidate] - value)
+            if d < best_d:
+                best_d = d
+                best_idx = candidate
+    return best_idx

@@ -1,0 +1,182 @@
+"""The Track Intersection Graph (TIG).
+
+Paper, section 3.1: *"The solution space for level B routing is
+represented by an undirected bipartite graph G = (V, E) called Track
+Intersection Graph.  The set of vertices V consists of two mutually
+exclusive subsets Vv and Vh, where each vi in Vv represents a vertical
+routing track and each vj in Vh represents a horizontal track.  The
+edges e = (vi, vj) correspond to the intersection of a vertical with a
+horizontal track that can be used for routing."*
+
+The graph is stored implicitly: its state lives in the ``O(h*v)``
+occupancy array (:class:`repro.grid.RoutingGrid`), exactly as the paper
+describes in section 3.4.  This module provides the graph-level view on
+top of that array - vertex/edge enumeration for small instances, the
+terminal abstraction (a terminal *is* a TIG edge), and obstacle
+registration - while the search (:mod:`repro.core.search`) reads the
+array directly for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.grid import FREE, RoutingGrid, TrackSet
+
+
+@dataclass(frozen=True)
+class GridTerminal:
+    """A net terminal expressed as a TIG edge ``(vertical, horizontal)``.
+
+    ``v_idx``/``h_idx`` index the grid's vertical/horizontal track sets;
+    the terminal sits at their intersection.
+    """
+
+    v_idx: int
+    h_idx: int
+
+    def position(self, grid: RoutingGrid) -> Point:
+        x, y = grid.coord_of(self.v_idx, self.h_idx)
+        return Point(x, y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(v{self.v_idx},h{self.h_idx})"
+
+
+class TrackIntersectionGraph:
+    """Tracks, occupancy and terminals for one level B instance.
+
+    Vertex naming follows the paper's figures: vertical tracks are
+    ``v1..vn`` (left to right), horizontal tracks ``h1..hm`` (bottom to
+    top), both 1-based.
+    """
+
+    def __init__(self, vtracks: TrackSet, htracks: TrackSet) -> None:
+        self.grid = RoutingGrid(vtracks, htracks)
+        self._terminals: Dict[int, List[GridTerminal]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def over_area(
+        bounds: Rect,
+        v_pitch: int,
+        h_pitch: int,
+        terminal_points: Iterable[Point] = (),
+    ) -> "TrackIntersectionGraph":
+        """Build the grid over ``bounds``.
+
+        A uniform lattice at the given pitches is laid down, then one
+        vertical and one horizontal track is threaded through every
+        terminal (the paper assigns "a pair of horizontal and vertical
+        tracks to each net terminal").
+        """
+        pts = list(terminal_points)
+        vtracks = TrackSet.uniform(
+            bounds.x1, bounds.x2, v_pitch, extra=(p.x for p in pts)
+        )
+        htracks = TrackSet.uniform(
+            bounds.y1, bounds.y2, h_pitch, extra=(p.y for p in pts)
+        )
+        return TrackIntersectionGraph(vtracks, htracks)
+
+    def terminal_at(self, point: Point) -> GridTerminal:
+        """The TIG edge for a terminal at geometric ``point``.
+
+        The tracks through the point must exist (``over_area`` threads
+        them); a miss indicates an upstream bookkeeping bug and raises.
+        """
+        return GridTerminal(
+            v_idx=self.grid.vtracks.index_of(point.x),
+            h_idx=self.grid.htracks.index_of(point.y),
+        )
+
+    def register_terminal(self, net_id: int, terminal: GridTerminal) -> None:
+        """Reserve a terminal's intersection for ``net_id``."""
+        self.grid.reserve_terminal(terminal.v_idx, terminal.h_idx, net_id)
+        self._terminals.setdefault(net_id, []).append(terminal)
+
+    def register_net(self, net_id: int, points: Sequence[Point]) -> List[GridTerminal]:
+        """Register all terminals of a net by geometric position."""
+        terminals = [self.terminal_at(p) for p in points]
+        for t in terminals:
+            self.register_terminal(net_id, t)
+        return terminals
+
+    def add_obstacle(
+        self, rect: Rect, *, block_h: bool = True, block_v: bool = True
+    ) -> int:
+        """Exclude an over-cell area from routing (see paper section 3).
+
+        Obstacles model pre-existing m3/m4 wiring inside macros (block
+        a single direction) or user-excluded areas over sensitive
+        circuits (block both).  Returns blocked intersection count.
+        """
+        return self.grid.add_obstacle(rect, block_h=block_h, block_v=block_v)
+
+    # ------------------------------------------------------------------
+    # Graph-level queries (used by tests, figures and small instances)
+    # ------------------------------------------------------------------
+    def terminals_of(self, net_id: int) -> List[GridTerminal]:
+        return list(self._terminals.get(net_id, []))
+
+    def all_terminals(self) -> Dict[int, List[GridTerminal]]:
+        return {k: list(v) for k, v in self._terminals.items()}
+
+    def vertex_names(self) -> Tuple[List[str], List[str]]:
+        """The paper-style vertex names ``([v1..], [h1..])``."""
+        vs = [f"v{i + 1}" for i in range(self.grid.num_vtracks)]
+        hs = [f"h{j + 1}" for j in range(self.grid.num_htracks)]
+        return vs, hs
+
+    def edge_usable(self, v_idx: int, h_idx: int, net_id: int = FREE) -> bool:
+        """Is the TIG edge (intersection) usable for routing?
+
+        With the default ``net_id`` of ``FREE`` only fully free
+        intersections qualify; passing a net id also admits
+        intersections that net already owns.
+        """
+        if net_id == FREE:
+            return (
+                self.grid.h_slot(v_idx, h_idx) == FREE
+                and self.grid.v_slot(v_idx, h_idx) == FREE
+            )
+        return self.grid.corner_free(v_idx, h_idx, net_id)
+
+    def edges(self, net_id: int = FREE) -> Iterator[Tuple[int, int]]:
+        """All usable TIG edges as ``(v_idx, h_idx)`` pairs.
+
+        Enumeration is ``O(h*v)``; intended for small didactic
+        instances, figures and tests, not the router hot path.
+        """
+        for v in range(self.grid.num_vtracks):
+            for h in range(self.grid.num_htracks):
+                if self.edge_usable(v, h, net_id):
+                    yield (v, h)
+
+    def degree(self, vertex: str) -> int:
+        """Degree of a named vertex (``"v3"`` / ``"h2"``) in the TIG."""
+        kind, idx = vertex[0], int(vertex[1:]) - 1
+        if kind == "v":
+            return sum(
+                1
+                for h in range(self.grid.num_htracks)
+                if self.edge_usable(idx, h)
+            )
+        if kind == "h":
+            return sum(
+                1
+                for v in range(self.grid.num_vtracks)
+                if self.edge_usable(v, idx)
+            )
+        raise ValueError(f"bad vertex name {vertex!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TIG({self.grid.num_vtracks} v-tracks x "
+            f"{self.grid.num_htracks} h-tracks, "
+            f"{len(self._terminals)} nets registered)"
+        )

@@ -1,0 +1,59 @@
+"""Flow result metrics: the three columns of the paper's Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.geometry import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core import LevelBResult
+    from repro.channels import ChannelRoute
+    from repro.globalroute import GlobalRoute
+    from repro.placement import RowPlacement
+
+
+@dataclass
+class FlowResult:
+    """Metrics of one flow run on one design.
+
+    ``layout_area``, ``wire_length`` and ``via_count`` are the paper's
+    comparison metrics; the remaining fields expose the run's internals
+    for inspection, visualisation and tests.
+    """
+
+    flow: str
+    design: str
+    bounds: Rect
+    wire_length: int
+    via_count: int
+    channel_tracks: List[int] = field(default_factory=list)
+    channel_heights: List[int] = field(default_factory=list)
+    side_widths: tuple = (0, 0)
+    completion: float = 1.0
+    placement: Optional["RowPlacement"] = None
+    global_route: Optional["GlobalRoute"] = None
+    channel_routes: Optional[List["ChannelRoute"]] = None
+    levelb: Optional["LevelBResult"] = None
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def layout_area(self) -> int:
+        return self.bounds.area
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.design}/{self.flow}: area={self.layout_area:,} "
+            f"({self.bounds.width}x{self.bounds.height}), "
+            f"wl={self.wire_length:,}, vias={self.via_count:,}, "
+            f"completion={self.completion:.1%}"
+        )
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Reduction of ``improved`` relative to ``baseline``, in percent."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,57 @@
+"""Flow configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core import LevelBConfig
+from repro.core.router import Obstacle
+from repro.partition import PartitionStrategy
+from repro.technology import Technology
+
+
+@dataclass(frozen=True)
+class FlowParams:
+    """Knobs shared by every flow.
+
+    Attributes
+    ----------
+    technology:
+        The four-layer stack; the channel substrate uses metal1/metal2,
+        level B uses metal3/metal4.
+    margin:
+        Clearance around the core in lambda.
+    aspect:
+        Target core aspect ratio for the shelf placer.
+    partition:
+        How nets split into sets A and B (over-cell flow only).
+    length_threshold:
+        Half-perimeter threshold for ``LONG_TO_B`` partitioning.
+    levelb:
+        Level B router configuration.
+    obstacles:
+        Over-cell exclusions forwarded to the level B router.
+    channel_area_factor:
+        The optimistic multi-layer channel model's channel-area scale
+        (the paper grants the comparison 0.5).
+    channel_router:
+        Detailed channel router for level A: ``"greedy"`` (default;
+        always completes) or ``"left-edge"`` (dogleg left-edge, falls
+        back to greedy on vertical-constraint cycles).
+    """
+
+    technology: Technology = field(default_factory=Technology.four_layer)
+    channel_router: str = "greedy"
+    margin: int = 16
+    aspect: float = 1.0
+    partition: PartitionStrategy = PartitionStrategy.CRITICAL_TO_A
+    length_threshold: Optional[int] = None
+    levelb: LevelBConfig = field(default_factory=LevelBConfig)
+    obstacles: Tuple[Obstacle, ...] = ()
+    channel_area_factor: float = 0.5
+
+    @property
+    def channel_pitch(self) -> int:
+        """Track/column pitch of the channel layers (metal1/metal2)."""
+        return self.technology.layer(1).pitch

@@ -1,0 +1,321 @@
+"""The three end-to-end flows.
+
+All flows share one pipeline skeleton: shelf placement -> global
+channel decomposition -> detailed (greedy) channel routing -> channel
+heights -> realised geometry -> metrics.  The over-cell flow sends only
+set A through that skeleton and routes set B with the level B router on
+the realised layout; the multi-layer channel flow rescales the baseline
+channel geometry per the paper's Table 3 assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.channels import (
+    ChannelRoute,
+    ChannelRoutingError,
+    GreedyChannelRouter,
+    LeftEdgeRouter,
+)
+from repro.core import LevelBRouter
+from repro.flow.metrics import FlowResult
+from repro.flow.params import FlowParams
+from repro.globalroute import GlobalRoute, GlobalRouter
+from repro.netlist import Design, Net
+from repro.partition import PartitionStrategy, partition_nets
+from repro.placement import RowPlacement
+
+
+# ----------------------------------------------------------------------
+# Shared pipeline pieces
+# ----------------------------------------------------------------------
+def _assign_net_ids(nets: Sequence[Net]) -> Dict[Net, int]:
+    return {net: i + 1 for i, net in enumerate(sorted(nets, key=lambda n: n.name))}
+
+
+def _route_channels(
+    global_route: GlobalRoute, channel_router: str = "greedy"
+) -> List[ChannelRoute]:
+    """Detailed-route every channel with the selected router.
+
+    The left-edge router cannot handle vertical-constraint cycles;
+    cyclic channels silently fall back to the greedy router so flows
+    always complete.
+    """
+    if channel_router not in ("greedy", "left-edge"):
+        raise ValueError(f"unknown channel router {channel_router!r}")
+    greedy = GreedyChannelRouter()
+    left_edge = LeftEdgeRouter() if channel_router == "left-edge" else None
+    routes = []
+    for spec in global_route.specs:
+        route = None
+        if left_edge is not None:
+            try:
+                route = left_edge.route(spec.problem)
+            except ChannelRoutingError:
+                route = None
+        if route is None:
+            route = greedy.route(spec.problem)
+        route.check(spec.problem)
+        routes.append(route)
+    return routes
+
+
+def _channel_heights(
+    global_route: GlobalRoute, routes: Sequence[ChannelRoute], pitch: int
+) -> List[int]:
+    """Per-channel height; empty channels keep one pitch of clearance."""
+    heights = []
+    for spec, route in zip(global_route.specs, routes):
+        if route.tracks == 0 and not route.jogs:
+            heights.append(pitch)
+        else:
+            heights.append(route.height(pitch))
+    return heights
+
+
+def _level_a_wire_and_vias(
+    global_route: GlobalRoute,
+    routes: Sequence[ChannelRoute],
+    placement: RowPlacement,
+    heights: Sequence[int],
+    side_widths: Tuple[int, int],
+    pitch: int,
+) -> Tuple[int, int]:
+    wire = sum(r.wire_length(pitch, pitch) for r in routes)
+    row_heights = [row.height for row in placement.rows]
+    wire += global_route.side_wire_length(row_heights, heights)
+    # Horizontal stubs reaching into the side channels: charge half the
+    # side-channel width per exit.
+    for use in global_route.side_uses.values():
+        width = side_widths[0] if use.side == "L" else side_widths[1]
+        wire += len(use.exits) * (width // 2)
+    vias = sum(r.via_count() for r in routes)
+    return wire, vias
+
+
+def _run_channel_pipeline(
+    design: Design,
+    nets: Sequence[Net],
+    params: FlowParams,
+) -> Tuple[RowPlacement, GlobalRoute, List[ChannelRoute], List[int], Tuple[int, int]]:
+    pitch = params.channel_pitch
+    placement = RowPlacement.build(design, pitch=pitch, aspect=params.aspect)
+    net_ids = _assign_net_ids(nets)
+    global_route = GlobalRouter(placement, pitch=pitch).route(nets, net_ids)
+    routes = _route_channels(global_route, params.channel_router)
+    heights = _channel_heights(global_route, routes, pitch)
+    side_widths = global_route.side_widths(placement.num_rows)
+    return placement, global_route, routes, heights, side_widths
+
+
+# ----------------------------------------------------------------------
+# Flows
+# ----------------------------------------------------------------------
+def two_layer_flow(design: Design, params: Optional[FlowParams] = None) -> FlowResult:
+    """The conventional baseline: every net channel-routed on m1/m2."""
+    params = params or FlowParams()
+    nets = design.routable_nets()
+    placement, global_route, routes, heights, side_widths = _run_channel_pipeline(
+        design, nets, params
+    )
+    bounds = placement.realize(
+        heights,
+        left_width=side_widths[0],
+        right_width=side_widths[1],
+        margin=params.margin,
+    )
+    wire, vias = _level_a_wire_and_vias(
+        global_route, routes, placement, heights, side_widths, params.channel_pitch
+    )
+    return FlowResult(
+        flow="two-layer-channel",
+        design=design.name,
+        bounds=bounds,
+        wire_length=wire,
+        via_count=vias,
+        channel_tracks=[r.tracks for r in routes],
+        channel_heights=heights,
+        side_widths=side_widths,
+        placement=placement,
+        global_route=global_route,
+        channel_routes=routes,
+    )
+
+
+def overcell_flow(design: Design, params: Optional[FlowParams] = None) -> FlowResult:
+    """The paper's flow: set A in channels, set B over the cells."""
+    params = params or FlowParams()
+    nets = design.routable_nets()
+    if params.partition is PartitionStrategy.LONG_TO_B:
+        # Geometric partitioning needs provisional pin positions.
+        pitch = params.channel_pitch
+        provisional = RowPlacement.build(design, pitch=pitch, aspect=params.aspect)
+        provisional.realize([pitch] * provisional.channel_count, margin=params.margin)
+    set_a, set_b = partition_nets(
+        nets, params.partition, length_threshold=params.length_threshold
+    )
+    placement, global_route, routes, heights, side_widths = _run_channel_pipeline(
+        design, set_a, params
+    )
+    bounds = placement.realize(
+        heights,
+        left_width=side_widths[0],
+        right_width=side_widths[1],
+        margin=params.margin,
+    )
+    wire_a, vias_a = _level_a_wire_and_vias(
+        global_route, routes, placement, heights, side_widths, params.channel_pitch
+    )
+    levelb_router = LevelBRouter(
+        bounds,
+        set_b,
+        technology=params.technology,
+        obstacles=params.obstacles,
+        config=params.levelb,
+    )
+    levelb = levelb_router.route()
+    result = FlowResult(
+        flow="overcell-4layer",
+        design=design.name,
+        bounds=bounds,
+        wire_length=wire_a + levelb.total_wire_length,
+        via_count=vias_a + levelb.total_vias,
+        channel_tracks=[r.tracks for r in routes],
+        channel_heights=heights,
+        side_widths=side_widths,
+        completion=levelb.completion_rate,
+        placement=placement,
+        global_route=global_route,
+        channel_routes=routes,
+        levelb=levelb,
+    )
+    pins_b = sum(n.degree for n in set_b)
+    result.notes.update(
+        level_a_nets=len(set_a),
+        level_b_nets=len(set_b),
+        level_a_avg_pins=(
+            sum(n.degree for n in set_a) / len(set_a) if set_a else 0.0
+        ),
+        level_b_pins=pins_b,
+        level_a_wire=wire_a,
+        level_b_wire=levelb.total_wire_length,
+    )
+    return result
+
+
+def multilayer_channel_flow(
+    design: Design,
+    params: Optional[FlowParams] = None,
+    *,
+    design_rule_aware: bool = False,
+    model: Optional[str] = None,
+) -> FlowResult:
+    """Table 3's comparison: a multi-layer *channel* router.
+
+    Three models, selected by ``model``:
+
+    ``"optimistic"`` (default)
+        The paper's assumption - channel areas (between-row heights
+        and side-channel widths) shrink by
+        ``params.channel_area_factor`` (0.5) relative to the
+        two-layer result.
+    ``"design-rule"``
+        Halve the track counts but re-space tracks at the coarser
+        upper-layer pitch - the paper's argument for why 50 % fewer
+        tracks is not 50 % less area.  (``design_rule_aware=True`` is
+        the legacy spelling.)
+    ``"hvh"``
+        Actually route each channel with the
+        :class:`~repro.channels.HVHChannelRouter` (three layers by
+        adjacent-track pairing) and space the resulting physical rows
+        at the upper-layer pitch.
+    """
+    params = params or FlowParams()
+    if model is None:
+        model = "design-rule" if design_rule_aware else "optimistic"
+    if model not in ("optimistic", "design-rule", "hvh"):
+        raise ValueError(f"unknown multilayer channel model {model!r}")
+    nets = design.routable_nets()
+    placement, global_route, routes, heights, side_widths = _run_channel_pipeline(
+        design, nets, params
+    )
+    pitch = params.channel_pitch
+    if model == "hvh":
+        from repro.channels import HVHChannelRouter
+
+        ml_pitch = max(layer.pitch for layer in params.technology.layers)
+        hvh = HVHChannelRouter()
+        hvh_results = [hvh.route(spec.problem) for spec in global_route.specs]
+        routes = [r.route for r in hvh_results]
+        heights = []
+        for result in hvh_results:
+            if result.route.tracks == 0 and not result.route.jogs:
+                heights.append(min(pitch, ml_pitch))
+            else:
+                heights.append((result.route.tracks + 1) * ml_pitch)
+        # Side-channel verticals gain a second vertical layer in a
+        # four-layer process: halve the crossing count, coarser pitch.
+        new_side = []
+        for width in side_widths:
+            crossings = max(0, width // pitch - 1)
+            reduced = math.ceil(crossings / 2)
+            new_side.append((reduced + 1) * ml_pitch if reduced else 0)
+        side_widths = (new_side[0], new_side[1])
+        flow_name = "4layer-channel-hvh"
+    elif model == "design-rule":
+        ml_pitch = max(layer.pitch for layer in params.technology.layers)
+        new_heights = []
+        for route, h in zip(routes, heights):
+            if route.tracks == 0:
+                new_heights.append(min(h, ml_pitch))
+            else:
+                tracks = math.ceil(route.tracks / 2)
+                new_heights.append((tracks + 1) * ml_pitch)
+        heights = new_heights
+        new_side = []
+        for width in side_widths:
+            crossings = max(0, width // pitch - 1)
+            reduced = math.ceil(crossings / 2)
+            new_side.append((reduced + 1) * ml_pitch if reduced else 0)
+        side_widths = (new_side[0], new_side[1])
+        flow_name = "4layer-channel-design-rule"
+    else:
+        factor = params.channel_area_factor
+        heights = [max(1, math.ceil(h * factor)) for h in heights]
+        side_widths = (
+            math.ceil(side_widths[0] * factor),
+            math.ceil(side_widths[1] * factor),
+        )
+        flow_name = "4layer-channel-optimistic"
+    bounds = placement.realize(
+        heights,
+        left_width=side_widths[0],
+        right_width=side_widths[1],
+        margin=params.margin,
+    )
+    wire, vias = _level_a_wire_and_vias(
+        global_route, routes, placement, heights, side_widths, pitch
+    )
+    result = FlowResult(
+        flow=flow_name,
+        design=design.name,
+        bounds=bounds,
+        wire_length=wire,
+        via_count=vias,
+        channel_tracks=[r.tracks for r in routes],
+        channel_heights=heights,
+        side_widths=side_widths,
+        placement=placement,
+        global_route=global_route,
+        channel_routes=routes,
+    )
+    result.notes["model"] = {
+        "optimistic": f"optimistic {params.channel_area_factor:.0%} "
+        "channel-area scale",
+        "design-rule": "design-rule-aware track halving",
+        "hvh": "real HVH three-layer channel routing",
+    }[model]
+    return result

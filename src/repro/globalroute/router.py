@@ -1,0 +1,214 @@
+"""Channel decomposition of nets over a row placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.channels import ChannelProblem
+from repro.netlist import Edge, Net, Pin
+from repro.placement import RowPlacement
+
+
+@dataclass(frozen=True)
+class _ChannelPin:
+    """A pin entry into a channel, in column units."""
+
+    net_id: int
+    column: int
+    from_top: bool  # True: enters through the channel's top boundary
+
+
+@dataclass
+class NetSideUse:
+    """A net's vertical run through a side channel."""
+
+    net_id: int
+    side: str  # "L" or "R"
+    min_ch: int
+    max_ch: int
+    exits: List[Tuple[int, int]] = field(default_factory=list)  # (channel, column)
+
+    @property
+    def rows_crossed(self) -> range:
+        """Row indices the vertical passes (between its end channels)."""
+        return range(self.min_ch, self.max_ch)
+
+
+@dataclass
+class ChannelSpec:
+    """One channel's routing problem plus its column coordinate map."""
+
+    index: int
+    problem: ChannelProblem
+    base_col: int  # column index of core x = 0
+
+    def column_x(self, col: int, pitch: int) -> int:
+        """Core-relative x of a column (exit columns land outside)."""
+        return (col - self.base_col) * pitch
+
+
+@dataclass
+class GlobalRoute:
+    """The full channel decomposition of a net set."""
+
+    specs: List[ChannelSpec]
+    side_uses: Dict[int, NetSideUse]
+    pitch: int
+
+    def crossing_profile(self, side: str, num_rows: int) -> List[int]:
+        """Verticals passing each row on one side channel."""
+        profile = [0] * num_rows
+        for use in self.side_uses.values():
+            if use.side != side:
+                continue
+            for row in use.rows_crossed:
+                if 0 <= row < num_rows:
+                    profile[row] += 1
+        return profile
+
+    def side_widths(self, num_rows: int) -> Tuple[int, int]:
+        """(left, right) side channel widths in lambda.
+
+        One vertical wiring track per simultaneous crossing, plus one
+        track of clearance when the side channel is used at all.
+        """
+        widths = []
+        for side in ("L", "R"):
+            peak = max(self.crossing_profile(side, num_rows), default=0)
+            widths.append((peak + 1) * self.pitch if peak else 0)
+        return widths[0], widths[1]
+
+    def side_wire_length(
+        self, row_heights: Sequence[int], channel_heights: Sequence[int]
+    ) -> int:
+        """Total vertical wire length inside the side channels.
+
+        A net spanning channels ``[i, j]`` runs past rows ``i..j-1``
+        and through channels ``i+1..j-1``; the horizontal stubs into
+        the side channel are charged half a side-channel width each by
+        the flow layer, not here.
+        """
+        total = 0
+        for use in self.side_uses.values():
+            for row in use.rows_crossed:
+                total += row_heights[row]
+            for ch in range(use.min_ch + 1, use.max_ch):
+                total += channel_heights[ch]
+        return total
+
+
+class GlobalRouter:
+    """Builds a :class:`GlobalRoute` for a net set over a placement."""
+
+    def __init__(self, placement: RowPlacement, pitch: Optional[int] = None) -> None:
+        self.placement = placement
+        self.pitch = pitch if pitch is not None else placement.pitch
+
+    # ------------------------------------------------------------------
+    def route(self, nets: Sequence[Net], net_ids: Dict[Net, int]) -> GlobalRoute:
+        """Decompose ``nets``; ids must be positive and unique."""
+        channel_pins: Dict[int, List[_ChannelPin]] = {
+            i: [] for i in range(self.placement.channel_count)
+        }
+        side_uses: Dict[int, NetSideUse] = {}
+        for net in sorted(nets, key=lambda n: n.name):
+            if net.degree < 2:
+                continue
+            net_id = net_ids[net]
+            entries = [self._pin_entry(net_id, pin) for pin in net.pins]
+            channels = sorted({e[0] for e in entries})
+            for ch, pin in ((e[0], e[1]) for e in entries):
+                channel_pins[ch].append(pin)
+            if len(channels) > 1:
+                side_uses[net_id] = NetSideUse(
+                    net_id=net_id,
+                    side=self._pick_side(entries),
+                    min_ch=channels[0],
+                    max_ch=channels[-1],
+                )
+        specs = [
+            self._build_spec(index, pins, side_uses)
+            for index, pins in sorted(channel_pins.items())
+        ]
+        return GlobalRoute(specs=specs, side_uses=side_uses, pitch=self.pitch)
+
+    # ------------------------------------------------------------------
+    def _pin_entry(self, net_id: int, pin: Pin) -> Tuple[int, _ChannelPin]:
+        if not pin.edge.is_horizontal:
+            raise ValueError(
+                f"pin {pin.full_name}: LEFT/RIGHT pins are not supported by "
+                "the row/channel topology"
+            )
+        row = self.placement.row_of_cell[pin.cell.name]
+        on_top_edge = pin.edge is Edge.TOP
+        channel = self.placement.channel_of_pin_row(row, on_top_edge)
+        x = self.placement.cell_x[pin.cell.name] + pin.offset
+        if x % self.pitch:
+            raise ValueError(
+                f"pin {pin.full_name} x={x} is off the {self.pitch}-lambda grid"
+            )
+        # A TOP-edge pin enters the channel above it from below.
+        return channel, _ChannelPin(
+            net_id=net_id, column=x // self.pitch, from_top=not on_top_edge
+        )
+
+    def _pick_side(self, entries: List[Tuple[int, _ChannelPin]]) -> str:
+        """Side channel minimising total horizontal reach (ties go left)."""
+        width_cols = max(1, self.placement.core_width // self.pitch)
+        left_cost = sum(pin.column for _, pin in entries)
+        right_cost = sum(width_cols - pin.column for _, pin in entries)
+        return "L" if left_cost <= right_cost else "R"
+
+    def _build_spec(
+        self,
+        index: int,
+        pins: List[_ChannelPin],
+        side_uses: Dict[int, NetSideUse],
+    ) -> ChannelSpec:
+        top: Dict[int, int] = {}
+        bottom: Dict[int, int] = {}
+        for pin in sorted(pins, key=lambda p: (p.column, p.from_top, p.net_id)):
+            target = top if pin.from_top else bottom
+            col = pin.column
+            # Resolve same-side column collisions between different nets
+            # by nudging right to the nearest free column.
+            while target.get(col, pin.net_id) != pin.net_id:
+                col += 1
+            target[col] = pin.net_id
+        cols = list(top) + list(bottom)
+        min_col = min(cols) if cols else 0
+        max_col = max(cols) if cols else 0
+        # Exit columns: left exits stack just before min_col, right
+        # exits just after max_col, one column per exiting net.
+        exiting = sorted(
+            use.net_id
+            for use in side_uses.values()
+            if use.min_ch <= index <= use.max_ch
+            and any(p.net_id == use.net_id for p in pins)
+        )
+        left_exit_col = min_col - 1
+        right_exit_col = max_col + 1
+        for net_id in exiting:
+            use = side_uses[net_id]
+            if use.side == "L":
+                col = left_exit_col
+                left_exit_col -= 1
+            else:
+                col = right_exit_col
+                right_exit_col += 1
+            top[col] = net_id  # exits modelled as top-side virtual pins
+            use.exits.append((index, col))
+        all_cols = list(top) + list(bottom)
+        base = -min(all_cols) if all_cols and min(all_cols) < 0 else 0
+        problem = ChannelProblem.from_pin_lists(
+            top_pins=[(c + base, n) for c, n in top.items()],
+            bottom_pins=[(c + base, n) for c, n in bottom.items()],
+        )
+        if base:
+            for use in side_uses.values():
+                use.exits = [
+                    (ch, col + base) if ch == index else (ch, col)
+                    for ch, col in use.exits
+                ]
+        return ChannelSpec(index=index, problem=problem, base_col=base)

@@ -1,0 +1,20 @@
+"""Routing tracks and the ``O(h*v)`` occupancy model.
+
+The level B router works on a grid of horizontal and vertical routing
+tracks with (possibly) non-uniform spacing (paper section 3).  This
+package provides:
+
+:class:`TrackSet`
+    A sorted set of track coordinates with coordinate/index mapping.
+:class:`RoutingGrid`
+    The pair of track sets plus the two-dimensional occupancy array the
+    paper describes: per intersection, separate horizontal-direction and
+    vertical-direction ownership (reserved-layer model: metal4 carries
+    horizontal, metal3 vertical), obstacle flags, and the auxiliary
+    unrouted-terminal map the cost function's ``dup`` term reads.
+"""
+
+from repro.grid.tracks import TrackSet
+from repro.grid.occupancy import FREE, OBSTACLE, RoutingGrid
+
+__all__ = ["TrackSet", "RoutingGrid", "FREE", "OBSTACLE"]

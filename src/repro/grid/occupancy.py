@@ -1,0 +1,359 @@
+"""The two-dimensional occupancy array behind the Track Intersection Graph.
+
+The paper stores the TIG state "in a two-dimensional array which is
+updated after the completion of each two-terminal connection", an
+``O(t)`` operation per segment (section 3.4).  This module is that
+array.
+
+Model
+-----
+Under the reserved-layer model the two over-cell layers split by
+direction (metal4 horizontal, metal3 vertical), so each track
+intersection has **two independent ownership slots**:
+
+* ``h`` - a horizontal wire passing through the intersection,
+* ``v`` - a vertical wire passing through it.
+
+Wires of *different* nets may cross at an intersection (different
+layers), but may not share a track span.  A **corner** (m3-m4 via)
+occupies both slots, as does a terminal's via stack.  Obstacles may
+block one direction (e.g. pre-existing m4 power straps inside a macro)
+or both (sensitive circuitry excluded by the user).
+
+Slot encoding: ``0`` free, ``-1`` obstacle, ``>= 1`` net id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Interval, Rect
+from repro.grid.tracks import TrackSet
+
+FREE: int = 0
+OBSTACLE: int = -1
+
+
+class RoutingGrid:
+    """Track sets plus occupancy state for one routing layer pair.
+
+    Horizontal scans are row slices of ``_h_owner`` (indexed
+    ``[h_track][v_track]``) and vertical scans are row slices of
+    ``_v_owner`` (indexed ``[v_track][h_track]``), so both are cache
+    friendly and vectorisable with numpy.
+    """
+
+    def __init__(self, vtracks: TrackSet, htracks: TrackSet) -> None:
+        self.vtracks = vtracks
+        self.htracks = htracks
+        nv, nh = len(vtracks), len(htracks)
+        self._h_owner = np.zeros((nh, nv), dtype=np.int32)
+        self._v_owner = np.zeros((nv, nh), dtype=np.int32)
+        # Unrouted-terminal density map, read by the cost function's
+        # ``dup`` term. Indexed [h][v] like _h_owner.
+        self._unrouted_terms = np.zeros((nh, nv), dtype=np.int16)
+
+    # ------------------------------------------------------------------
+    # Basic shape / coordinate helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_vtracks(self) -> int:
+        return len(self.vtracks)
+
+    @property
+    def num_htracks(self) -> int:
+        return len(self.htracks)
+
+    @property
+    def num_intersections(self) -> int:
+        return self.num_vtracks * self.num_htracks
+
+    def coord_of(self, v_idx: int, h_idx: int) -> Tuple[int, int]:
+        """Geometric ``(x, y)`` of intersection ``(v_idx, h_idx)``."""
+        return self.vtracks[v_idx], self.htracks[h_idx]
+
+    # ------------------------------------------------------------------
+    # Obstacles and terminals
+    # ------------------------------------------------------------------
+    def add_obstacle(
+        self, rect: Rect, *, block_h: bool = True, block_v: bool = True
+    ) -> int:
+        """Block every intersection inside ``rect`` (coordinate space).
+
+        Returns the number of intersections newly blocked.  Blocking a
+        cell already owned by a net raises: obstacles must be declared
+        before routing starts.
+        """
+        vr = self.vtracks.index_range(rect.x1, rect.x2)
+        hr = self.htracks.index_range(rect.y1, rect.y2)
+        if len(vr) == 0 or len(hr) == 0:
+            return 0
+        blocked = 0
+        h_block = self._h_owner[hr.start : hr.stop, vr.start : vr.stop]
+        v_block = self._v_owner[vr.start : vr.stop, hr.start : hr.stop]
+        if block_h:
+            if (h_block > 0).any():
+                raise ValueError("obstacle overlaps routed wiring (h)")
+            blocked += int((h_block != OBSTACLE).sum())
+            h_block[:] = OBSTACLE
+        if block_v:
+            if (v_block > 0).any():
+                raise ValueError("obstacle overlaps routed wiring (v)")
+            if not block_h:
+                blocked += int((v_block != OBSTACLE).sum())
+            v_block[:] = OBSTACLE
+        return blocked
+
+    def reserve_terminal(self, v_idx: int, h_idx: int, net_id: int) -> None:
+        """Claim an intersection for a net's terminal via stack.
+
+        Terminal connections from level B nets down to m1/m2 happen
+        only at terminal locations (paper section 2), so the stack
+        blocks both directions for every other net from the outset.
+        """
+        if net_id < 1:
+            raise ValueError("net ids must be >= 1")
+        for arr, r, c in (
+            (self._h_owner, h_idx, v_idx),
+            (self._v_owner, v_idx, h_idx),
+        ):
+            current = arr[r, c]
+            if current not in (FREE, net_id):
+                raise ValueError(
+                    f"terminal at ({v_idx},{h_idx}) collides with owner {current}"
+                )
+            arr[r, c] = net_id
+        self._unrouted_terms[h_idx, v_idx] += 1
+
+    def mark_terminal_routed(self, v_idx: int, h_idx: int) -> None:
+        """Drop one unrouted-terminal mark at an intersection."""
+        if self._unrouted_terms[h_idx, v_idx] > 0:
+            self._unrouted_terms[h_idx, v_idx] -= 1
+
+    # ------------------------------------------------------------------
+    # Availability queries
+    # ------------------------------------------------------------------
+    def corner_free(self, v_idx: int, h_idx: int, net_id: int) -> bool:
+        """Can ``net_id`` place a corner/via at this intersection?"""
+        h = self._h_owner[h_idx, v_idx]
+        v = self._v_owner[v_idx, h_idx]
+        return h in (FREE, net_id) and v in (FREE, net_id)
+
+    def h_slot(self, v_idx: int, h_idx: int) -> int:
+        return int(self._h_owner[h_idx, v_idx])
+
+    def v_slot(self, v_idx: int, h_idx: int) -> int:
+        return int(self._v_owner[v_idx, h_idx])
+
+    def free_span_h(
+        self, h_idx: int, v_idx: int, net_id: int, within: Optional[Interval] = None
+    ) -> Optional[Interval]:
+        """Maximal v-index interval around ``v_idx`` usable on h-track.
+
+        A cell is usable when its horizontal slot is free or already
+        owned by ``net_id``.  Returns ``None`` when the entry cell
+        itself is unusable.  ``within`` clips the search window (the
+        paper bounds each search to a rectangle around the terminals).
+        """
+        row = self._h_owner[h_idx]
+        return _free_span(row, v_idx, net_id, within)
+
+    def free_span_v(
+        self, v_idx: int, h_idx: int, net_id: int, within: Optional[Interval] = None
+    ) -> Optional[Interval]:
+        """Maximal h-index interval around ``h_idx`` usable on v-track."""
+        row = self._v_owner[v_idx]
+        return _free_span(row, h_idx, net_id, within)
+
+    def corner_candidates_on_v(
+        self, v_idx: int, h_lo: int, h_hi: int, net_id: int
+    ) -> List[int]:
+        """h-indices in ``[h_lo, h_hi]`` where ``net_id`` may corner.
+
+        Batched form of :meth:`corner_free` along a vertical track -
+        the level B search's hot path.  Spans here are typically a few
+        dozen cells, where a plain-Python scan over ``tolist()`` beats
+        numpy's fixed per-op overhead by several times.
+        """
+        h = self._h_owner[h_lo : h_hi + 1, v_idx].tolist()
+        v = self._v_owner[v_idx, h_lo : h_hi + 1].tolist()
+        allowed = (FREE, net_id)
+        return [
+            h_lo + i
+            for i, (hs, vs) in enumerate(zip(h, v))
+            if hs in allowed and vs in allowed
+        ]
+
+    def corner_candidates_on_h(
+        self, h_idx: int, v_lo: int, v_hi: int, net_id: int
+    ) -> List[int]:
+        """v-indices in ``[v_lo, v_hi]`` where ``net_id`` may corner."""
+        h = self._h_owner[h_idx, v_lo : v_hi + 1].tolist()
+        v = self._v_owner[v_lo : v_hi + 1, h_idx].tolist()
+        allowed = (FREE, net_id)
+        return [
+            v_lo + i
+            for i, (hs, vs) in enumerate(zip(h, v))
+            if hs in allowed and vs in allowed
+        ]
+
+    def span_usable_h(
+        self, h_idx: int, v_lo: int, v_hi: int, net_id: int
+    ) -> bool:
+        """Is the whole h-track span ``[v_lo, v_hi]`` usable by the net?"""
+        if v_lo > v_hi:
+            v_lo, v_hi = v_hi, v_lo
+        row = self._h_owner[h_idx, v_lo : v_hi + 1]
+        return bool(((row == FREE) | (row == net_id)).all())
+
+    def span_usable_v(
+        self, v_idx: int, h_lo: int, h_hi: int, net_id: int
+    ) -> bool:
+        if h_lo > h_hi:
+            h_lo, h_hi = h_hi, h_lo
+        row = self._v_owner[v_idx, h_lo : h_hi + 1]
+        return bool(((row == FREE) | (row == net_id)).all())
+
+    # ------------------------------------------------------------------
+    # Mutation (the O(t)-per-segment update of section 3.4)
+    # ------------------------------------------------------------------
+    def occupy_h(self, h_idx: int, v_lo: int, v_hi: int, net_id: int) -> None:
+        """Claim the horizontal slots of a span for ``net_id``."""
+        if v_lo > v_hi:
+            v_lo, v_hi = v_hi, v_lo
+        row = self._h_owner[h_idx, v_lo : v_hi + 1]
+        foreign = (row != FREE) & (row != net_id)
+        if foreign.any():
+            raise ValueError(
+                f"h-track {h_idx} span [{v_lo},{v_hi}] not free for net {net_id}"
+            )
+        row[:] = net_id
+
+    def occupy_v(self, v_idx: int, h_lo: int, h_hi: int, net_id: int) -> None:
+        """Claim the vertical slots of a span for ``net_id``."""
+        if h_lo > h_hi:
+            h_lo, h_hi = h_hi, h_lo
+        row = self._v_owner[v_idx, h_lo : h_hi + 1]
+        foreign = (row != FREE) & (row != net_id)
+        if foreign.any():
+            raise ValueError(
+                f"v-track {v_idx} span [{h_lo},{h_hi}] not free for net {net_id}"
+            )
+        row[:] = net_id
+
+    def occupy_corner(self, v_idx: int, h_idx: int, net_id: int) -> None:
+        """Claim both slots at an intersection (an m3-m4 via)."""
+        if not self.corner_free(v_idx, h_idx, net_id):
+            raise ValueError(f"corner ({v_idx},{h_idx}) not free for net {net_id}")
+        self._h_owner[h_idx, v_idx] = net_id
+        self._v_owner[v_idx, h_idx] = net_id
+
+    def clear_net(self, net_id: int) -> int:
+        """Remove every slot owned by ``net_id`` (rip-up).
+
+        Returns the number of slots freed.  The caller is responsible
+        for re-reserving the net's terminals afterwards.
+        """
+        if net_id < 1:
+            raise ValueError("net ids must be >= 1")
+        freed = 0
+        for arr in (self._h_owner, self._v_owner):
+            mask = arr == net_id
+            freed += int(mask.sum())
+            arr[mask] = FREE
+        return freed
+
+    def owners_near(self, v_idx: int, h_idx: int, radius: int) -> List[int]:
+        """Net ids wired within ``radius`` tracks of an intersection."""
+        hw, vw = self._window(v_idx, h_idx, radius)
+        h = self._h_owner[hw, vw]
+        v = self._v_owner[vw, hw]
+        ids = set(np.unique(h)) | set(np.unique(v))
+        return sorted(int(i) for i in ids if i > 0)
+
+    # ------------------------------------------------------------------
+    # Cost-model statistics (drg / dup / acf inputs)
+    # ------------------------------------------------------------------
+    def routed_density_near(self, v_idx: int, h_idx: int, radius: int) -> float:
+        """Fraction of slots near an intersection used by routed nets.
+
+        Input to the ``drg`` term: corners close to existing wiring are
+        penalised.
+        """
+        hw, vw = self._window(v_idx, h_idx, radius)
+        h = self._h_owner[hw, vw]
+        v = self._v_owner[vw, hw].T
+        used = (h > 0).sum() + (v > 0).sum()
+        return float(used) / float(2 * h.size)
+
+    def unrouted_terminals_near(self, v_idx: int, h_idx: int, radius: int) -> int:
+        """Count of unrouted terminals near an intersection (``dup``)."""
+        hw, vw = self._window(v_idx, h_idx, radius)
+        return int(self._unrouted_terms[hw, vw].sum())
+
+    def congestion_near(self, v_idx: int, h_idx: int, radius: int) -> float:
+        """Fraction of *unusable* slots (routed or obstacle) nearby.
+
+        Input to the area congestion factor ``acf``.
+        """
+        hw, vw = self._window(v_idx, h_idx, radius)
+        h = self._h_owner[hw, vw]
+        v = self._v_owner[vw, hw].T
+        busy = (h != FREE).sum() + (v != FREE).sum()
+        return float(busy) / float(2 * h.size)
+
+    def _window(self, v_idx: int, h_idx: int, radius: int) -> Tuple[slice, slice]:
+        h_lo = max(0, h_idx - radius)
+        h_hi = min(self.num_htracks - 1, h_idx + radius)
+        v_lo = max(0, v_idx - radius)
+        v_hi = min(self.num_vtracks - 1, v_idx + radius)
+        return slice(h_lo, h_hi + 1), slice(v_lo, v_hi + 1)
+
+    # ------------------------------------------------------------------
+    # Whole-grid statistics
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of all slots carrying routed wiring."""
+        used = int((self._h_owner > 0).sum()) + int((self._v_owner > 0).sum())
+        return used / float(2 * self.num_intersections)
+
+    def owners(self) -> List[int]:
+        """Sorted list of net ids present anywhere on the grid."""
+        ids = set(np.unique(self._h_owner)) | set(np.unique(self._v_owner))
+        return sorted(int(i) for i in ids if i > 0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutingGrid({self.num_vtracks}x{self.num_htracks} tracks, "
+            f"{self.utilization():.1%} used)"
+        )
+
+
+def _free_span(
+    row: np.ndarray, idx: int, net_id: int, within: Optional[Interval]
+) -> Optional[Interval]:
+    """Maximal usable index interval around ``idx`` in a slot row.
+
+    Implemented as an outward scan over ``tolist()`` of the clipped
+    window: search windows are small (a terminal bounding box plus
+    margin), so this beats numpy's per-op overhead on the hot path.
+    """
+    lo_bound = 0 if within is None else max(0, within.lo)
+    hi_bound = len(row) - 1 if within is None else min(len(row) - 1, within.hi)
+    if not lo_bound <= idx <= hi_bound:
+        return None
+    win = row[lo_bound : hi_bound + 1].tolist()
+    allowed = (FREE, net_id)
+    pos = idx - lo_bound
+    if win[pos] not in allowed:
+        return None
+    lo = pos
+    while lo > 0 and win[lo - 1] in allowed:
+        lo -= 1
+    hi = pos
+    last = len(win) - 1
+    while hi < last and win[hi + 1] in allowed:
+        hi += 1
+    return Interval(lo + lo_bound, hi + lo_bound)

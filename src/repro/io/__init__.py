@@ -1,0 +1,35 @@
+"""Design and result serialisation (JSON).
+
+Lets downstream users bring their own netlists and keep routing
+results: :func:`design_to_dict` / :func:`design_from_dict` round-trip a
+complete :class:`~repro.netlist.Design` (including placement state and
+net attributes), and :func:`levelb_result_to_dict` /
+:func:`flow_result_to_dict` export routing outcomes as plain data.
+"""
+
+from repro.io.design_io import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+)
+from repro.io.result_io import flow_result_to_dict, levelb_result_to_dict
+from repro.io.tech_io import (
+    load_technology,
+    save_technology,
+    technology_from_dict,
+    technology_to_dict,
+)
+
+__all__ = [
+    "design_to_dict",
+    "design_from_dict",
+    "save_design",
+    "load_design",
+    "levelb_result_to_dict",
+    "flow_result_to_dict",
+    "technology_to_dict",
+    "technology_from_dict",
+    "save_technology",
+    "load_technology",
+]

@@ -1,0 +1,99 @@
+"""JSON (de)serialisation of designs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.netlist import Design, Edge
+
+FORMAT_VERSION = 1
+
+
+def design_to_dict(design: Design) -> Dict[str, Any]:
+    """A plain-data snapshot of ``design`` (placement included)."""
+    cells = []
+    for cell in design.cells.values():
+        cells.append(
+            {
+                "name": cell.name,
+                "width": cell.width,
+                "height": cell.height,
+                "origin": list(cell.origin) if cell.origin is not None else None,
+                "pins": [
+                    {
+                        "name": pin.name,
+                        "edge": pin.edge.value,
+                        "offset": pin.offset,
+                    }
+                    for pin in cell.pins
+                ],
+            }
+        )
+    nets = []
+    for net in design.nets.values():
+        nets.append(
+            {
+                "name": net.name,
+                "is_critical": net.is_critical,
+                "is_sensitive": net.is_sensitive,
+                "weight": net.weight,
+                "pins": [pin.full_name for pin in net.pins],
+            }
+        )
+    return {
+        "format": "repro-design",
+        "version": FORMAT_VERSION,
+        "name": design.name,
+        "cells": cells,
+        "nets": nets,
+    }
+
+
+def design_from_dict(data: Dict[str, Any]) -> Design:
+    """Rebuild a :class:`Design` written by :func:`design_to_dict`."""
+    if data.get("format") != "repro-design":
+        raise ValueError("not a repro design document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported design format version {data.get('version')}")
+    design = Design(data["name"])
+    pin_index = {}
+    for cell_data in data["cells"]:
+        cell = design.add_cell(
+            cell_data["name"], cell_data["width"], cell_data["height"]
+        )
+        if cell_data.get("origin") is not None:
+            x, y = cell_data["origin"]
+            cell.place(x, y)
+        for pin_data in cell_data["pins"]:
+            pin = design.add_pin(
+                cell.name,
+                pin_data["name"],
+                Edge(pin_data["edge"]),
+                pin_data["offset"],
+            )
+            pin_index[pin.full_name] = pin
+    for net_data in data["nets"]:
+        net = design.add_net(
+            net_data["name"],
+            is_critical=net_data.get("is_critical", False),
+            weight=net_data.get("weight", 1.0),
+        )
+        net.is_sensitive = net_data.get("is_sensitive", False)
+        for full_name in net_data["pins"]:
+            try:
+                net.add_pin(pin_index[full_name])
+            except KeyError:
+                raise ValueError(f"net {net.name} references unknown pin {full_name}")
+    return design
+
+
+def save_design(design: Design, path: Union[str, Path]) -> None:
+    """Write ``design`` as JSON."""
+    Path(path).write_text(json.dumps(design_to_dict(design), indent=2))
+
+
+def load_design(path: Union[str, Path]) -> Design:
+    """Read a design JSON written by :func:`save_design`."""
+    return design_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,68 @@
+"""Routing result export."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def levelb_result_to_dict(result) -> Dict[str, Any]:
+    """Plain-data export of a :class:`~repro.core.router.LevelBResult`.
+
+    Paths are waypoint lists (terminal, corners..., terminal); corner
+    vias are ``(x, y)`` coordinates; suitable for JSON.
+    """
+    grid = result.tig.grid
+    nets = []
+    for routed in result.routed:
+        connections = []
+        for conn in routed.connections:
+            connections.append(
+                {
+                    "waypoints": [[p.x, p.y] for p in conn.path.waypoints()],
+                    "corners": [
+                        list(grid.coord_of(v, h)) for v, h in conn.corners
+                    ],
+                    "wire_length": conn.wire_length,
+                    "maze_rescue": conn.expansions_used == -1,
+                }
+            )
+        nets.append(
+            {
+                "net": routed.net.name,
+                "complete": routed.complete,
+                "wire_length": routed.wire_length,
+                "corner_vias": routed.corner_count,
+                "connections": connections,
+            }
+        )
+    return {
+        "format": "repro-levelb-result",
+        "completion_rate": result.completion_rate,
+        "total_wire_length": result.total_wire_length,
+        "total_vias": result.total_vias,
+        "ripups": result.ripups,
+        "elapsed_s": result.elapsed_s,
+        "nets": nets,
+    }
+
+
+def flow_result_to_dict(result) -> Dict[str, Any]:
+    """Plain-data summary of a :class:`~repro.flow.FlowResult`."""
+    out: Dict[str, Any] = {
+        "format": "repro-flow-result",
+        "flow": result.flow,
+        "design": result.design,
+        "layout_area": result.layout_area,
+        "width": result.bounds.width,
+        "height": result.bounds.height,
+        "wire_length": result.wire_length,
+        "via_count": result.via_count,
+        "completion": result.completion,
+        "channel_tracks": list(result.channel_tracks),
+        "channel_heights": list(result.channel_heights),
+        "side_widths": list(result.side_widths),
+        "notes": dict(result.notes),
+    }
+    if result.levelb is not None:
+        out["levelb"] = levelb_result_to_dict(result.levelb)
+    return out

@@ -1,0 +1,73 @@
+"""JSON (de)serialisation of technologies."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.technology import Layer, RoutingDirection, Technology, ViaRule
+
+FORMAT_VERSION = 1
+
+
+def technology_to_dict(tech: Technology) -> Dict[str, Any]:
+    """A plain-data snapshot of a technology."""
+    return {
+        "format": "repro-technology",
+        "version": FORMAT_VERSION,
+        "name": tech.name,
+        "layers": [
+            {
+                "index": layer.index,
+                "name": layer.name,
+                "direction": layer.direction.value,
+                "pitch": layer.pitch,
+                "width": layer.width,
+                "sheet_resistance": layer.sheet_resistance,
+                "cap_per_lambda": layer.cap_per_lambda,
+            }
+            for layer in tech.layers
+        ],
+        "vias": [
+            {"lower": v.lower, "upper": v.upper, "size": v.size}
+            for v in tech.vias
+        ],
+    }
+
+
+def technology_from_dict(data: Dict[str, Any]) -> Technology:
+    """Rebuild a :class:`Technology` from :func:`technology_to_dict`."""
+    if data.get("format") != "repro-technology":
+        raise ValueError("not a repro technology document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported technology format version {data.get('version')}"
+        )
+    layers = tuple(
+        Layer(
+            index=ld["index"],
+            name=ld["name"],
+            direction=RoutingDirection(ld["direction"]),
+            pitch=ld["pitch"],
+            width=ld["width"],
+            sheet_resistance=ld.get("sheet_resistance", 0.07),
+            cap_per_lambda=ld.get("cap_per_lambda", 0.20),
+        )
+        for ld in data["layers"]
+    )
+    vias = tuple(
+        ViaRule(lower=vd["lower"], upper=vd["upper"], size=vd["size"])
+        for vd in data["vias"]
+    )
+    return Technology(name=data["name"], layers=layers, vias=vias)
+
+
+def save_technology(tech: Technology, path: Union[str, Path]) -> None:
+    """Write ``tech`` as JSON."""
+    Path(path).write_text(json.dumps(technology_to_dict(tech), indent=2))
+
+
+def load_technology(path: Union[str, Path]) -> Technology:
+    """Read a technology JSON written by :func:`save_technology`."""
+    return technology_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,185 @@
+"""Lee-style wave expansion on the routing grid.
+
+Implementation notes
+--------------------
+The search state is ``(v_idx, h_idx, direction)``: a wavefront cell
+plus the direction the wire is travelling through it.  Straight moves
+cost their geometric length (tracks are non-uniform); a direction
+change costs ``via_penalty`` and requires the intersection to accept a
+corner via.  With non-negative costs this is Dijkstra - the standard
+generalisation of Lee's algorithm to weighted grids - and it returns a
+minimum-cost path whenever one exists, which also makes it the test
+oracle for the MBFS router's completeness within a region.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import Interval, Path, Point
+from repro.grid import RoutingGrid
+from repro.core.router import (
+    LevelBRouter,
+    RoutedConnection,
+    commit_points,
+)
+from repro.core.tig import GridTerminal
+
+HORIZONTAL = 0
+VERTICAL = 1
+
+State = Tuple[int, int, int]  # (v_idx, h_idx, direction)
+
+
+@dataclass
+class LeeSearchStats:
+    """Effort accounting for one wave expansion."""
+
+    nodes_expanded: int = 0
+    nodes_pushed: int = 0
+
+
+def lee_search(
+    grid: RoutingGrid,
+    net_id: int,
+    source: GridTerminal,
+    target: GridTerminal,
+    *,
+    via_penalty: float = 10.0,
+    region: Optional[Tuple[Interval, Interval]] = None,
+) -> Tuple[Optional[List[Point]], Optional[List[Tuple[int, int]]], LeeSearchStats]:
+    """Minimum-cost path between two terminals, or ``None``.
+
+    Returns ``(waypoints, corners, stats)``.  Waypoints are the
+    compressed corner sequence (source, corners..., target); corners
+    are ``(v_idx, h_idx)`` index pairs ready for
+    :func:`repro.core.router.commit_points`.
+    """
+    stats = LeeSearchStats()
+    if region is None:
+        v_iv = Interval(0, grid.num_vtracks - 1)
+        h_iv = Interval(0, grid.num_htracks - 1)
+    else:
+        v_iv = grid.vtracks.clip_indices(
+            region[0].hull(Interval.spanning(source.v_idx, target.v_idx))
+        )
+        h_iv = grid.htracks.clip_indices(
+            region[1].hull(Interval.spanning(source.h_idx, target.h_idx))
+        )
+    xs, ys = grid.vtracks.coords, grid.htracks.coords
+
+    def h_ok(v: int, h: int) -> bool:
+        return grid.h_slot(v, h) in (0, net_id)
+
+    def v_ok(v: int, h: int) -> bool:
+        return grid.v_slot(v, h) in (0, net_id)
+
+    dist: Dict[State, float] = {}
+    parent: Dict[State, Optional[State]] = {}
+    heap: List[Tuple[float, State]] = []
+    for direction, ok in ((HORIZONTAL, h_ok), (VERTICAL, v_ok)):
+        if ok(source.v_idx, source.h_idx):
+            state = (source.v_idx, source.h_idx, direction)
+            dist[state] = 0.0
+            parent[state] = None
+            heapq.heappush(heap, (0.0, state))
+            stats.nodes_pushed += 1
+
+    goal: Optional[State] = None
+    while heap:
+        d, state = heapq.heappop(heap)
+        if d > dist.get(state, float("inf")):
+            continue
+        stats.nodes_expanded += 1
+        v, h, direction = state
+        if v == target.v_idx and h == target.h_idx:
+            goal = state
+            break
+        moves: List[Tuple[State, float]] = []
+        if direction == HORIZONTAL:
+            for nv in (v - 1, v + 1):
+                if v_iv.contains(nv) and h_ok(nv, h):
+                    moves.append(((nv, h, HORIZONTAL), float(abs(xs[nv] - xs[v]))))
+            if v_ok(v, h) and h_ok(v, h):
+                moves.append(((v, h, VERTICAL), via_penalty))
+        else:
+            for nh in (h - 1, h + 1):
+                if h_iv.contains(nh) and v_ok(v, nh):
+                    moves.append(((v, nh, VERTICAL), float(abs(ys[nh] - ys[h]))))
+            if v_ok(v, h) and h_ok(v, h):
+                moves.append(((v, h, HORIZONTAL), via_penalty))
+        for nstate, cost in moves:
+            nd = d + cost
+            if nd < dist.get(nstate, float("inf")):
+                dist[nstate] = nd
+                parent[nstate] = state
+                heapq.heappush(heap, (nd, nstate))
+                stats.nodes_pushed += 1
+
+    if goal is None:
+        return None, None, stats
+
+    # Walk parents, then compress to waypoints at direction changes.
+    states: List[State] = []
+    cursor: Optional[State] = goal
+    while cursor is not None:
+        states.append(cursor)
+        cursor = parent[cursor]
+    states.reverse()
+    waypoints: List[Point] = [Point(xs[states[0][0]], ys[states[0][1]])]
+    corners: List[Tuple[int, int]] = []
+    for prev, nxt in zip(states, states[1:]):
+        if prev[2] != nxt[2]:  # in-place direction switch: a corner via
+            corners.append((prev[0], prev[1]))
+            point = Point(xs[prev[0]], ys[prev[1]])
+            if point != waypoints[-1]:
+                waypoints.append(point)
+    end = Point(xs[goal[0]], ys[goal[1]])
+    if end != waypoints[-1]:
+        waypoints.append(end)
+    elif len(waypoints) == 1:
+        waypoints.append(end)  # degenerate same-point path
+    return waypoints, corners, stats
+
+
+class MazeRouter(LevelBRouter):
+    """Drop-in level B router that searches with Lee wave expansion.
+
+    Inherits the whole net loop (ordering, Steiner decomposition,
+    region escalation, occupancy commit) from :class:`LevelBRouter`
+    and swaps only the per-connection search, so benchmark comparisons
+    isolate the search algorithm.
+    """
+
+    via_penalty: float = 10.0
+
+    def _route_connection(
+        self, net_id: int, source: GridTerminal, target: GridTerminal
+    ) -> Optional[RoutedConnection]:
+        if source == target:
+            return None
+        grid = self.tig.grid
+        for attempt, region in enumerate(self._regions(source, target)):
+            waypoints, corners, stats = lee_search(
+                grid,
+                net_id,
+                source,
+                target,
+                via_penalty=self.via_penalty,
+                region=region,
+            )
+            self._nodes_created += stats.nodes_expanded
+            if waypoints is None or corners is None:
+                continue
+            commit_points(grid, net_id, waypoints, corners)
+            return RoutedConnection(
+                source=source,
+                target=target,
+                path=Path.from_points(waypoints),
+                corners=corners,
+                cost=float(len(corners)),
+                expansions_used=attempt,
+            )
+        return None

@@ -1,0 +1,14 @@
+"""Netlist and layout model: cells, pins, nets, designs.
+
+The model mirrors the macro-cell layout style the paper targets:
+arbitrary rectangular macros with pins on their boundary, connected by
+multi-terminal nets.  Placement (``repro.placement``) assigns cell
+origins; all downstream routing reads absolute pin positions from here.
+"""
+
+from repro.netlist.cell import Cell, Edge
+from repro.netlist.pin import Pin
+from repro.netlist.net import Net
+from repro.netlist.design import Design, DesignStats
+
+__all__ = ["Cell", "Edge", "Pin", "Net", "Design", "DesignStats"]

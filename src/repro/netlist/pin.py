@@ -1,0 +1,50 @@
+"""Pins on macro-cell boundaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.geometry import Point
+from repro.netlist.cell import Cell, Edge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.net import Net
+
+
+@dataclass
+class Pin:
+    """A terminal on a cell edge.
+
+    ``offset`` is measured along the edge from the cell's lower-left
+    corner (x-wise for TOP/BOTTOM, y-wise for LEFT/RIGHT).  The pin's
+    absolute :attr:`position` is defined once its cell is placed.
+
+    The paper assumes terminal geometry can absorb the via stack up to
+    metal4 (section 2), so a pin is a legal attachment point for both
+    level A (m1/m2) and level B (m3/m4) wiring.
+    """
+
+    name: str
+    cell: Cell
+    edge: Edge
+    offset: int
+    net: Optional["Net"] = None
+
+    @property
+    def position(self) -> Point:
+        """Absolute placed position."""
+        return self.cell.pin_position(self)
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.cell.name}.{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.full_name
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

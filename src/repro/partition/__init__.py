@@ -1,0 +1,10 @@
+"""Net partitioning into channel-routed set A and over-cell set B.
+
+Paper section 2: whole nets are assigned to exactly one set (a
+multi-terminal net is never split across sets), and the choice of
+strategy is the user's main lever on layout area, delay and congestion.
+"""
+
+from repro.partition.strategies import PartitionStrategy, partition_nets
+
+__all__ = ["PartitionStrategy", "partition_nets"]

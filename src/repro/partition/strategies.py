@@ -1,0 +1,62 @@
+"""Partitioning strategies for the two-level routing flow."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Tuple
+
+from repro.netlist import Net
+
+
+class PartitionStrategy(enum.Enum):
+    """Built-in net partitioning policies.
+
+    CRITICAL_TO_A
+        The paper's experimental setting: critical and timing nets are
+        routed in level A channels (fine-pitch metal1/metal2), all
+        other nets over the cells in level B.
+    ALL_A
+        Everything through channels - the conventional two-layer flow.
+    ALL_B
+        Everything over the cells; the paper's area-priority extreme
+        ("channel areas can be eliminated and the entire set of
+        interconnections routed in level B").
+    LONG_TO_B
+        Delay-driven: nets longer than a half-perimeter threshold go to
+        level B, where the wider m3/m4 lines yield shorter propagation
+        delays; local nets stay in channels.
+    """
+
+    CRITICAL_TO_A = "critical-to-a"
+    ALL_A = "all-a"
+    ALL_B = "all-b"
+    LONG_TO_B = "long-to-b"
+
+
+def partition_nets(
+    nets: Iterable[Net],
+    strategy: PartitionStrategy = PartitionStrategy.CRITICAL_TO_A,
+    *,
+    length_threshold: Optional[int] = None,
+) -> Tuple[List[Net], List[Net]]:
+    """Split ``nets`` into ``(set_a, set_b)`` per ``strategy``.
+
+    ``LONG_TO_B`` requires placed pins (half-perimeter is geometric)
+    and a ``length_threshold`` in lambda.
+    """
+    set_a: List[Net] = []
+    set_b: List[Net] = []
+    for net in nets:
+        if strategy is PartitionStrategy.ALL_A:
+            set_a.append(net)
+        elif strategy is PartitionStrategy.ALL_B:
+            set_b.append(net)
+        elif strategy is PartitionStrategy.CRITICAL_TO_A:
+            (set_a if net.is_critical else set_b).append(net)
+        elif strategy is PartitionStrategy.LONG_TO_B:
+            if length_threshold is None:
+                raise ValueError("LONG_TO_B needs a length_threshold")
+            (set_b if net.half_perimeter > length_threshold else set_a).append(net)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown strategy {strategy!r}")
+    return set_a, set_b

@@ -1,0 +1,18 @@
+"""Row/shelf macro-cell placement.
+
+The flows need a placement topology with explicit channels, matching
+the macro-cell layout style the paper's experiments use: cells are
+shelf-packed into horizontal rows, the regions between (and outside)
+the rows are the level A channels, and two vertical side channels carry
+inter-row connections of channel-routed nets.
+
+Placement is two-phase on purpose: :meth:`RowPlacement.build` fixes the
+row assignment and x coordinates (which is all channel *problems* need),
+and :meth:`RowPlacement.realize` assigns y coordinates once the channel
+heights are known after detailed routing - mirroring how the paper's
+level A determines the final layout dimensions before level B starts.
+"""
+
+from repro.placement.rows import PlacedRow, RowPlacement
+
+__all__ = ["PlacedRow", "RowPlacement"]

@@ -1,0 +1,19 @@
+"""Table formatting and paper-vs-measured comparison helpers."""
+
+from repro.reporting.tables import (
+    PaperComparison,
+    format_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.reporting.html import html_report
+
+__all__ = [
+    "format_table",
+    "PaperComparison",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "html_report",
+]

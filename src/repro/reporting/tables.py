@@ -1,0 +1,90 @@
+"""Regeneration of the paper's tables from flow results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flow import FlowResult, percent_reduction
+from repro.netlist import Design
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text aligned table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One paper-vs-measured data point for EXPERIMENTS.md."""
+
+    experiment: str
+    metric: str
+    paper: Optional[float]
+    measured: float
+
+    def row(self) -> Tuple[str, str, str, str]:
+        paper = "n/a (not legible)" if self.paper is None else f"{self.paper:,.2f}"
+        return (self.experiment, self.metric, paper, f"{self.measured:,.2f}")
+
+
+# ----------------------------------------------------------------------
+# Table builders (one per paper table)
+# ----------------------------------------------------------------------
+def table1_rows(design: Design, overcell: FlowResult) -> List[List[object]]:
+    """Table 1: example information including the level A partition."""
+    stats = design.stats()
+    return [[
+        design.name,
+        stats.num_cells,
+        stats.num_nets,
+        stats.num_pins,
+        overcell.notes.get("level_a_nets", 0),
+        f"{overcell.notes.get('level_a_avg_pins', 0.0):.2f}",
+        overcell.notes.get("level_b_nets", 0),
+    ]]
+
+
+TABLE1_HEADERS = [
+    "Example", "Cells", "Nets", "Pins",
+    "Level A nets", "Avg pins/net (A)", "Level B nets",
+]
+
+
+def table2_rows(
+    baseline: FlowResult, overcell: FlowResult
+) -> List[List[object]]:
+    """Table 2: % reductions of the over-cell flow vs two-layer channel."""
+    return [[
+        baseline.design,
+        f"{percent_reduction(baseline.layout_area, overcell.layout_area):.1f}",
+        f"{percent_reduction(baseline.wire_length, overcell.wire_length):.1f}",
+        f"{percent_reduction(baseline.via_count, overcell.via_count):.1f}",
+    ]]
+
+
+TABLE2_HEADERS = ["Example", "Layout Area %", "Wire Length %", "Vias %"]
+
+
+def table3_rows(
+    ml_channel: FlowResult, overcell: FlowResult
+) -> List[List[object]]:
+    """Table 3: areas of 4-layer channel model vs 4-layer over-cell."""
+    return [[
+        ml_channel.design,
+        f"{ml_channel.layout_area:,}",
+        f"{overcell.layout_area:,}",
+        f"{percent_reduction(ml_channel.layout_area, overcell.layout_area):.1f}",
+    ]]
+
+
+TABLE3_HEADERS = [
+    "Example", "4-Layer Channel Area", "4-Layer Over-Cell Area", "Reduction %",
+]

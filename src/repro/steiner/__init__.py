@@ -1,0 +1,24 @@
+"""Rectilinear spanning and Steiner tree algorithms on point sets.
+
+The level B router decomposes multi-terminal nets with a Prim-based
+Steiner heuristic (paper section 3.3).  This package holds the
+geometric algorithms in pure point-set form - independent of grids and
+occupancy - so they can be tested and benchmarked against each other:
+
+* :func:`rectilinear_mst` - Prim's minimum spanning tree under the
+  Manhattan metric (the baseline the paper's heuristic improves on).
+* :func:`steiner_prim_tree` - the paper's heuristic: the tree grows by
+  the terminal closest to *any* point of the component, including
+  Steiner points on already-realised edges.
+"""
+
+from repro.steiner.rmst import TreeEdge, rectilinear_mst, tree_length
+from repro.steiner.steiner_prim import SteinerTree, steiner_prim_tree
+
+__all__ = [
+    "TreeEdge",
+    "rectilinear_mst",
+    "tree_length",
+    "SteinerTree",
+    "steiner_prim_tree",
+]

@@ -1,0 +1,63 @@
+"""Rectilinear minimum spanning trees (Prim's algorithm)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.geometry import Point, manhattan
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """An edge of a point-to-point tree (realised later as an L-shape)."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> int:
+        return manhattan(self.a, self.b)
+
+
+def rectilinear_mst(points: Sequence[Point]) -> List[TreeEdge]:
+    """Prim's MST under the Manhattan metric, ``O(n^2)``.
+
+    Deterministic: starts from the first point and breaks distance ties
+    by point order.  Duplicated points contribute zero-length edges.
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        return []
+    n = len(pts)
+    in_tree = [False] * n
+    best_dist = [0] * n
+    best_from = [0] * n
+    in_tree[0] = True
+    for i in range(1, n):
+        best_dist[i] = manhattan(pts[0], pts[i])
+    edges: List[TreeEdge] = []
+    for _ in range(n - 1):
+        pick = -1
+        pick_d = None
+        for i in range(n):
+            if in_tree[i]:
+                continue
+            if pick_d is None or best_dist[i] < pick_d:
+                pick_d = best_dist[i]
+                pick = i
+        in_tree[pick] = True
+        edges.append(TreeEdge(pts[best_from[pick]], pts[pick]))
+        for i in range(n):
+            if in_tree[i]:
+                continue
+            d = manhattan(pts[pick], pts[i])
+            if d < best_dist[i]:
+                best_dist[i] = d
+                best_from[i] = pick
+    return edges
+
+
+def tree_length(edges: Sequence[TreeEdge]) -> int:
+    """Total Manhattan length of a tree's edges."""
+    return sum(e.length for e in edges)

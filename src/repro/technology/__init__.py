@@ -1,0 +1,14 @@
+"""Metal layer stacks and design rules.
+
+The paper's area argument hinges on a process fact: as metal layers are
+added, linewidths and via sizes grow, so halving the *track count* of a
+channel does not halve its *area*.  :class:`Technology` captures exactly
+the parameters that argument needs - per-layer routing pitch and width,
+and via sizes between adjacent layers - and provides the two presets
+used throughout the reproduction.
+"""
+
+from repro.technology.layers import Layer, RoutingDirection
+from repro.technology.rules import Technology, ViaRule
+
+__all__ = ["Layer", "RoutingDirection", "Technology", "ViaRule"]

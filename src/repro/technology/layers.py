@@ -1,0 +1,83 @@
+"""Metal layers and preferred routing directions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RoutingDirection(enum.Enum):
+    """Preferred wiring direction of a metal layer."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+    @property
+    def orthogonal(self) -> "RoutingDirection":
+        if self is RoutingDirection.HORIZONTAL:
+            return RoutingDirection.VERTICAL
+        return RoutingDirection.HORIZONTAL
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A routing metal layer.
+
+    Attributes
+    ----------
+    index:
+        1-based position in the stack (metal1 = 1).
+    name:
+        Human-readable name, e.g. ``"metal3"``.
+    direction:
+        Preferred routing direction under the reserved-layer model.
+    pitch:
+        Track-to-track spacing in lambda; grows with ``index`` in real
+        processes, which is the effect the paper's area model exploits.
+    width:
+        Drawn wire width in lambda.
+    sheet_resistance:
+        Ohms per square.  Upper layers are thicker metal, so their
+        sheet resistance is lower - combined with their wider lines
+        this is why the paper routes "long distance interconnections
+        ... in level B using wider lines to yield shorter propagation
+        delays".
+    cap_per_lambda:
+        Wire capacitance in fF per lambda of length.
+    """
+
+    index: int
+    name: str
+    direction: RoutingDirection
+    pitch: int
+    width: int
+    sheet_resistance: float = 0.07
+    cap_per_lambda: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("layer index must be >= 1")
+        if self.pitch <= 0 or self.width <= 0:
+            raise ValueError("pitch and width must be positive")
+        if self.width >= self.pitch:
+            raise ValueError(
+                f"{self.name}: width {self.width} must be < pitch {self.pitch}"
+            )
+        if self.sheet_resistance <= 0 or self.cap_per_lambda <= 0:
+            raise ValueError(f"{self.name}: electrical parameters must be positive")
+
+    @property
+    def resistance_per_lambda(self) -> float:
+        """Wire resistance in ohms per lambda of length."""
+        return self.sheet_resistance / self.width
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.direction is RoutingDirection.HORIZONTAL
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.direction is RoutingDirection.VERTICAL
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,154 @@
+"""Technology definitions: layer stacks and via rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.technology.layers import Layer, RoutingDirection
+
+
+@dataclass(frozen=True)
+class ViaRule:
+    """A via between two adjacent metal layers.
+
+    ``size`` is the via cut dimension in lambda.  Vias between upper
+    layers are larger, per the paper's discussion of multi-layer design
+    rules.
+    """
+
+    lower: int
+    upper: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.upper != self.lower + 1:
+            raise ValueError("vias connect adjacent layers only")
+        if self.size <= 0:
+            raise ValueError("via size must be positive")
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A routing technology: ordered layer stack plus via rules.
+
+    The two presets used throughout the reproduction are created with
+    :meth:`two_layer` (metal1/metal2 channel routing) and
+    :meth:`four_layer` (adds the over-cell pair metal3/metal4 with
+    coarser pitch, matching the paper's assumption that the upper
+    layers run wider lines over the cells).
+    """
+
+    name: str
+    layers: Tuple[Layer, ...]
+    vias: Tuple[ViaRule, ...]
+
+    def __post_init__(self) -> None:
+        indices = [layer.index for layer in self.layers]
+        if indices != list(range(1, len(self.layers) + 1)):
+            raise ValueError("layers must be contiguous and 1-based")
+        via_pairs = {(v.lower, v.upper) for v in self.vias}
+        needed = {(i, i + 1) for i in range(1, len(self.layers))}
+        if via_pairs != needed:
+            raise ValueError(
+                f"via rules {sorted(via_pairs)} do not match stack {sorted(needed)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def layer(self, index: int) -> Layer:
+        """The layer with 1-based ``index``."""
+        if not 1 <= index <= len(self.layers):
+            raise KeyError(f"no metal{index} in {self.name}")
+        return self.layers[index - 1]
+
+    def layer_by_name(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    def via(self, lower: int) -> ViaRule:
+        """The via rule from metal ``lower`` to metal ``lower + 1``."""
+        for rule in self.vias:
+            if rule.lower == lower:
+                return rule
+        raise KeyError(f"no via rule from metal{lower}")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the area model
+    # ------------------------------------------------------------------
+    def channel_track_pitch(self, layer_indices: Sequence[int]) -> int:
+        """The horizontal-track pitch a channel built on these layers needs.
+
+        A channel's height is ``tracks * pitch``; with several candidate
+        trunk layers the densest track grid is limited by the coarsest
+        horizontal layer in use.
+        """
+        pitches = [
+            self.layer(i).pitch for i in layer_indices if self.layer(i).is_horizontal
+        ]
+        if not pitches:
+            raise ValueError("no horizontal layer among %r" % (layer_indices,))
+        return max(pitches)
+
+    def via_stack_size(self, lower: int, upper: int) -> int:
+        """Largest via size on a stack from metal ``lower`` to ``upper``."""
+        if lower >= upper:
+            raise ValueError("need lower < upper")
+        return max(self.via(i).size for i in range(lower, upper))
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def two_layer() -> "Technology":
+        """metal1 (vertical) + metal2 (horizontal): the channel pair."""
+        return Technology(
+            name="generic-2L",
+            layers=(
+                Layer(1, "metal1", RoutingDirection.VERTICAL, pitch=8, width=4),
+                Layer(2, "metal2", RoutingDirection.HORIZONTAL, pitch=8, width=4),
+            ),
+            vias=(ViaRule(1, 2, size=4),),
+        )
+
+    @staticmethod
+    def four_layer() -> "Technology":
+        """The paper's stack: m1/m2 for cells+channels, m3/m4 over-cell.
+
+        metal3 runs vertical, metal4 horizontal; both have coarser pitch
+        and wider lines than the lower pair, which is how the paper
+        justifies routing long nets over the cells with shorter delays
+        and why a 50 % track cut in a multi-layer channel is not a 50 %
+        area cut.
+        """
+        return Technology(
+            name="generic-4L",
+            layers=(
+                Layer(1, "metal1", RoutingDirection.VERTICAL, pitch=8, width=4,
+                      sheet_resistance=0.09, cap_per_lambda=0.23),
+                Layer(2, "metal2", RoutingDirection.HORIZONTAL, pitch=8, width=4,
+                      sheet_resistance=0.07, cap_per_lambda=0.21),
+                Layer(3, "metal3", RoutingDirection.VERTICAL, pitch=12, width=6,
+                      sheet_resistance=0.04, cap_per_lambda=0.19),
+                Layer(4, "metal4", RoutingDirection.HORIZONTAL, pitch=12, width=6,
+                      sheet_resistance=0.03, cap_per_lambda=0.18),
+            ),
+            vias=(
+                ViaRule(1, 2, size=4),
+                ViaRule(2, 3, size=6),
+                ViaRule(3, 4, size=8),
+            ),
+        )
+
+    def horizontal_layers(self) -> List[Layer]:
+        return [l for l in self.layers if l.is_horizontal]
+
+    def vertical_layers(self) -> List[Layer]:
+        return [l for l in self.layers if l.is_vertical]

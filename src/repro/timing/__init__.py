@@ -1,0 +1,29 @@
+"""Propagation-delay estimation for routed nets.
+
+The paper's delay motivation (section 2): "Control of propagation
+delays may dictate this net partitioning process such that local
+interconnections are included in set A, while long distance
+interconnections are routed in level B using wider lines to yield
+shorter propagation delays."
+
+This package quantifies that claim: :class:`RCTree` computes Elmore
+delays over a routed net's actual segment geometry with per-layer
+resistance/capacitance (wider, thicker m3/m4 lines are several times
+less resistive per lambda than m1/m2), and the helpers build RC trees
+from level B results or estimate channel-routed delays from net
+half-perimeters.
+"""
+
+from repro.timing.rctree import RCTree
+from repro.timing.delay import (
+    DriverModel,
+    channel_net_delay_estimate,
+    levelb_net_delays,
+)
+
+__all__ = [
+    "RCTree",
+    "DriverModel",
+    "levelb_net_delays",
+    "channel_net_delay_estimate",
+]

@@ -1,0 +1,22 @@
+"""ASCII and SVG renderings of routing results.
+
+Reproduces the paper's figures: the Track Intersection Graph and level
+B instance of Figure 1, the Path Selection Trees of Figure 2, and the
+full level B routing plot of Figure 3 (as SVG and as terminal ASCII).
+"""
+
+from repro.viz.ascii_art import (
+    render_channel,
+    render_levelb_ascii,
+    render_pst,
+    render_tig,
+)
+from repro.viz.svg import svg_layout
+
+__all__ = [
+    "render_channel",
+    "render_levelb_ascii",
+    "render_pst",
+    "render_tig",
+    "svg_layout",
+]

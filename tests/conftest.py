@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.channels import ChannelProblem
+from repro.geometry import Point, Rect
+from repro.grid import TrackSet
+from repro.netlist import Design, Edge
+from repro.core.tig import TrackIntersectionGraph
+
+
+def make_random_channel_problem(
+    length: int, num_nets: int, seed: int
+) -> ChannelProblem:
+    """A random well-formed channel problem (used across router tests)."""
+    rng = random.Random(seed)
+    top = [0] * length
+    bottom = [0] * length
+    slots = [(side, col) for side in (0, 1) for col in range(length)]
+    rng.shuffle(slots)
+    i = 0
+    for net in range(1, num_nets + 1):
+        for _ in range(rng.randint(2, 4)):
+            if i >= len(slots):
+                break
+            side, col = slots[i]
+            i += 1
+            if side == 0:
+                top[col] = net
+            else:
+                bottom[col] = net
+    return ChannelProblem(top=top, bottom=bottom)
+
+
+def make_figure1_instance() -> Tuple[TrackIntersectionGraph, dict]:
+    """A small instance shaped like the paper's Figure 1.
+
+    Six vertical tracks (v1..v6), five horizontal (h1..h5); net A and C
+    pre-routed conceptually as obstacles is overkill - instead we give
+    three nets A, B, C and an obstacle O1 between B's terminals.
+    Returns the TIG and a dict of net name -> (net_id, terminals).
+    """
+    vt = TrackSet([0, 10, 20, 30, 40, 50])
+    ht = TrackSet([0, 10, 20, 30, 40])
+    tig = TrackIntersectionGraph(vt, ht)
+    nets = {}
+    nets["A"] = (1, tig.register_net(1, [Point(0, 0), Point(20, 40)]))
+    nets["B"] = (2, tig.register_net(2, [Point(10, 10), Point(50, 30)]))
+    nets["C"] = (3, tig.register_net(3, [Point(40, 0), Point(40, 40)]))
+    tig.add_obstacle(Rect(25, 15, 35, 25))
+    return tig, nets
+
+
+def make_toy_design(seed: int = 7, nets: int = 6) -> Design:
+    """A small placed 4-cell design for router tests."""
+    rng = random.Random(seed)
+    d = Design(f"toy{seed}")
+    for i in range(4):
+        c = d.add_cell(f"c{i}", 80, 64)
+        c.place(16 + (i % 2) * 120, 16 + (i // 2) * 104)
+    pins = []
+    for i in range(4):
+        for j in range(6):
+            edge = Edge.TOP if j % 2 == 0 else Edge.BOTTOM
+            pins.append(d.add_pin(f"c{i}", f"p{j}", edge, 8 + j * 8))
+    rng.shuffle(pins)
+    idx = 0
+    sizes = [2, 2, 3, 2, 4, 3, 2, 3][:nets]
+    for k, size in enumerate(sizes):
+        if idx + size > len(pins):
+            break
+        net = d.add_net(f"n{k}")
+        for p in pins[idx : idx + size]:
+            net.add_pin(p)
+        idx += size
+    return d
+
+
+@pytest.fixture
+def figure1():
+    return make_figure1_instance()
+
+
+@pytest.fixture
+def toy_design():
+    return make_toy_design()

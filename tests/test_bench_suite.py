@@ -1,0 +1,101 @@
+"""Tests that the synthetic suites match the paper's published statistics."""
+
+import pytest
+
+from repro.bench_suite import (
+    SUITES,
+    ami33_like,
+    ex3_like,
+    make_design,
+    random_design,
+    xerox_like,
+)
+from repro.bench_suite.generator import PITCH, SuiteProfile
+
+
+class TestPaperStatistics:
+    """Table 1 of the paper: the level A partitions it reports."""
+
+    def test_ami33_shape(self):
+        d = ami33_like()
+        assert len(d.cells) == 33
+        assert len(d.nets) == 123
+
+    def test_ami33_critical_partition(self):
+        d = ami33_like()
+        crit = [n for n in d.nets.values() if n.is_critical]
+        assert len(crit) == 4
+        assert sum(n.degree for n in crit) / len(crit) == pytest.approx(44.25)
+
+    def test_xerox_shape(self):
+        d = xerox_like()
+        assert len(d.cells) == 10
+        assert len(d.nets) == 203
+
+    def test_xerox_critical_partition(self):
+        d = xerox_like()
+        crit = [n for n in d.nets.values() if n.is_critical]
+        assert len(crit) == 21
+        assert sum(n.degree for n in crit) / len(crit) == pytest.approx(9.19, abs=0.01)
+
+    def test_ex3_critical_partition(self):
+        d = ex3_like()
+        crit = [n for n in d.nets.values() if n.is_critical]
+        assert len(crit) == 56
+        assert sum(n.degree for n in crit) / len(crit) == pytest.approx(3.23, abs=0.01)
+
+    def test_suites_registry(self):
+        assert set(SUITES) == {"ami33", "xerox", "ex3"}
+
+
+class TestGeneratorInvariants:
+    @pytest.mark.parametrize("factory", [ami33_like, xerox_like, ex3_like])
+    def test_designs_validate(self, factory):
+        factory().check()
+
+    @pytest.mark.parametrize("factory", [ami33_like, xerox_like, ex3_like])
+    def test_pins_on_pitch(self, factory):
+        d = factory()
+        for cell in d.cells.values():
+            for pin in cell.pins:
+                assert pin.offset % PITCH == 0
+                assert 0 < pin.offset < cell.width
+
+    @pytest.mark.parametrize("factory", [ami33_like, xerox_like, ex3_like])
+    def test_deterministic(self, factory):
+        a, b = factory(), factory()
+        assert a.stats() == b.stats()
+        for name in a.nets:
+            assert a.nets[name].degree == b.nets[name].degree
+
+    def test_every_net_at_least_two_pins(self):
+        d = ami33_like()
+        assert all(n.degree >= 2 for n in d.nets.values())
+
+    def test_no_pin_slot_reuse(self):
+        d = ami33_like()
+        seen = set()
+        for cell in d.cells.values():
+            for pin in cell.pins:
+                key = (cell.name, pin.edge, pin.offset)
+                assert key not in seen
+                seen.add(key)
+
+    def test_random_design(self):
+        d = random_design("r", seed=5, num_cells=6, num_nets=15, num_critical=2)
+        assert len(d.cells) == 6
+        assert len(d.nets) == 15
+        assert sum(1 for n in d.nets.values() if n.is_critical) == 2
+        d.check()
+
+    def test_capacity_exhaustion_raises(self):
+        profile = SuiteProfile(
+            name="toolarge",
+            seed=1,
+            num_cells=1,
+            cell_width_range=(32, 32),
+            cell_height_range=(32, 32),
+            num_regular_nets=50,  # far beyond one tiny cell's slots
+        )
+        with pytest.raises(RuntimeError):
+            make_design(profile)

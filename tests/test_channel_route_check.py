@@ -1,0 +1,169 @@
+"""Tests that ChannelRoute.check actually catches violations."""
+
+import pytest
+
+from repro.channels import (
+    ChannelProblem,
+    ChannelRoutingError,
+    ChannelRoute,
+    HorizontalSpan,
+    VerticalJog,
+)
+
+
+def simple_problem():
+    # Net 1: top pin col 0, bottom pin col 2.
+    return ChannelProblem(top=[1, 0, 0], bottom=[0, 0, 1])
+
+
+def good_route():
+    return ChannelRoute(
+        tracks=1,
+        length=3,
+        spans=[HorizontalSpan(net=1, track=0, c1=0, c2=2)],
+        jogs=[
+            VerticalJog(net=1, column=0, r1=-1, r2=0),
+            VerticalJog(net=1, column=2, r1=0, r2=1),
+        ],
+    )
+
+
+class TestValidRoute:
+    def test_good_route_passes(self):
+        good_route().check(simple_problem())
+
+    def test_metrics(self):
+        r = good_route()
+        assert r.via_count() == 2
+        assert r.height(8) == 16
+        assert r.wire_length(8, 8) == 2 * 8 + 8 + 8
+
+
+class TestViolationsCaught:
+    def test_missing_top_pin_jog(self):
+        r = good_route()
+        r.jogs.pop(0)
+        with pytest.raises(ChannelRoutingError, match="top pin"):
+            r.check(simple_problem())
+
+    def test_missing_bottom_pin_jog(self):
+        r = good_route()
+        r.jogs.pop(1)
+        with pytest.raises(ChannelRoutingError, match="bottom pin"):
+            r.check(simple_problem())
+
+    def test_overlapping_spans_different_nets(self):
+        r = good_route()
+        r.spans.append(HorizontalSpan(net=2, track=0, c1=1, c2=2))
+        with pytest.raises(ChannelRoutingError, match="overlap"):
+            r.check(simple_problem())
+
+    def test_same_net_spans_may_abut(self):
+        p = simple_problem()
+        r = ChannelRoute(
+            tracks=1,
+            length=3,
+            spans=[
+                HorizontalSpan(net=1, track=0, c1=0, c2=1),
+                HorizontalSpan(net=1, track=0, c1=1, c2=2),
+            ],
+            jogs=[
+                VerticalJog(net=1, column=0, r1=-1, r2=0),
+                VerticalJog(net=1, column=2, r1=0, r2=1),
+            ],
+        )
+        r.check(p)
+
+    def test_overlapping_jogs_different_nets(self):
+        p = ChannelProblem(top=[1, 0, 0], bottom=[2, 0, 1])
+        r = ChannelRoute(
+            tracks=2,
+            length=3,
+            spans=[
+                HorizontalSpan(net=1, track=0, c1=0, c2=2),
+                HorizontalSpan(net=2, track=1, c1=0, c2=0),
+            ],
+            jogs=[
+                VerticalJog(net=1, column=0, r1=-1, r2=0),
+                VerticalJog(net=2, column=0, r1=0, r2=2),  # crosses net 1 jog
+                VerticalJog(net=1, column=2, r1=0, r2=2),
+            ],
+        )
+        with pytest.raises(ChannelRoutingError):
+            r.check(p)
+
+    def test_jog_endpoint_off_trunk(self):
+        r = good_route()
+        r.jogs[1] = VerticalJog(net=1, column=1, r1=0, r2=1)
+        # Bottom pin is at column 2 but the jog lands mid-span at col 1:
+        # the pin connectivity check fires first.
+        with pytest.raises(ChannelRoutingError):
+            r.check(simple_problem())
+
+    def test_disconnected_net(self):
+        p = ChannelProblem(top=[1, 0, 1], bottom=[0, 0, 0])
+        r = ChannelRoute(
+            tracks=2,
+            length=3,
+            spans=[
+                HorizontalSpan(net=1, track=0, c1=0, c2=0),
+                HorizontalSpan(net=1, track=1, c1=2, c2=2),
+            ],
+            jogs=[
+                VerticalJog(net=1, column=0, r1=-1, r2=0),
+                VerticalJog(net=1, column=2, r1=-1, r2=1),
+            ],
+        )
+        # Each pin connects to its own island but jog at column 2
+        # passes track 0 without net-1 metal there... the r1=-1,r2=1
+        # jog touches both tracks; at column 2 net 1 has metal only on
+        # track 1 so the check accepts the pass-through and the net IS
+        # connected. Make it genuinely disconnected instead:
+        r.jogs[1] = VerticalJog(net=1, column=2, r1=0, r2=1)
+        with pytest.raises(ChannelRoutingError):
+            r.check(p)
+
+    def test_span_off_grid(self):
+        r = good_route()
+        r.spans.append(HorizontalSpan(net=1, track=5, c1=0, c2=1))
+        with pytest.raises(ChannelRoutingError, match="off-track"):
+            r.check(simple_problem())
+
+    def test_span_outside_channel(self):
+        r = good_route()
+        r.spans[0] = HorizontalSpan(net=1, track=0, c1=0, c2=9)
+        with pytest.raises(ChannelRoutingError, match="outside"):
+            r.check(simple_problem())
+
+    def test_jog_outside_channel(self):
+        r = good_route()
+        r.jogs.append(VerticalJog(net=1, column=9, r1=-1, r2=0))
+        with pytest.raises(ChannelRoutingError, match="outside"):
+            r.check(simple_problem())
+
+    def test_touching_jogs_different_nets_rejected(self):
+        p = ChannelProblem(top=[1], bottom=[2])
+        r = ChannelRoute(
+            tracks=2,
+            length=1,
+            spans=[
+                HorizontalSpan(net=1, track=0, c1=0, c2=0),
+                HorizontalSpan(net=2, track=1, c1=0, c2=0),
+            ],
+            jogs=[
+                VerticalJog(net=1, column=0, r1=-1, r2=1),  # overshoots to row 1
+                VerticalJog(net=2, column=0, r1=1, r2=2),
+            ],
+        )
+        with pytest.raises(ChannelRoutingError):
+            r.check(p)
+
+
+class TestDataValidation:
+    def test_span_orders(self):
+        with pytest.raises(ValueError):
+            HorizontalSpan(net=1, track=0, c1=5, c2=2)
+
+    def test_jog_orders(self):
+        with pytest.raises(ValueError):
+            VerticalJog(net=1, column=0, r1=3, r2=3)

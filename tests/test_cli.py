@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--name", "nope", "--out", "x"])
+
+
+class TestSuiteCommand:
+    def test_writes_design_json(self, tmp_path, capsys):
+        out = tmp_path / "d.json"
+        rc = main(["suite", "--name", "ami33", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "repro-design"
+        assert len(doc["cells"]) == 33
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestFlowCommand:
+    @pytest.fixture()
+    def design_file(self, tmp_path):
+        from repro.bench_suite import random_design
+        from repro.io import save_design
+
+        design = random_design("clid", seed=8, num_cells=6, num_nets=14,
+                               num_critical=2)
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        return path
+
+    def test_flow_from_design_file(self, design_file, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        summary = tmp_path / "summary.json"
+        rc = main([
+            "flow", "--design", str(design_file), "--flow", "overcell",
+            "--svg", str(svg), "--json", str(summary),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overcell" in out
+        assert svg.read_text().startswith("<svg")
+        doc = json.loads(summary.read_text())
+        assert doc["completion"] == 1.0
+
+    def test_flow_two_layer(self, design_file, capsys):
+        rc = main(["flow", "--design", str(design_file), "--flow", "two-layer"])
+        assert rc == 0
+        assert "two-layer-channel" in capsys.readouterr().out
+
+    def test_flow_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["flow", "--flow", "overcell"])
+
+
+class TestTablesCommand:
+    def test_tables_from_design_file(self, tmp_path, capsys):
+        from repro.bench_suite import random_design
+        from repro.io import save_design
+
+        design = random_design("clit", seed=12, num_cells=6, num_nets=16,
+                               num_critical=2)
+        path = tmp_path / "d.json"
+        save_design(design, path)
+        rc = main(["tables", "--design", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+
+
+class TestReportCommand:
+    def test_report_from_design_file(self, tmp_path, capsys):
+        from repro.bench_suite import random_design
+        from repro.io import save_design
+
+        design = random_design("clir", seed=14, num_cells=6, num_nets=14,
+                               num_critical=2)
+        path = tmp_path / "d.json"
+        save_design(design, path)
+        rc = main(["report", "--design", str(path), "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Routing report" in out
+        assert "Level B" in out
+
+
+class TestTechOption:
+    def test_flow_with_custom_technology(self, tmp_path, capsys):
+        from repro.bench_suite import random_design
+        from repro.io import save_design, save_technology
+        from repro.technology import Technology
+
+        design = random_design("clitech", seed=17, num_cells=6, num_nets=12,
+                               num_critical=1)
+        dpath = tmp_path / "d.json"
+        save_design(design, dpath)
+        tpath = tmp_path / "t.json"
+        save_technology(Technology.four_layer(), tpath)
+        rc = main([
+            "flow", "--design", str(dpath), "--flow", "overcell",
+            "--tech", str(tpath),
+        ])
+        assert rc == 0
+        assert "overcell" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Tests for serial net ordering."""
+
+from repro.netlist import Cell, Net, Pin, Edge
+from repro.core.ordering import NetOrdering, order_nets
+
+
+def make_net(name, length, pins=2, critical=False, weight=1.0):
+    cell = Cell(f"cell_{name}", max(length, 8) + 8, 16)
+    cell.place(0, 0)
+    net = Net(name, is_critical=critical, weight=weight)
+    for i in range(pins):
+        offset = 0 if i == 0 else min(length, cell.width)
+        pin = Pin(f"p{i}", cell, Edge.TOP, offset)
+        cell.add_pin(pin)
+        net.add_pin(pin)
+    return net
+
+
+class TestOrderings:
+    def test_longest_first_default(self):
+        nets = [make_net("a", 10), make_net("b", 100), make_net("c", 50)]
+        ordered = order_nets(nets)
+        assert [n.name for n in ordered] == ["b", "c", "a"]
+
+    def test_shortest_first(self):
+        nets = [make_net("a", 10), make_net("b", 100)]
+        ordered = order_nets(nets, NetOrdering.SHORTEST_FIRST)
+        assert [n.name for n in ordered] == ["a", "b"]
+
+    def test_most_pins_first(self):
+        nets = [make_net("a", 10, pins=2), make_net("b", 10, pins=5)]
+        ordered = order_nets(nets, NetOrdering.MOST_PINS_FIRST)
+        assert ordered[0].name == "b"
+
+    def test_critical_first(self):
+        nets = [make_net("a", 100), make_net("b", 10, critical=True)]
+        ordered = order_nets(nets, NetOrdering.CRITICAL_FIRST)
+        assert ordered[0].name == "b"
+
+    def test_critical_first_respects_weight(self):
+        nets = [
+            make_net("a", 10, critical=True, weight=1.0),
+            make_net("b", 10, critical=True, weight=5.0),
+        ]
+        ordered = order_nets(nets, NetOrdering.CRITICAL_FIRST)
+        assert ordered[0].name == "b"
+
+    def test_name_ordering(self):
+        nets = [make_net("z", 10), make_net("a", 100)]
+        ordered = order_nets(nets, NetOrdering.NAME)
+        assert [n.name for n in ordered] == ["a", "z"]
+
+    def test_user_key_overrides(self):
+        nets = [make_net("a", 10), make_net("b", 100)]
+        ordered = order_nets(nets, key=lambda n: n.name)
+        assert [n.name for n in ordered] == ["a", "b"]
+
+    def test_deterministic_tie_break_by_name(self):
+        nets = [make_net("b", 50), make_net("a", 50)]
+        ordered = order_nets(nets)
+        assert [n.name for n in ordered] == ["a", "b"]
+
+    def test_input_not_mutated(self):
+        nets = [make_net("b", 50), make_net("a", 100)]
+        order_nets(nets)
+        assert [n.name for n in nets] == ["b", "a"]

@@ -1,0 +1,102 @@
+"""Tests for repro.geometry.segment (Segment and Path)."""
+
+import pytest
+
+from repro.geometry import Path, Point, Segment
+from repro.geometry.segment import total_wire_length
+
+
+class TestSegment:
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(Point(0, 0), Point(3, 4))
+
+    def test_degenerate_allowed(self):
+        s = Segment(Point(2, 2), Point(2, 2))
+        assert s.is_point
+        assert s.length == 0
+
+    def test_constructors(self):
+        h = Segment.horizontal(5, 9, 2)
+        assert h.a == Point(2, 5) and h.b == Point(9, 5)
+        v = Segment.vertical(3, 8, 1)
+        assert v.a == Point(3, 1) and v.b == Point(3, 8)
+
+    def test_orientation(self):
+        assert Segment.horizontal(0, 0, 5).is_horizontal
+        assert Segment.vertical(0, 0, 5).is_vertical
+
+    def test_track_and_span(self):
+        h = Segment.horizontal(7, 2, 9)
+        assert h.track == 7
+        assert (h.span.lo, h.span.hi) == (2, 9)
+        v = Segment.vertical(4, 1, 6)
+        assert v.track == 4
+        assert (v.span.lo, v.span.hi) == (1, 6)
+
+    def test_points_enumeration(self):
+        pts = list(Segment(Point(0, 0), Point(3, 0)).points())
+        assert pts == [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)]
+        rev = list(Segment(Point(3, 0), Point(0, 0)).points())
+        assert rev == pts[::-1]
+
+    def test_contains_point(self):
+        s = Segment(Point(0, 0), Point(5, 0))
+        assert s.contains_point(Point(3, 0))
+        assert not s.contains_point(Point(3, 1))
+
+
+class TestPath:
+    def test_discontiguous_rejected(self):
+        with pytest.raises(ValueError):
+            Path((Segment(Point(0, 0), Point(2, 0)), Segment(Point(3, 0), Point(3, 2))))
+
+    def test_from_points(self):
+        p = Path.from_points([Point(0, 0), Point(4, 0), Point(4, 3)])
+        assert p.start == Point(0, 0)
+        assert p.end == Point(4, 3)
+        assert p.length == 7
+        assert p.corner_count == 1
+        assert p.corners() == [Point(4, 0)]
+
+    def test_straight_path_no_corners(self):
+        p = Path.from_points([Point(0, 0), Point(9, 0)])
+        assert p.corner_count == 0
+
+    def test_degenerate_segments_do_not_add_corners(self):
+        # A zero-length stub between two collinear horizontal pieces.
+        p = Path.from_points([Point(0, 0), Point(2, 0), Point(2, 0), Point(5, 0)])
+        assert p.corner_count == 0
+        assert p.length == 5
+
+    def test_staircase_corner_positions(self):
+        p = Path.from_points(
+            [Point(0, 0), Point(2, 0), Point(2, 2), Point(4, 2), Point(4, 4)]
+        )
+        assert p.corners() == [Point(2, 0), Point(2, 2), Point(4, 2)]
+
+    def test_waypoints_roundtrip(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 5)]
+        assert Path.from_points(pts).waypoints() == pts
+
+    def test_points_no_joint_duplicates(self):
+        p = Path.from_points([Point(0, 0), Point(2, 0), Point(2, 2)])
+        pts = list(p.points())
+        assert len(pts) == len(set(pts))
+        assert pts[0] == Point(0, 0)
+        assert pts[-1] == Point(2, 2)
+
+    def test_connects(self):
+        p = Path.from_points([Point(0, 0), Point(2, 0)])
+        assert p.connects(Point(0, 0), Point(2, 0))
+        assert p.connects(Point(2, 0), Point(0, 0))
+        assert not p.connects(Point(0, 0), Point(1, 0))
+
+    def test_bounds(self):
+        p = Path.from_points([Point(0, 0), Point(4, 0), Point(4, -3)])
+        assert (p.bounds.x1, p.bounds.y1, p.bounds.x2, p.bounds.y2) == (0, -3, 4, 0)
+
+    def test_total_wire_length(self):
+        a = Path.from_points([Point(0, 0), Point(3, 0)])
+        b = Path.from_points([Point(0, 0), Point(0, 4)])
+        assert total_wire_length([a, b]) == 7

@@ -1,0 +1,169 @@
+"""Tests for the greedy channel router (incl. randomized validation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels import ChannelProblem, ChannelRoutingError, GreedyChannelRouter
+
+from conftest import make_random_channel_problem
+
+
+class TestSmallProblems:
+    def test_empty_channel(self):
+        p = ChannelProblem(top=[0, 0], bottom=[0, 0])
+        route = GreedyChannelRouter().route(p)
+        assert route.tracks == 0
+        assert not route.spans and not route.jogs
+
+    def test_single_vertical_net(self):
+        p = ChannelProblem(top=[1], bottom=[1])
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+        assert route.tracks >= 1
+
+    def test_two_terminal_same_side(self):
+        p = ChannelProblem(top=[1, 0, 1], bottom=[0, 0, 0])
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+        assert any(s.net == 1 and s.c1 == 0 and s.c2 == 2 for s in route.spans)
+
+    def test_crossing_nets(self):
+        p = ChannelProblem(top=[1, 2], bottom=[2, 1])
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+        assert route.tracks >= 2
+
+    def test_single_pin_net_ignored(self):
+        p = ChannelProblem(top=[7, 1, 0, 1], bottom=[0, 0, 0, 0])
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+        assert all(s.net != 7 for s in route.spans)
+        assert all(j.net != 7 for j in route.jogs)
+
+    def test_dense_interleave(self):
+        top = [1, 2, 3, 4, 5]
+        bottom = [5, 4, 3, 2, 1]
+        p = ChannelProblem(top=top, bottom=bottom)
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+
+    def test_track_count_lower_bound(self):
+        p = make_random_channel_problem(30, 8, seed=5)
+        route = GreedyChannelRouter().route(p)
+        assert route.tracks >= p.density()
+
+    def test_extension_collapse(self):
+        """Nets still split at the last column collapse in extensions."""
+        # Net 1 has pins forcing it onto two tracks late in the channel.
+        p = ChannelProblem(
+            top=[1, 2, 0, 1],
+            bottom=[2, 1, 2, 2],
+        )
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+        assert route.length >= p.length
+
+
+class TestMetrics:
+    def test_wire_length_positive(self):
+        p = make_random_channel_problem(20, 5, seed=1)
+        route = GreedyChannelRouter().route(p)
+        assert route.wire_length(8, 8) > 0
+        # Doubling pitches doubles the length.
+        assert route.wire_length(16, 16) == 2 * route.wire_length(8, 8)
+
+    def test_via_count_positive(self):
+        p = make_random_channel_problem(20, 5, seed=2)
+        route = GreedyChannelRouter().route(p)
+        assert route.via_count() > 0
+
+    def test_height(self):
+        p = make_random_channel_problem(20, 5, seed=3)
+        route = GreedyChannelRouter().route(p)
+        assert route.height(8) == (route.tracks + 1) * 8
+
+
+class TestInitialWidth:
+    def test_explicit_initial_tracks(self):
+        p = make_random_channel_problem(20, 5, seed=4)
+        route = GreedyChannelRouter(initial_tracks=1).route(p)
+        route.check(p)
+
+    def test_generous_initial_tracks(self):
+        p = make_random_channel_problem(20, 5, seed=4)
+        route = GreedyChannelRouter(initial_tracks=30).route(p)
+        route.check(p)
+        assert route.tracks == 30  # width never shrinks
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_problems_valid(self, seed):
+        p = make_random_channel_problem(30, 8, seed=seed)
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_wide_problems_valid(self, seed):
+        p = make_random_channel_problem(80, 25, seed=1000 + seed)
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_deterministic(self, seed):
+        p = make_random_channel_problem(30, 8, seed=seed)
+        r1 = GreedyChannelRouter().route(p)
+        r2 = GreedyChannelRouter().route(p)
+        assert r1.tracks == r2.tracks
+        assert r1.spans == r2.spans
+        assert r1.jogs == r2.jogs
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hypothesis_fuzz(self, seed):
+        p = make_random_channel_problem(40, 12, seed=seed)
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+
+
+class TestSteadyJogs:
+    def test_default_on_and_valid(self):
+        p = make_random_channel_problem(30, 8, seed=21)
+        route = GreedyChannelRouter().route(p)
+        route.check(p)
+
+    def test_disabled_still_valid(self):
+        p = make_random_channel_problem(30, 8, seed=21)
+        route = GreedyChannelRouter(steady_jogs=False).route(p)
+        route.check(p)
+
+    def test_jogs_reduce_tracks_on_batch(self):
+        with_jogs = without = 0
+        for seed in range(25):
+            p = make_random_channel_problem(30, 8, seed=seed)
+            with_jogs += GreedyChannelRouter(steady_jogs=True).route(p).tracks
+            without += GreedyChannelRouter(steady_jogs=False).route(p).tracks
+        assert with_jogs <= without
+
+    def test_jogs_add_vias(self):
+        """The classic trade: steady jogs spend vias to save tracks."""
+        vias_on = vias_off = 0
+        for seed in range(25):
+            p = make_random_channel_problem(30, 8, seed=seed)
+            vias_on += GreedyChannelRouter(steady_jogs=True).route(p).via_count()
+            vias_off += GreedyChannelRouter(steady_jogs=False).route(p).via_count()
+        assert vias_on >= vias_off
+
+    def test_min_jog_length_limits_movement(self):
+        """A huge min-jog threshold disables jogging entirely."""
+        p = make_random_channel_problem(30, 8, seed=5)
+        huge = GreedyChannelRouter(steady_jogs=True, min_jog_length=10**6).route(p)
+        off = GreedyChannelRouter(steady_jogs=False).route(p)
+        assert huge.tracks == off.tracks
+        assert len(huge.jogs) == len(off.jogs)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_randomized_validity_with_jogs(self, seed):
+        p = make_random_channel_problem(40, 12, seed=seed + 500)
+        route = GreedyChannelRouter(steady_jogs=True, min_jog_length=1).route(p)
+        route.check(p)

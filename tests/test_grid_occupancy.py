@@ -1,0 +1,268 @@
+"""Tests for repro.grid.occupancy (the O(h*v) occupancy array)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Interval, Rect
+from repro.grid import FREE, OBSTACLE, RoutingGrid, TrackSet
+
+
+def make_grid(nv=10, nh=8) -> RoutingGrid:
+    return RoutingGrid(
+        TrackSet(range(0, nv * 10, 10)), TrackSet(range(0, nh * 10, 10))
+    )
+
+
+class TestBasics:
+    def test_shape(self):
+        g = make_grid(10, 8)
+        assert g.num_vtracks == 10
+        assert g.num_htracks == 8
+        assert g.num_intersections == 80
+
+    def test_coord_of(self):
+        g = make_grid()
+        assert g.coord_of(3, 2) == (30, 20)
+
+    def test_fresh_grid_fully_free(self):
+        g = make_grid()
+        assert g.utilization() == 0.0
+        assert g.corner_free(4, 4, 1)
+        assert g.owners() == []
+
+
+class TestObstacles:
+    def test_add_obstacle_blocks_both(self):
+        g = make_grid()
+        blocked = g.add_obstacle(Rect(20, 20, 40, 30))
+        assert blocked == 6  # 3 v-tracks x 2 h-tracks
+        assert not g.corner_free(2, 2, 1)
+        assert g.h_slot(2, 2) == OBSTACLE
+        assert g.v_slot(2, 2) == OBSTACLE
+
+    def test_one_direction_obstacle(self):
+        g = make_grid()
+        g.add_obstacle(Rect(20, 20, 20, 20), block_h=True, block_v=False)
+        assert g.h_slot(2, 2) == OBSTACLE
+        assert g.v_slot(2, 2) == FREE
+        assert not g.corner_free(2, 2, 1)
+
+    def test_obstacle_outside_tracks_is_noop(self):
+        g = make_grid()
+        assert g.add_obstacle(Rect(5, 5, 7, 7)) == 0
+
+    def test_obstacle_over_wire_rejected(self):
+        g = make_grid()
+        g.occupy_h(2, 0, 5, net_id=1)
+        with pytest.raises(ValueError):
+            g.add_obstacle(Rect(0, 20, 90, 20))
+
+    def test_double_obstacle_counts_once(self):
+        g = make_grid()
+        g.add_obstacle(Rect(20, 20, 20, 20))
+        assert g.add_obstacle(Rect(20, 20, 20, 20)) == 0
+
+
+class TestTerminals:
+    def test_reserve_blocks_other_nets(self):
+        g = make_grid()
+        g.reserve_terminal(3, 3, net_id=1)
+        assert g.corner_free(3, 3, 1)
+        assert not g.corner_free(3, 3, 2)
+
+    def test_reserve_collision_rejected(self):
+        g = make_grid()
+        g.reserve_terminal(3, 3, net_id=1)
+        with pytest.raises(ValueError):
+            g.reserve_terminal(3, 3, net_id=2)
+
+    def test_reserve_requires_positive_id(self):
+        g = make_grid()
+        with pytest.raises(ValueError):
+            g.reserve_terminal(0, 0, net_id=0)
+
+    def test_unrouted_terminal_counting(self):
+        g = make_grid()
+        g.reserve_terminal(3, 3, net_id=1)
+        g.reserve_terminal(5, 5, net_id=1)
+        assert g.unrouted_terminals_near(4, 4, radius=2) == 2
+        g.mark_terminal_routed(3, 3)
+        assert g.unrouted_terminals_near(4, 4, radius=2) == 1
+        g.mark_terminal_routed(3, 3)  # extra mark is harmless
+        assert g.unrouted_terminals_near(4, 4, radius=2) == 1
+
+
+class TestSpans:
+    def test_occupy_and_query_h(self):
+        g = make_grid()
+        g.occupy_h(2, 1, 4, net_id=7)
+        assert g.h_slot(3, 2) == 7
+        assert g.span_usable_h(2, 1, 4, net_id=7)
+        assert not g.span_usable_h(2, 1, 4, net_id=8)
+        # Crossing stays open: vertical slots untouched.
+        assert g.v_slot(3, 2) == FREE
+        assert g.span_usable_v(3, 0, 7, net_id=8)
+
+    def test_occupy_conflict_raises(self):
+        g = make_grid()
+        g.occupy_h(2, 1, 4, net_id=7)
+        with pytest.raises(ValueError):
+            g.occupy_h(2, 3, 6, net_id=8)
+        g.occupy_h(2, 3, 6, net_id=7)  # same net may extend
+
+    def test_occupy_v(self):
+        g = make_grid()
+        g.occupy_v(5, 0, 3, net_id=2)
+        assert g.v_slot(5, 1) == 2
+        with pytest.raises(ValueError):
+            g.occupy_v(5, 2, 5, net_id=3)
+
+    def test_occupy_corner(self):
+        g = make_grid()
+        g.occupy_corner(4, 4, net_id=3)
+        assert g.h_slot(4, 4) == 3 and g.v_slot(4, 4) == 3
+        with pytest.raises(ValueError):
+            g.occupy_corner(4, 4, net_id=5)
+
+    def test_swapped_bounds_accepted(self):
+        g = make_grid()
+        g.occupy_h(1, 5, 2, net_id=1)
+        assert g.h_slot(3, 1) == 1
+
+
+class TestFreeSpan:
+    def test_full_row_free(self):
+        g = make_grid(10, 8)
+        assert g.free_span_h(3, 5, net_id=1) == Interval(0, 9)
+
+    def test_blocked_entry_returns_none(self):
+        g = make_grid()
+        g.occupy_h(3, 5, 5, net_id=2)
+        assert g.free_span_h(3, 5, net_id=1) is None
+        assert g.free_span_h(3, 5, net_id=2) == Interval(0, 9)
+
+    def test_span_stops_at_foreign_wire(self):
+        g = make_grid()
+        g.occupy_h(3, 2, 2, net_id=2)
+        g.occupy_h(3, 8, 8, net_id=2)
+        assert g.free_span_h(3, 5, net_id=1) == Interval(3, 7)
+
+    def test_window_clipping(self):
+        g = make_grid()
+        assert g.free_span_h(3, 5, net_id=1, within=Interval(4, 6)) == Interval(4, 6)
+        assert g.free_span_h(3, 5, net_id=1, within=Interval(6, 8)) is None
+
+    def test_free_span_v(self):
+        g = make_grid()
+        g.occupy_v(4, 6, 7, net_id=9)
+        assert g.free_span_v(4, 2, net_id=1) == Interval(0, 5)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(1, 3)), max_size=6
+        ),
+        st.integers(0, 9),
+    )
+    def test_free_span_matches_naive(self, blocks, probe):
+        g = make_grid(10, 4)
+        occupied = set()
+        for start, width in blocks:
+            end = min(9, start + width - 1)
+            if g.span_usable_h(2, start, end, net_id=2):
+                g.occupy_h(2, start, end, net_id=2)
+                occupied.update(range(start, end + 1))
+        span = g.free_span_h(2, probe, net_id=1)
+        if probe in occupied:
+            assert span is None
+        else:
+            assert span is not None and span.contains(probe)
+            assert all(i not in occupied for i in span)
+            if span.lo > 0:
+                assert span.lo - 1 in occupied
+            if span.hi < 9:
+                assert span.hi + 1 in occupied
+
+
+class TestStatistics:
+    def test_densities(self):
+        g = make_grid(5, 5)
+        g.occupy_h(2, 0, 4, net_id=1)
+        assert g.routed_density_near(2, 2, radius=2) > 0
+        assert g.congestion_near(2, 2, radius=2) >= g.routed_density_near(2, 2, 2)
+
+    def test_congestion_counts_obstacles(self):
+        g = make_grid(5, 5)
+        g.add_obstacle(Rect(0, 0, 40, 40))
+        assert g.routed_density_near(2, 2, radius=2) == 0.0
+        assert g.congestion_near(2, 2, radius=2) == 1.0
+
+    def test_owners(self):
+        g = make_grid()
+        g.occupy_h(1, 0, 2, net_id=5)
+        g.occupy_v(7, 0, 2, net_id=3)
+        assert g.owners() == [3, 5]
+
+    def test_clear_net(self):
+        g = make_grid()
+        g.occupy_h(1, 0, 2, net_id=5)
+        g.occupy_corner(6, 6, net_id=5)
+        freed = g.clear_net(5)
+        assert freed == 5  # 3 h-slots + corner's h and v slots
+        assert g.owners() == []
+        with pytest.raises(ValueError):
+            g.clear_net(0)
+
+    def test_owners_near(self):
+        g = make_grid()
+        g.occupy_h(2, 2, 3, net_id=4)
+        g.occupy_v(8, 0, 1, net_id=6)
+        assert g.owners_near(2, 2, radius=1) == [4]
+        assert 6 in g.owners_near(8, 1, radius=1)
+
+
+class TestClearNetRoundTrip:
+    """clear_net must exactly undo a net's commits (rip-up safety)."""
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_commit_clear_restores_grid(self, seed):
+        import random as _random
+        import numpy as np
+        from repro.core.router import commit_points
+        from repro.geometry import Point
+
+        rng = _random.Random(seed)
+        g = make_grid(12, 12)
+        # Pre-existing foreign wiring that must survive untouched.
+        g.occupy_h(2, 0, 5, net_id=7)
+        g.occupy_v(9, 3, 8, net_id=7)
+        before_h = g._h_owner.copy()
+        before_v = g._v_owner.copy()
+        # Commit a random staircase for net 3 in the free region.
+        x = rng.randrange(3, 8) * 10
+        y = rng.randrange(4, 8) * 10
+        points = [Point(x, y)]
+        for _ in range(3):
+            last = points[-1]
+            if rng.random() < 0.5:
+                points.append(Point(min(110, last.x + 10), last.y))
+            else:
+                points.append(Point(last.x, max(40, min(110, last.y + 10))))
+        dedup = [points[0]]
+        for p in points[1:]:
+            if p != dedup[-1]:
+                dedup.append(p)
+        corners = []
+        for a, b, c in zip(dedup, dedup[1:], dedup[2:]):
+            if (a.x == b.x) != (b.x == c.x):
+                corners.append(
+                    (g.vtracks.index_of(b.x), g.htracks.index_of(b.y))
+                )
+        try:
+            commit_points(g, 3, dedup, corners)
+        except ValueError:
+            return  # collided with the foreign wiring; nothing to test
+        g.clear_net(3)
+        assert np.array_equal(g._h_owner, before_h)
+        assert np.array_equal(g._v_owner, before_v)

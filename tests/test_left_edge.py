@@ -1,0 +1,125 @@
+"""Tests for the left-edge (dogleg) channel router."""
+
+import pytest
+
+from repro.channels import (
+    ChannelProblem,
+    ChannelRoutingError,
+    GreedyChannelRouter,
+    LeftEdgeRouter,
+)
+
+from conftest import make_random_channel_problem
+
+
+class TestBasics:
+    def test_simple_problem(self):
+        p = ChannelProblem(top=[1, 0, 2], bottom=[0, 1, 0])
+        for dogleg in (False, True):
+            route = LeftEdgeRouter(dogleg=dogleg).route(p)
+            route.check(p)
+
+    def test_single_column_two_sided_net(self):
+        p = ChannelProblem(top=[1], bottom=[1])
+        route = LeftEdgeRouter().route(p)
+        route.check(p)
+        assert route.tracks == 0  # a through jog, no trunk needed
+
+    def test_single_pin_net_ignored(self):
+        p = ChannelProblem(top=[9, 1, 1], bottom=[0, 0, 0])
+        route = LeftEdgeRouter().route(p)
+        route.check(p)
+        assert all(s.net != 9 for s in route.spans)
+
+    def test_cycle_raises(self):
+        # Classic 2-net vertical constraint cycle, undogleggable
+        # (each net has only two pins so splitting cannot help).
+        p = ChannelProblem(top=[1, 2], bottom=[2, 1])
+        with pytest.raises(ChannelRoutingError):
+            LeftEdgeRouter(dogleg=True).route(p)
+
+    def test_dogleg_breaks_breakable_cycle(self):
+        # Net 1: top pins at 0 and 2, bottom at 4; net 2 interleaved so
+        # the net-level VCG has a cycle but subnet splitting breaks it.
+        p = ChannelProblem(
+            top=[1, 2, 1, 0, 2],
+            bottom=[2, 1, 0, 2, 1],
+        )
+        # Net-level VCG is cyclic:
+        from repro.channels import VerticalConstraintGraph
+
+        g = VerticalConstraintGraph.from_problem(p)
+        assert g.has_cycle()
+        try:
+            route = LeftEdgeRouter(dogleg=True).route(p)
+        except ChannelRoutingError:
+            pytest.skip("this interleave is not dogleg-breakable")
+        route.check(p)
+
+    def test_non_dogleg_uses_more_or_equal_tracks(self):
+        p = make_random_channel_problem(30, 6, seed=13)
+        try:
+            plain = LeftEdgeRouter(dogleg=False).route(p)
+            dog = LeftEdgeRouter(dogleg=True).route(p)
+        except ChannelRoutingError:
+            pytest.skip("cyclic instance")
+        assert dog.tracks <= plain.tracks
+
+
+class TestTrackAssignment:
+    def test_tracks_at_least_density(self):
+        p = make_random_channel_problem(30, 8, seed=3)
+        try:
+            route = LeftEdgeRouter().route(p)
+        except ChannelRoutingError:
+            pytest.skip("cyclic instance")
+        assert route.tracks >= p.density()
+
+    def test_vcg_respected(self):
+        """At any column with a top and a bottom pin of different nets,
+        every top-net trunk at that column sits above every bottom-net
+        trunk."""
+        p = make_random_channel_problem(30, 8, seed=7)
+        try:
+            route = LeftEdgeRouter().route(p)
+        except ChannelRoutingError:
+            pytest.skip("cyclic instance")
+        route.check(p)
+        for col in range(p.length):
+            u, w = p.top[col], p.bottom[col]
+            if not u or not w or u == w:
+                continue
+            u_rows = [
+                s.track for s in route.spans
+                if s.net == u and (s.c1 == col or s.c2 == col)
+            ]
+            w_rows = [
+                s.track for s in route.spans
+                if s.net == w and (s.c1 == col or s.c2 == col)
+            ]
+            if u_rows and w_rows:
+                assert max(u_rows) < min(w_rows)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_valid_or_cycle(self, seed):
+        p = make_random_channel_problem(30, 8, seed=seed)
+        try:
+            route = LeftEdgeRouter().route(p)
+        except ChannelRoutingError as err:
+            assert "cycle" in str(err) or "stalled" in str(err)
+            return
+        route.check(p)
+
+    @pytest.mark.parametrize("seed", [0, 2, 4, 6, 8])
+    def test_comparable_to_greedy(self, seed):
+        """When LEA succeeds, its track count is in the same ballpark."""
+        p = make_random_channel_problem(30, 8, seed=seed)
+        greedy = GreedyChannelRouter().route(p)
+        try:
+            lea = LeftEdgeRouter().route(p)
+        except ChannelRoutingError:
+            pytest.skip("cyclic instance")
+        assert lea.tracks <= 2 * greedy.tracks + 2
+        assert greedy.tracks <= 2 * lea.tracks + 2

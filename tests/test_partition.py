@@ -1,0 +1,59 @@
+"""Tests for net partitioning strategies."""
+
+import pytest
+
+from repro.netlist import Cell, Edge, Net, Pin
+from repro.partition import PartitionStrategy, partition_nets
+
+
+def make_net(name, critical=False, length=None):
+    net = Net(name, is_critical=critical)
+    if length is not None:
+        cell = Cell(f"cell_{name}", max(length, 8) + 8, 16)
+        cell.place(0, 0)
+        for i, off in enumerate((0, length)):
+            pin = Pin(f"p{i}", cell, Edge.TOP, off)
+            cell.add_pin(pin)
+            net.add_pin(pin)
+    return net
+
+
+class TestStrategies:
+    def test_critical_to_a(self):
+        nets = [make_net("a", critical=True), make_net("b"), make_net("c")]
+        set_a, set_b = partition_nets(nets)
+        assert [n.name for n in set_a] == ["a"]
+        assert [n.name for n in set_b] == ["b", "c"]
+
+    def test_all_a(self):
+        nets = [make_net("a"), make_net("b", critical=True)]
+        set_a, set_b = partition_nets(nets, PartitionStrategy.ALL_A)
+        assert len(set_a) == 2 and not set_b
+
+    def test_all_b(self):
+        nets = [make_net("a"), make_net("b", critical=True)]
+        set_a, set_b = partition_nets(nets, PartitionStrategy.ALL_B)
+        assert not set_a and len(set_b) == 2
+
+    def test_long_to_b(self):
+        nets = [make_net("short", length=16), make_net("long", length=160)]
+        set_a, set_b = partition_nets(
+            nets, PartitionStrategy.LONG_TO_B, length_threshold=50
+        )
+        assert [n.name for n in set_a] == ["short"]
+        assert [n.name for n in set_b] == ["long"]
+
+    def test_long_to_b_requires_threshold(self):
+        with pytest.raises(ValueError):
+            partition_nets([make_net("a", length=10)], PartitionStrategy.LONG_TO_B)
+
+    def test_whole_nets_never_split(self):
+        nets = [make_net(f"n{i}", critical=(i % 2 == 0)) for i in range(10)]
+        set_a, set_b = partition_nets(nets)
+        assert set(id(n) for n in set_a).isdisjoint(id(n) for n in set_b)
+        assert len(set_a) + len(set_b) == len(nets)
+
+    def test_order_preserved(self):
+        nets = [make_net(f"n{i}") for i in range(5)]
+        _, set_b = partition_nets(nets)
+        assert [n.name for n in set_b] == [n.name for n in nets]

@@ -1,0 +1,131 @@
+"""Tests for the row/shelf placer."""
+
+import pytest
+
+from repro.netlist import Design
+from repro.placement import RowPlacement
+
+
+def make_design(num_cells=8, w=64, h=48):
+    d = Design("p")
+    for i in range(num_cells):
+        d.add_cell(f"c{i}", w + 8 * (i % 3), h + 8 * (i % 2))
+    return d
+
+
+class TestBuild:
+    def test_empty_design_rejected(self):
+        with pytest.raises(ValueError):
+            RowPlacement.build(Design("empty"))
+
+    def test_every_cell_assigned(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        assert set(pl.row_of_cell) == set(d.cells)
+        assert sum(len(r.cells) for r in pl.rows) == len(d.cells)
+
+    def test_x_positions_snapped(self):
+        pl = RowPlacement.build(make_design(), pitch=8)
+        assert all(x % 8 == 0 for x in pl.cell_x.values())
+
+    def test_no_x_overlap_within_row(self):
+        pl = RowPlacement.build(make_design())
+        for row in pl.rows:
+            spans = sorted(
+                (pl.cell_x[c.name], pl.cell_x[c.name] + c.width) for c in row.cells
+            )
+            for (a1, a2), (b1, b2) in zip(spans, spans[1:]):
+                assert a2 < b1  # gap enforced
+
+    def test_rows_respect_width_target(self):
+        pl = RowPlacement.build(make_design(12), row_width_target=200)
+        for row in pl.rows:
+            # First cell always fits; others keep the row near target.
+            last = row.cells[-1]
+            assert pl.cell_x[last.name] <= 200
+
+    def test_channel_count(self):
+        pl = RowPlacement.build(make_design())
+        assert pl.channel_count == pl.num_rows + 1
+
+    def test_single_huge_cell(self):
+        d = Design("one")
+        d.add_cell("big", 400, 100)
+        pl = RowPlacement.build(d)
+        assert pl.num_rows == 1
+
+
+class TestRealize:
+    def test_wrong_height_count_rejected(self):
+        pl = RowPlacement.build(make_design())
+        with pytest.raises(ValueError):
+            pl.realize([8])
+
+    def test_all_cells_placed_inside_bounds(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        heights = [16] * pl.channel_count
+        bounds = pl.realize(heights, left_width=24, right_width=8, margin=16)
+        assert d.is_placed
+        for cell in d.cells.values():
+            assert bounds.contains_rect(cell.bounds)
+
+    def test_no_cell_overlap(self):
+        d = make_design(10)
+        pl = RowPlacement.build(d)
+        pl.realize([8] * pl.channel_count)
+        assert d.validate() == []
+
+    def test_channel_heights_separate_rows(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        heights = [24] * pl.channel_count
+        pl.realize(heights)
+        for upper_row in pl.rows[1:]:
+            lower_row = pl.rows[upper_row.index - 1]
+            lower_top = max(c.bounds.y2 for c in lower_row.cells)
+            upper_bottom = min(c.bounds.y1 for c in upper_row.cells)
+            assert upper_bottom - lower_top == 24
+
+    def test_taller_channels_grow_layout(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        small = pl.realize([8] * pl.channel_count)
+        big = pl.realize([80] * pl.channel_count)
+        assert big.height > small.height
+        assert big.width == small.width
+
+    def test_side_widths_shift_core(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        pl.realize([8] * pl.channel_count, left_width=0)
+        x_without = min(c.bounds.x1 for c in d.cells.values())
+        pl.realize([8] * pl.channel_count, left_width=40)
+        x_with = min(c.bounds.x1 for c in d.cells.values())
+        assert x_with - x_without == 40
+
+    def test_repeated_realize_is_idempotent_geometry(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        b1 = pl.realize([8] * pl.channel_count, margin=16)
+        b2 = pl.realize([8] * pl.channel_count, margin=16)
+        assert b1 == b2
+
+    def test_channel_y_ranges(self):
+        d = make_design()
+        pl = RowPlacement.build(d)
+        heights = [16] * pl.channel_count
+        pl.realize(heights)
+        strips = pl.channel_y_ranges(heights)
+        assert len(strips) == pl.channel_count
+        for strip in strips:
+            assert strip.height == 16
+
+
+class TestDeterminism:
+    def test_same_input_same_placement(self):
+        d1, d2 = make_design(), make_design()
+        p1 = RowPlacement.build(d1)
+        p2 = RowPlacement.build(d2)
+        assert p1.cell_x == p2.cell_x
+        assert [len(r.cells) for r in p1.rows] == [len(r.cells) for r in p2.rows]

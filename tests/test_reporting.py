@@ -1,0 +1,103 @@
+"""Tests for table formatting and comparison helpers."""
+
+from repro.bench_suite import random_design
+from repro.flow import multilayer_channel_flow, overcell_flow, two_layer_flow
+from repro.reporting import (
+    PaperComparison,
+    format_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.reporting.tables import TABLE1_HEADERS, TABLE2_HEADERS, TABLE3_HEADERS
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bee"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        out = format_table(["h1"], [])
+        assert "h1" in out
+
+
+class TestPaperComparison:
+    def test_row_with_value(self):
+        c = PaperComparison("t2", "area", 17.1, 20.5)
+        row = c.row()
+        assert row[0] == "t2"
+        assert "17.10" in row[2]
+
+    def test_row_without_value(self):
+        c = PaperComparison("t2", "area", None, 20.5)
+        assert "n/a" in c.row()[2]
+
+
+class TestTableBuilders:
+    def setup_method(self):
+        self.design = random_design("rep", seed=9, num_cells=6, num_nets=16,
+                                    num_critical=2)
+        self.base = two_layer_flow(self.design)
+        self.oc = overcell_flow(self.design)
+        self.ml = multilayer_channel_flow(self.design)
+
+    def test_table1(self):
+        rows = table1_rows(self.design, self.oc)
+        assert rows[0][0] == "rep"
+        assert rows[0][1] == 6
+        assert len(rows[0]) == len(TABLE1_HEADERS)
+
+    def test_table2(self):
+        rows = table2_rows(self.base, self.oc)
+        assert len(rows[0]) == len(TABLE2_HEADERS)
+        # All three reductions should be positive on this design.
+        assert all(float(v) > 0 for v in rows[0][1:])
+
+    def test_table3(self):
+        rows = table3_rows(self.ml, self.oc)
+        assert len(rows[0]) == len(TABLE3_HEADERS)
+        assert float(rows[0][3]) > 0
+
+    def test_tables_format(self):
+        out = format_table(TABLE2_HEADERS, table2_rows(self.base, self.oc))
+        assert "Layout Area %" in out
+
+
+class TestHtmlReport:
+    def test_structure(self):
+        from repro.reporting import html_report
+
+        design = random_design("html1", seed=22, num_cells=6, num_nets=14,
+                               num_critical=2)
+        result = overcell_flow(design)
+        doc = html_report(result)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.rstrip().endswith("</html>")
+        assert "<svg" in doc
+        assert "Routing report" in doc
+        assert "congestion" in doc
+        # Metrics tiles present.
+        assert "layout area" in doc
+        assert f"{result.layout_area:,}" in doc
+
+    def test_without_levelb(self):
+        from repro.reporting import html_report
+
+        design = random_design("html2", seed=23, num_cells=6, num_nets=12)
+        result = two_layer_flow(design)
+        doc = html_report(result)
+        assert "level B nets" not in doc
+        assert "<svg" in doc
+
+    def test_text_escaped(self):
+        from repro.reporting import html_report
+
+        design = random_design("html<&>", seed=24, num_cells=6, num_nets=12)
+        result = two_layer_flow(design)
+        doc = html_report(result)
+        assert "html<&>" not in doc.split("<title>")[1].split("</title>")[0] \
+            or "&lt;" in doc

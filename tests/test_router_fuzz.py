@@ -1,0 +1,172 @@
+"""Property/fuzz tests and failure injection for the level B router."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_suite import random_design
+from repro.core import LevelBConfig, LevelBRouter
+from repro.geometry import Point, Rect
+from repro.netlist import Design, Edge
+from repro.placement import RowPlacement
+
+
+def routed_random_design(seed, num_nets=16):
+    design = random_design(
+        f"fuzz{seed}", seed=seed, num_cells=8, num_nets=num_nets, num_critical=0
+    )
+    placement = RowPlacement.build(design, pitch=8)
+    placement.realize([16] * placement.channel_count, margin=16)
+    bounds = design.cell_bounds().expanded(24)
+    router = LevelBRouter(bounds, list(design.nets.values()))
+    return router, router.route()
+
+
+class TestFuzzInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_router_invariants(self, seed):
+        router, result = routed_random_design(seed)
+        ids = {r.net_id for r in result.routed}
+        # 1. Occupancy owners are exactly (a subset of) routed nets.
+        assert set(result.tig.grid.owners()) <= ids
+        # 2. Accounting: complete nets have degree-1 connections for
+        #    their unique terminals; failures are counted.
+        for routed in result.routed:
+            unique_terms = len(set(router.tig.terminals_of(routed.net_id)))
+            if routed.complete:
+                assert len(routed.connections) == unique_terms - 1
+            else:
+                assert routed.failed_terminals >= 1
+        # 3. Path legality: segments alternate and stay on-grid.
+        grid = result.tig.grid
+        for routed in result.routed:
+            for conn in routed.connections:
+                for seg in conn.path:
+                    if seg.is_point:
+                        continue
+                    if seg.is_horizontal:
+                        assert grid.htracks.has(seg.a.y)
+                    else:
+                        assert grid.vtracks.has(seg.a.x)
+        # 4. Via accounting.
+        assert result.total_vias == result.total_corners + sum(
+            r.net.degree - r.failed_terminals for r in result.routed
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_deterministic_across_runs(self, seed):
+        _, a = routed_random_design(seed)
+        _, b = routed_random_design(seed)
+        assert a.total_wire_length == b.total_wire_length
+        assert a.total_corners == b.total_corners
+        assert a.nets_completed == b.nets_completed
+
+
+class TestFailureInjection:
+    def walled_design(self):
+        """Terminal t1 is walled in by obstacles on all four sides."""
+        d = Design("walled")
+        for name, x, y in (("c1", 200, 192), ("c2", 400, 32)):
+            cell = d.add_cell(name, 16, 16)
+            cell.place(x, y)
+        net = d.add_net("trapped")
+        net.add_pin(d.add_pin("c1", "p", Edge.TOP, 8))
+        net.add_pin(d.add_pin("c2", "p", Edge.TOP, 8))
+        easy = d.add_net("easy")
+        easy.add_pin(d.add_pin("c1", "q", Edge.BOTTOM, 8))
+        easy.add_pin(d.add_pin("c2", "q", Edge.BOTTOM, 8))
+        # Wall around (208, 208) = c1's top pin; the BOTTOM pin at
+        # (208, 192) stays outside the walls.
+        walls = [
+            Rect(188, 216, 228, 224),  # above
+            Rect(188, 196, 200, 204),  # left
+            Rect(216, 196, 228, 204),  # right
+            Rect(188, 200, 204, 202),
+        ]
+        return d, walls
+
+    def test_unroutable_reported_not_raised(self):
+        d, walls = self.walled_design()
+        bounds = Rect(0, 0, 520, 320)
+        router = LevelBRouter(
+            bounds,
+            list(d.nets.values()),
+            obstacles=walls,
+            config=LevelBConfig(max_ripups=0),
+        )
+        result = router.route()
+        trapped = result.net_result("trapped")
+        # The walls block every escape except possibly a gap; whatever
+        # happens, the router must report rather than crash, and the
+        # easy net must still route.
+        assert result.net_result("easy").complete
+        assert trapped.complete or trapped.failed_terminals >= 1
+        assert 0.0 <= result.completion_rate <= 1.0
+
+    def test_flow_surfaces_incompletion(self):
+        """A flow whose level B fails must expose completion < 1."""
+        from repro.flow import FlowParams, overcell_flow
+        from repro.core.router import Obstacle
+
+        design = random_design("inj", seed=31, num_cells=6, num_nets=10,
+                               num_critical=1)
+        # First run cleanly to learn the geometry, then re-run with a
+        # full-width both-layer wall through a pin-free y band: any net
+        # with pins on both sides becomes unroutable.
+        clean = overcell_flow(design)
+        grid = clean.levelb.tig.grid
+        pin_pts = sorted(
+            t.position(grid)
+            for terms in clean.levelb.tig.all_terminals().values()
+            for t in terms
+        )
+        ys = sorted({p.y for p in pin_pts})
+        gaps = [(b - a, a, b) for a, b in zip(ys, ys[1:])]
+        width, lo, hi = max(gaps)
+        if width < 24:
+            pytest.skip("no pin-free band wide enough for a wall")
+        bounds = clean.bounds
+        wall = Rect(bounds.x1, lo + 8, bounds.x2, hi - 8)
+        crossing_nets = sum(
+            1
+            for net in design.nets.values()
+            if net.degree >= 2
+            and min(p.y for p in net.pin_positions()) <= lo
+            and max(p.y for p in net.pin_positions()) >= hi
+        )
+        design2 = random_design("inj", seed=31, num_cells=6, num_nets=10,
+                                num_critical=1)
+        params = FlowParams(obstacles=(Obstacle(wall),))
+        result = overcell_flow(design2, params)
+        if crossing_nets:
+            assert result.completion < 1.0
+        assert 0.0 <= result.completion <= 1.0
+
+
+class TestRegionExpansion:
+    def test_detour_uses_expansion(self):
+        """A long wall between terminals forces region escalation."""
+        d = Design("detour")
+        for name, x in (("c1", 0), ("c2", 400)):
+            cell = d.add_cell(name, 16, 16)
+            cell.place(x, 192)
+        net = d.add_net("n")
+        net.add_pin(d.add_pin("c1", "p", Edge.TOP, 8))
+        net.add_pin(d.add_pin("c2", "p", Edge.TOP, 8))
+        # A tall vertical wall centred between the pins: the direct
+        # region cannot contain any path, forcing growth.
+        wall = Rect(200, 0, 216, 400)
+        router = LevelBRouter(
+            Rect(-16, 0, 440, 480),
+            [net],
+            obstacles=[wall],
+            config=LevelBConfig(region_margin_tracks=2, maze_fallback=False),
+        )
+        result = router.route()
+        routed = result.routed[0]
+        assert routed.complete
+        assert routed.connections[0].expansions_used > 0
+        # The path must clear the wall vertically.
+        ys = [p.y for p in routed.connections[0].path.waypoints()]
+        assert max(ys) > 400 or min(ys) < 0

@@ -1,0 +1,98 @@
+"""Tests for repro.technology."""
+
+import pytest
+
+from repro.technology import Layer, RoutingDirection, Technology, ViaRule
+
+
+class TestLayer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Layer(0, "m0", RoutingDirection.VERTICAL, pitch=8, width=4)
+        with pytest.raises(ValueError):
+            Layer(1, "m1", RoutingDirection.VERTICAL, pitch=0, width=4)
+        with pytest.raises(ValueError):
+            Layer(1, "m1", RoutingDirection.VERTICAL, pitch=4, width=4)
+
+    def test_direction_helpers(self):
+        layer = Layer(1, "m1", RoutingDirection.VERTICAL, pitch=8, width=4)
+        assert layer.is_vertical and not layer.is_horizontal
+        assert RoutingDirection.VERTICAL.orthogonal is RoutingDirection.HORIZONTAL
+
+
+class TestViaRule:
+    def test_adjacent_only(self):
+        with pytest.raises(ValueError):
+            ViaRule(1, 3, size=4)
+
+    def test_positive_size(self):
+        with pytest.raises(ValueError):
+            ViaRule(1, 2, size=0)
+
+
+class TestTechnology:
+    def test_two_layer_preset(self):
+        tech = Technology.two_layer()
+        assert tech.num_layers == 2
+        assert tech.layer(1).is_vertical
+        assert tech.layer(2).is_horizontal
+
+    def test_four_layer_preset_pitches_grow(self):
+        tech = Technology.four_layer()
+        assert tech.num_layers == 4
+        # The paper's design-rule argument: upper layers are coarser.
+        assert tech.layer(3).pitch > tech.layer(1).pitch
+        assert tech.layer(4).pitch > tech.layer(2).pitch
+        assert tech.via(3).size > tech.via(1).size
+
+    def test_layer_lookup(self):
+        tech = Technology.four_layer()
+        assert tech.layer_by_name("metal3").index == 3
+        with pytest.raises(KeyError):
+            tech.layer_by_name("poly")
+        with pytest.raises(KeyError):
+            tech.layer(5)
+
+    def test_via_lookup(self):
+        tech = Technology.four_layer()
+        assert tech.via(2).upper == 3
+        with pytest.raises(KeyError):
+            tech.via(4)
+
+    def test_via_stack_size(self):
+        tech = Technology.four_layer()
+        assert tech.via_stack_size(1, 4) == max(v.size for v in tech.vias)
+        with pytest.raises(ValueError):
+            tech.via_stack_size(3, 3)
+
+    def test_channel_track_pitch(self):
+        tech = Technology.four_layer()
+        assert tech.channel_track_pitch([1, 2]) == 8
+        assert tech.channel_track_pitch([1, 2, 3, 4]) == 12
+        with pytest.raises(ValueError):
+            tech.channel_track_pitch([1, 3])  # no horizontal layer
+
+    def test_direction_partitions(self):
+        tech = Technology.four_layer()
+        assert [l.index for l in tech.horizontal_layers()] == [2, 4]
+        assert [l.index for l in tech.vertical_layers()] == [1, 3]
+
+    def test_stack_validation(self):
+        with pytest.raises(ValueError):
+            Technology(
+                name="bad",
+                layers=(
+                    Layer(1, "m1", RoutingDirection.VERTICAL, 8, 4),
+                    Layer(3, "m3", RoutingDirection.HORIZONTAL, 8, 4),
+                ),
+                vias=(ViaRule(1, 2, 4),),
+            )
+        with pytest.raises(ValueError):
+            Technology(
+                name="bad-vias",
+                layers=(
+                    Layer(1, "m1", RoutingDirection.VERTICAL, 8, 4),
+                    Layer(2, "m2", RoutingDirection.HORIZONTAL, 8, 4),
+                ),
+                vias=(),
+            )

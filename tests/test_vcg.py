@@ -1,0 +1,94 @@
+"""Tests for the vertical constraint graph."""
+
+import pytest
+
+from repro.channels import ChannelProblem, VerticalConstraintGraph
+
+
+class TestFromProblem:
+    def test_edges_from_columns(self):
+        p = ChannelProblem(top=[1, 2], bottom=[2, 1])
+        g = VerticalConstraintGraph.from_problem(p)
+        assert 2 in g.edges[1]
+        assert 1 in g.edges[2]
+
+    def test_same_net_column_no_edge(self):
+        p = ChannelProblem(top=[1], bottom=[1])
+        g = VerticalConstraintGraph.from_problem(p)
+        assert g.edges[1] == set()
+
+    def test_empty_columns_no_edges(self):
+        p = ChannelProblem(top=[1, 0], bottom=[0, 2])
+        g = VerticalConstraintGraph.from_problem(p)
+        assert all(not targets for targets in g.edges.values())
+
+
+class TestCycles:
+    def test_two_cycle(self):
+        p = ChannelProblem(top=[1, 2], bottom=[2, 1])
+        g = VerticalConstraintGraph.from_problem(p)
+        assert g.has_cycle()
+        cycle = g.find_cycle()
+        assert set(cycle) == {1, 2}
+
+    def test_acyclic_chain(self):
+        p = ChannelProblem(top=[1, 2], bottom=[2, 3])
+        g = VerticalConstraintGraph.from_problem(p)
+        assert not g.has_cycle()
+        assert g.find_cycle() is None
+
+    def test_self_edges_impossible_from_problem(self):
+        p = ChannelProblem(top=[5], bottom=[5])
+        g = VerticalConstraintGraph.from_problem(p)
+        assert not g.has_cycle()
+
+    def test_three_cycle(self):
+        g = VerticalConstraintGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert g.has_cycle()
+        assert len(g.find_cycle()) == 3
+
+
+class TestDagAnalysis:
+    def make_chain(self):
+        g = VerticalConstraintGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        g.add_node(4)
+        return g
+
+    def test_longest_path(self):
+        assert self.make_chain().longest_path_length() == 3
+
+    def test_longest_path_rejects_cycle(self):
+        g = VerticalConstraintGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        with pytest.raises(ValueError):
+            g.longest_path_length()
+
+    def test_topological_order(self):
+        order = self.make_chain().topological_order()
+        assert order.index(1) < order.index(2) < order.index(3)
+        assert set(order) == {1, 2, 3, 4}
+
+    def test_topological_order_rejects_cycle(self):
+        g = VerticalConstraintGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_predecessors(self):
+        g = self.make_chain()
+        assert g.predecessors(3) == {1, 2}
+        assert g.predecessors(1) == set()
+
+    def test_empty_graph(self):
+        g = VerticalConstraintGraph()
+        assert g.longest_path_length() == 0
+        assert g.topological_order() == []
+        assert not g.has_cycle()

@@ -1,0 +1,122 @@
+"""Tests for the Yoshimura-Kuh net-merging channel router."""
+
+import pytest
+
+from repro.channels import (
+    ChannelProblem,
+    ChannelRoutingError,
+    GreedyChannelRouter,
+    LeftEdgeRouter,
+    YKChannelRouter,
+)
+
+from conftest import make_random_channel_problem
+
+
+class TestBasics:
+    def test_simple_problem(self):
+        p = ChannelProblem(top=[1, 0, 2], bottom=[0, 1, 0])
+        route = YKChannelRouter().route(p)
+        route.check(p)
+
+    def test_single_column_two_sided_net(self):
+        p = ChannelProblem(top=[1], bottom=[1])
+        route = YKChannelRouter().route(p)
+        route.check(p)
+        assert route.tracks == 0
+
+    def test_single_pin_net_ignored(self):
+        p = ChannelProblem(top=[9, 1, 1], bottom=[0, 0, 0])
+        route = YKChannelRouter().route(p)
+        route.check(p)
+        assert all(s.net != 9 for s in route.spans)
+
+    def test_cycle_raises(self):
+        p = ChannelProblem(top=[1, 2], bottom=[2, 1])
+        with pytest.raises(ChannelRoutingError, match="cycle"):
+            YKChannelRouter().route(p)
+
+    def test_merging_shares_track(self):
+        """Two disjoint unconstrained nets must share one track."""
+        #  net 1 spans columns 0-2, net 2 spans 4-6; no constraints.
+        p = ChannelProblem(
+            top=[1, 0, 1, 0, 2, 0, 2],
+            bottom=[0] * 7,
+        )
+        route = YKChannelRouter().route(p)
+        route.check(p)
+        assert route.tracks == 1
+
+    def test_merge_respects_vcg(self):
+        """Merging may not create a constraint cycle."""
+        # Net 1 (cols 0-1) must be above net 2 at col 1; net 3 (cols
+        # 3-4) must be above net 1-candidate... construct: net 2 above
+        # net 1's merge partner would cycle.
+        p = ChannelProblem(
+            top=[1, 1, 0, 2, 2],
+            bottom=[0, 2, 0, 1, 0],
+        )
+        # Net-level VCG: 1 -> 2 (col 1) and 2 -> 1 (col 3): cycle.
+        with pytest.raises(ChannelRoutingError):
+            YKChannelRouter().route(p)
+
+    def test_constrained_chain_tracks(self):
+        # 1 above 2 above 3, all overlapping: needs 3 tracks.
+        p = ChannelProblem(
+            top=[1, 1, 2, 0],
+            bottom=[0, 2, 3, 3],
+        )
+        route = YKChannelRouter().route(p)
+        route.check(p)
+        assert route.tracks == 3
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_valid_or_cycle(self, seed):
+        p = make_random_channel_problem(30, 8, seed=seed)
+        try:
+            route = YKChannelRouter().route(p)
+        except ChannelRoutingError:
+            return
+        route.check(p)
+        assert route.tracks >= p.density()
+
+    def test_never_worse_than_no_merging_on_average(self):
+        """Across a batch, YK merging beats plain left-edge tracks."""
+        yk_total = lea_total = 0
+        cases = 0
+        for seed in range(40):
+            p = make_random_channel_problem(30, 8, seed=seed)
+            try:
+                yk = YKChannelRouter().route(p)
+                lea = LeftEdgeRouter(dogleg=False).route(p)
+            except ChannelRoutingError:
+                continue
+            yk.check(p)
+            yk_total += yk.tracks
+            lea_total += lea.tracks
+            cases += 1
+        assert cases > 10
+        assert yk_total <= lea_total
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_deterministic(self, seed):
+        p = make_random_channel_problem(30, 8, seed=seed)
+        try:
+            a = YKChannelRouter().route(p)
+            b = YKChannelRouter().route(p)
+        except ChannelRoutingError:
+            return
+        assert a.tracks == b.tracks
+        assert sorted(map(str, a.spans)) == sorted(map(str, b.spans))
+
+    @pytest.mark.parametrize("seed", [0, 3, 6, 9])
+    def test_comparable_to_greedy(self, seed):
+        p = make_random_channel_problem(30, 8, seed=seed)
+        greedy = GreedyChannelRouter().route(p)
+        try:
+            yk = YKChannelRouter().route(p)
+        except ChannelRoutingError:
+            pytest.skip("cyclic instance")
+        assert yk.tracks <= 2 * greedy.tracks + 2
