@@ -28,6 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import instrument
+from repro.instrument.names import (
+    GREEDY_COLUMNS,
+    GREEDY_TRACKS_ADDED,
+    SPAN_CHANNEL_GREEDY,
+)
 from repro.geometry import Interval
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog
@@ -69,28 +75,34 @@ class GreedyChannelRouter:
     # ------------------------------------------------------------------
     def route(self, problem: ChannelProblem) -> ChannelRoute:
         """Route ``problem``; never fails on well-formed input."""
-        state = _State(problem, self.initial_tracks)
-        if not state.has_pins:
-            return ChannelRoute(tracks=0, length=problem.length)
-        for col in range(problem.length):
-            state.begin_column(col)
-            state.connect_pins(col)
-            state.collapse(col)
-            if self.steady_jogs:
-                state.steady_jogs(col, self.min_jog_length)
-        extension_cap = self.max_extension_columns
-        if extension_cap is None:
-            extension_cap = 2 * len(state.track_ids) + problem.length + 16
-        col = problem.length
-        while state.any_split():
-            if col - problem.length >= extension_cap:
-                raise ChannelRoutingError(
-                    "could not collapse split nets within extension cap"
-                )
-            state.begin_column(col)
-            state.collapse(col)
-            col += 1
-        return state.finish(max(problem.length, col))
+        with instrument.span(SPAN_CHANNEL_GREEDY):
+            state = _State(problem, self.initial_tracks)
+            if not state.has_pins:
+                return ChannelRoute(tracks=0, length=problem.length)
+            initial_width = len(state.track_ids)
+            for col in range(problem.length):
+                state.begin_column(col)
+                state.connect_pins(col)
+                state.collapse(col)
+                if self.steady_jogs:
+                    state.steady_jogs(col, self.min_jog_length)
+            extension_cap = self.max_extension_columns
+            if extension_cap is None:
+                extension_cap = 2 * len(state.track_ids) + problem.length + 16
+            col = problem.length
+            while state.any_split():
+                if col - problem.length >= extension_cap:
+                    raise ChannelRoutingError(
+                        "could not collapse split nets within extension cap"
+                    )
+                state.begin_column(col)
+                state.collapse(col)
+                col += 1
+            inst = instrument.active()
+            if inst.enabled:
+                inst.count(GREEDY_COLUMNS, max(problem.length, col))
+                inst.count(GREEDY_TRACKS_ADDED, state._next_id - initial_width)
+            return state.finish(max(problem.length, col))
 
 
 class _State:

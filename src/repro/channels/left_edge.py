@@ -15,6 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import instrument
+from repro.instrument.names import (
+    EVT_CHANNEL_CYCLIC,
+    SPAN_CHANNEL_LEFT_EDGE,
+    VCG_CYCLES,
+)
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog
 from repro.channels.vcg import VerticalConstraintGraph
@@ -42,10 +48,16 @@ class LeftEdgeRouter:
     # ------------------------------------------------------------------
     def route(self, problem: ChannelProblem) -> ChannelRoute:
         """Route ``problem``; raises on vertical-constraint cycles."""
+        with instrument.span(SPAN_CHANNEL_LEFT_EDGE):
+            return self._route(problem)
+
+    def _route(self, problem: ChannelProblem) -> ChannelRoute:
         subnets = self._make_subnets(problem)
         vcg = self._subnet_vcg(problem, subnets)
         cycle = vcg.find_cycle()
         if cycle is not None:
+            instrument.count(VCG_CYCLES)
+            instrument.event(EVT_CHANNEL_CYCLIC, subnets=len(cycle))
             raise ChannelRoutingError(
                 f"vertical constraint cycle among subnets: {cycle}"
             )

@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Three subcommands cover the common library entry points::
+The subcommands cover the common library entry points::
 
-    python -m repro suite  --name ami33 --out ami33.json
-    python -m repro flow   --suite ami33 --flow overcell --svg out.svg
-    python -m repro tables --suite ami33
+    python -m repro suite   --name ami33 --out ami33.json
+    python -m repro flow    --suite ami33 --flow overcell --svg out.svg
+    python -m repro tables  --suite ami33
+    python -m repro profile --suite ami33 --flow overcell --out profile.json
 
 ``flow`` accepts either ``--suite <name>`` (a built-in synthetic
 benchmark) or ``--design <file.json>`` (a design written by
 ``repro.io.save_design``), runs the requested flow, prints the summary
 line, and optionally writes an SVG plot and/or a JSON result summary.
+``profile`` runs a flow inside an ``instrument.collecting()`` block and
+exports the span tree / counters / events (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -98,6 +101,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if result.completion == 1.0 else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one flow with instrumentation on and export the profile."""
+    from repro import instrument
+
+    design = _load_design_arg(args)
+    params = _flow_params(args)
+    with instrument.collecting() as col:
+        result = _FLOWS[args.flow](design, params)
+    print(result.summary())
+    instrument.write_json(args.out, col)
+    print(f"profile written to {args.out}")
+    if args.csv:
+        for kind, render in (
+            ("counters", instrument.counters_to_csv),
+            ("spans", instrument.spans_to_csv),
+            ("events", instrument.events_to_csv),
+        ):
+            path = f"{args.csv}.{kind}.csv"
+            with open(path, "w") as fh:
+                fh.write(render(col))
+            print(f"{kind} written to {path}")
+    print(instrument.tree_report(col))
+    return 0 if result.completion == 1.0 else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     design = _load_design_arg(args)
     baseline = two_layer_flow(design)
@@ -134,6 +162,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--svg", help="write an SVG layout plot")
     p_flow.add_argument("--json", help="write a JSON result summary")
     p_flow.set_defaults(func=_cmd_flow)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a flow with instrumentation and export the profile",
+    )
+    p_prof.add_argument("--suite", choices=sorted(SUITES))
+    p_prof.add_argument("--design", help="design JSON (repro.io format)")
+    p_prof.add_argument("--flow", choices=sorted(_FLOWS), default="overcell")
+    p_prof.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_prof.add_argument(
+        "--out", required=True, help="output profile JSON path"
+    )
+    p_prof.add_argument(
+        "--csv",
+        help="also write <prefix>.{counters,spans,events}.csv files",
+        metavar="PREFIX",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument("--suite", choices=sorted(SUITES))

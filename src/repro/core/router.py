@@ -17,10 +17,28 @@ Ties the pieces together exactly as section 3 describes:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import instrument
+from repro.instrument.names import (
+    CONNECTIONS_ROUTED,
+    EVT_MAZE_FALLBACK,
+    EVT_NET_FAILED,
+    EVT_NET_ROUTED,
+    EVT_RIPUP,
+    LEVELB_UTILIZATION,
+    MAZE_FALLBACKS,
+    NETS_FAILED,
+    NETS_ROUTED,
+    OCC_CELLS_TOUCHED,
+    REGION_EXPANSIONS,
+    RIPUPS,
+    SPAN_LEVELB_NET,
+    SPAN_LEVELB_REFINE,
+    SPAN_LEVELB_ROUTE,
+    SPAN_MAZE_RESCUE,
+)
 from repro.geometry import Interval, Path, Point, Rect
 from repro.netlist import Net
 from repro.technology import Technology
@@ -271,38 +289,79 @@ class LevelBRouter:
         Nets that fail outright trigger the bounded rip-up loop: the
         blockers crowding the failed terminals are unrouted, the failed
         net retries first, and the victims re-route after it.
+
+        The whole run executes inside a ``levelb.route`` instrumentation
+        span; ``elapsed_s`` is the span's wall time (measured whether or
+        not a collector is active).
         """
-        started = time.perf_counter()
-        queue: List[Net] = order_nets(self.nets, self.config.ordering)
-        results: Dict[Net, RoutedNet] = {}
-        ripups_left = self.config.max_ripups
-        ripup_count = 0
-        while queue:
-            net = queue.pop(0)
-            outcome = self._route_net(net)
-            results[net] = outcome
-            if outcome.complete or ripups_left <= 0:
-                continue
-            victims = self._pick_ripup_victims(net, results)
-            if not victims:
-                continue
-            ripups_left -= len(victims)
-            ripup_count += len(victims)
-            self._unroute_net(net)
-            results.pop(net)
-            for victim in victims:
-                self._unroute_net(victim)
-                results.pop(victim, None)
-                if victim in queue:
-                    queue.remove(victim)
-            queue = [net] + victims + queue
-        for _ in range(self.config.refinement_passes):
-            self._refine(results)
-        routed = [results[net] for net in self.nets if net in results]
+        with instrument.span(SPAN_LEVELB_ROUTE) as route_span:
+            # Declare the level B catalogue so exported profiles carry
+            # these keys (at 0) even on runs where they never fire.
+            instrument.active().declare(
+                CONNECTIONS_ROUTED,
+                MAZE_FALLBACKS,
+                NETS_FAILED,
+                NETS_ROUTED,
+                OCC_CELLS_TOUCHED,
+                REGION_EXPANSIONS,
+                RIPUPS,
+            )
+            queue: List[Net] = order_nets(self.nets, self.config.ordering)
+            results: Dict[Net, RoutedNet] = {}
+            ripups_left = self.config.max_ripups
+            ripup_count = 0
+            while queue:
+                net = queue.pop(0)
+                with instrument.span(SPAN_LEVELB_NET):
+                    outcome = self._route_net(net)
+                results[net] = outcome
+                if outcome.complete:
+                    instrument.event(
+                        EVT_NET_ROUTED,
+                        net=net.name,
+                        wire_length=outcome.wire_length,
+                        corners=outcome.corner_count,
+                    )
+                    continue
+                instrument.event(
+                    EVT_NET_FAILED,
+                    net=net.name,
+                    failed_terminals=outcome.failed_terminals,
+                )
+                if ripups_left <= 0:
+                    continue
+                victims = self._pick_ripup_victims(net, results)
+                if not victims:
+                    continue
+                ripups_left -= len(victims)
+                ripup_count += len(victims)
+                instrument.count(RIPUPS, len(victims))
+                instrument.event(
+                    EVT_RIPUP,
+                    net=net.name,
+                    victims=[v.name for v in victims],
+                )
+                self._unroute_net(net)
+                results.pop(net)
+                for victim in victims:
+                    self._unroute_net(victim)
+                    results.pop(victim, None)
+                    if victim in queue:
+                        queue.remove(victim)
+                queue = [net] + victims + queue
+            for _ in range(self.config.refinement_passes):
+                with instrument.span(SPAN_LEVELB_REFINE):
+                    self._refine(results)
+            routed = [results[net] for net in self.nets if net in results]
+            inst = instrument.active()
+            if inst.enabled:
+                inst.count(NETS_ROUTED, sum(1 for r in routed if r.complete))
+                inst.count(NETS_FAILED, sum(1 for r in routed if not r.complete))
+                inst.gauge(LEVELB_UTILIZATION, self.tig.grid.utilization())
         return LevelBResult(
             tig=self.tig,
             routed=routed,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=route_span.elapsed_s,
             nodes_created=self._nodes_created,
             ripups=ripup_count,
         )
@@ -415,6 +474,8 @@ class LevelBRouter:
         grid = self.tig.grid
         cfg = self.config
         for attempt, region in enumerate(self._regions(source, target)):
+            if attempt:
+                instrument.count(REGION_EXPANSIONS)
             search = MBFSearch(
                 grid,
                 net_id,
@@ -437,6 +498,7 @@ class LevelBRouter:
             if best is None:
                 continue
             self._commit(net_id, best)
+            instrument.count(CONNECTIONS_ROUTED)
             return RoutedConnection(
                 source=source,
                 target=target,
@@ -458,17 +520,23 @@ class LevelBRouter:
         from repro.maze.lee import lee_search  # local import: cycle guard
 
         grid = self.tig.grid
-        waypoints, corners, stats = lee_search(
-            grid,
-            net_id,
-            source,
-            target,
-            via_penalty=self.config.maze_via_penalty,
-        )
+        instrument.count(MAZE_FALLBACKS)
+        with instrument.span(SPAN_MAZE_RESCUE):
+            waypoints, corners, stats = lee_search(
+                grid,
+                net_id,
+                source,
+                target,
+                via_penalty=self.config.maze_via_penalty,
+            )
         self._nodes_created += stats.nodes_expanded
+        instrument.event(
+            EVT_MAZE_FALLBACK, net_id=net_id, found=waypoints is not None
+        )
         if waypoints is None or corners is None:
             return None
         commit_points(grid, net_id, waypoints, corners)
+        instrument.count(CONNECTIONS_ROUTED)
         return RoutedConnection(
             source=source,
             target=target,
@@ -510,6 +578,7 @@ def commit_points(
     the occupancy array identically.  All waypoint coordinates must lie
     on tracks.
     """
+    cells = 0
     for a, b in zip(points, points[1:]):
         if a == b:
             continue
@@ -521,8 +590,11 @@ def commit_points(
             v_idx = grid.vtracks.index_of(a.x)
             idxs = grid.htracks.index_range(min(a.y, b.y), max(a.y, b.y))
             grid.occupy_v(v_idx, idxs.start, idxs.stop - 1, net_id)
+        cells += idxs.stop - idxs.start
     for v_idx, h_idx in corners:
         grid.occupy_corner(v_idx, h_idx, net_id)
+        cells += 1
+    instrument.count(OCC_CELLS_TOUCHED, cells)
 
 
 def _dedupe_terminals(terminals: Sequence[GridTerminal]) -> List[GridTerminal]:

@@ -30,6 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import instrument
+from repro.instrument.names import (
+    MBFS_ABORTS,
+    MBFS_NODES_EXPANDED,
+    MBFS_SEARCHES,
+    SPAN_MBFS_SEARCH,
+)
 from repro.geometry import Interval, Point
 from repro.grid import RoutingGrid
 from repro.core.tig import GridTerminal
@@ -191,21 +198,35 @@ class MBFSearch:
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
-        """Run both searches and keep the global minimum-corner leaves."""
+        """Run both searches and keep the global minimum-corner leaves.
+
+        Search effort is tallied locally (``self._nodes_created``) and
+        reported to the instrumentation collector in one batch here, so
+        the per-node expansion loop carries no observability cost.
+        """
         roots: List[PSTNode] = []
         all_leaves: List[Tuple[int, List[PSTNode]]] = []
         best_depth: Optional[int] = None
-        for kind in (VERTICAL, HORIZONTAL):
-            limit = self.max_depth if best_depth is None else best_depth
-            root, leaves, depth = self._single_search(kind, limit)
-            if root is not None:
-                roots.append(root)
-            if depth is not None:
-                all_leaves.append((depth, leaves))
-                best_depth = depth if best_depth is None else min(best_depth, depth)
+        with instrument.span(SPAN_MBFS_SEARCH):
+            for kind in (VERTICAL, HORIZONTAL):
+                limit = self.max_depth if best_depth is None else best_depth
+                root, leaves, depth = self._single_search(kind, limit)
+                if root is not None:
+                    roots.append(root)
+                if depth is not None:
+                    all_leaves.append((depth, leaves))
+                    best_depth = (
+                        depth if best_depth is None else min(best_depth, depth)
+                    )
         leaves = [
             leaf for depth, group in all_leaves if depth == best_depth for leaf in group
         ]
+        inst = instrument.active()
+        if inst.enabled:
+            inst.count(MBFS_SEARCHES)
+            inst.count(MBFS_NODES_EXPANDED, self._nodes_created)
+            if self._aborted:
+                inst.count(MBFS_ABORTS)
         return SearchResult(
             source=self.source,
             target=self.target,

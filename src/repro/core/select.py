@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import instrument
+from repro.instrument.names import PST_BACKTRACK_STEPS, PST_CANDIDATES
 from repro.core.cost import CornerCostEvaluator
 from repro.core.search import CandidatePath
 
@@ -30,10 +32,13 @@ def select_best_path(
 
     Returns ``(candidate, cost)``; ``(None, inf)`` for an empty input.
     Ties resolve to the first-found candidate in length order, which
-    keeps the router deterministic.
+    keeps the router deterministic.  Backtrack effort (one step per
+    corner-cost evaluation during the bounded walk) is tallied locally
+    and reported in one batch.
     """
     best: Optional[CandidatePath] = None
     best_cost = float("inf")
+    steps = 0
     w1 = evaluator.weights.w1
     for cand in sorted(candidates, key=lambda c: (c.length, c.points[1:2])):
         partial = w1 * float(cand.length)
@@ -41,6 +46,7 @@ def select_best_path(
             break  # every later candidate is at least this long
         pruned = False
         for corner in cand.corners:
+            steps += 1
             partial += evaluator.corner_cost(*corner)
             if partial >= best_cost:
                 pruned = True
@@ -51,4 +57,8 @@ def select_best_path(
         if partial < best_cost:
             best = cand
             best_cost = partial
+    inst = instrument.active()
+    if inst.enabled:
+        inst.count(PST_CANDIDATES, len(candidates))
+        inst.count(PST_BACKTRACK_STEPS, steps)
     return best, best_cost

@@ -21,6 +21,10 @@ class FlowResult:
     ``layout_area``, ``wire_length`` and ``via_count`` are the paper's
     comparison metrics; the remaining fields expose the run's internals
     for inspection, visualisation and tests.
+
+    ``profile`` is a :func:`repro.instrument.snapshot` dictionary (span
+    tree, counters, gauges, events) captured when the flow ran inside
+    an ``instrument.collecting()`` block; ``None`` otherwise.
     """
 
     flow: str
@@ -37,6 +41,7 @@ class FlowResult:
     channel_routes: Optional[List["ChannelRoute"]] = None
     levelb: Optional["LevelBResult"] = None
     notes: Dict[str, object] = field(default_factory=dict)
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def layout_area(self) -> int:

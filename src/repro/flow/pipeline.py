@@ -13,6 +13,17 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import instrument
+from repro.instrument.names import (
+    CHANNELS_ROUTED,
+    LEFT_EDGE_FALLBACKS,
+    SPAN_CHANNEL_ROUTING,
+    SPAN_FLOW_ML_CHANNEL,
+    SPAN_FLOW_OVERCELL,
+    SPAN_FLOW_TWO_LAYER,
+    SPAN_GLOBAL_ROUTE,
+    SPAN_PLACEMENT,
+)
 from repro.channels import (
     ChannelRoute,
     ChannelRoutingError,
@@ -55,11 +66,13 @@ def _route_channels(
             try:
                 route = left_edge.route(spec.problem)
             except ChannelRoutingError:
+                instrument.count(LEFT_EDGE_FALLBACKS)
                 route = None
         if route is None:
             route = greedy.route(spec.problem)
         route.check(spec.problem)
         routes.append(route)
+    instrument.count(CHANNELS_ROUTED, len(routes))
     return routes
 
 
@@ -102,10 +115,17 @@ def _run_channel_pipeline(
     params: FlowParams,
 ) -> Tuple[RowPlacement, GlobalRoute, List[ChannelRoute], List[int], Tuple[int, int]]:
     pitch = params.channel_pitch
-    placement = RowPlacement.build(design, pitch=pitch, aspect=params.aspect)
+    with instrument.span(SPAN_PLACEMENT):
+        placement = RowPlacement.build(
+            design, pitch=pitch, aspect=params.aspect
+        )
     net_ids = _assign_net_ids(nets)
-    global_route = GlobalRouter(placement, pitch=pitch).route(nets, net_ids)
-    routes = _route_channels(global_route, params.channel_router)
+    with instrument.span(SPAN_GLOBAL_ROUTE):
+        global_route = GlobalRouter(placement, pitch=pitch).route(
+            nets, net_ids
+        )
+    with instrument.span(SPAN_CHANNEL_ROUTING):
+        routes = _route_channels(global_route, params.channel_router)
     heights = _channel_heights(global_route, routes, pitch)
     side_widths = global_route.side_widths(placement.num_rows)
     return placement, global_route, routes, heights, side_widths
@@ -114,8 +134,27 @@ def _run_channel_pipeline(
 # ----------------------------------------------------------------------
 # Flows
 # ----------------------------------------------------------------------
+def _attach_profile(result: FlowResult) -> FlowResult:
+    """Snapshot the active collector into ``result.profile`` if enabled.
+
+    The snapshot reflects the collector's cumulative state at the time
+    the flow finishes; with one flow per ``collecting()`` block that is
+    exactly the flow's own profile.
+    """
+    inst = instrument.active()
+    if inst.enabled:
+        result.profile = instrument.snapshot(inst)
+    return result
+
+
 def two_layer_flow(design: Design, params: Optional[FlowParams] = None) -> FlowResult:
     """The conventional baseline: every net channel-routed on m1/m2."""
+    with instrument.span(SPAN_FLOW_TWO_LAYER):
+        result = _two_layer_flow(design, params)
+    return _attach_profile(result)
+
+
+def _two_layer_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
     params = params or FlowParams()
     nets = design.routable_nets()
     placement, global_route, routes, heights, side_widths = _run_channel_pipeline(
@@ -147,6 +186,12 @@ def two_layer_flow(design: Design, params: Optional[FlowParams] = None) -> FlowR
 
 def overcell_flow(design: Design, params: Optional[FlowParams] = None) -> FlowResult:
     """The paper's flow: set A in channels, set B over the cells."""
+    with instrument.span(SPAN_FLOW_OVERCELL):
+        result = _overcell_flow(design, params)
+    return _attach_profile(result)
+
+
+def _overcell_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
     params = params or FlowParams()
     nets = design.routable_nets()
     if params.partition is PartitionStrategy.LONG_TO_B:
@@ -233,6 +278,20 @@ def multilayer_channel_flow(
         adjacent-track pairing) and space the resulting physical rows
         at the upper-layer pitch.
     """
+    with instrument.span(SPAN_FLOW_ML_CHANNEL):
+        result = _multilayer_channel_flow(
+            design, params, design_rule_aware=design_rule_aware, model=model
+        )
+    return _attach_profile(result)
+
+
+def _multilayer_channel_flow(
+    design: Design,
+    params: Optional[FlowParams],
+    *,
+    design_rule_aware: bool,
+    model: Optional[str],
+) -> FlowResult:
     params = params or FlowParams()
     if model is None:
         model = "design-rule" if design_rule_aware else "optimistic"

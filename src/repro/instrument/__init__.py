@@ -1,0 +1,82 @@
+"""``repro.instrument`` — tracing, counters and profiling for the stack.
+
+A dependency-free observability subsystem with four pieces:
+
+* **spans** — nesting context-manager timers aggregated into a tree
+  (flow → placement → channel routing → level B → per-net search);
+* **counters / gauges** — named tallies (MBFS nodes expanded, rip-ups,
+  maze fallbacks, ...) reported through a global-but-swappable
+  collector that costs ~nothing when collection is disabled;
+* **events** — an append-only structured log (net routed/failed,
+  fallback taken, channel cyclic);
+* **exporters** — JSON (round-trippable), CSV, and a human-readable
+  tree report.
+
+Typical use::
+
+    from repro import instrument
+
+    with instrument.collecting() as col:
+        result = overcell_flow(design)
+    print(instrument.tree_report(col))
+    instrument.write_json("profile.json", col)
+
+See ``docs/OBSERVABILITY.md`` for the name catalogue and the protocol
+for instrumenting new code.  Instrumented call sites import the
+module-level helpers (``span``/``count``/``gauge``/``event``) plus the
+constants in :mod:`repro.instrument.names`.
+"""
+
+from repro.instrument import names
+from repro.instrument.collector import (
+    Collector,
+    NullCollector,
+    Span,
+    SpanNode,
+    active,
+    collecting,
+    count,
+    enabled,
+    event,
+    gauge,
+    get_collector,
+    set_collector,
+    span,
+)
+from repro.instrument.export import (
+    PROFILE_FORMAT,
+    counters_to_csv,
+    events_to_csv,
+    profile_from_dict,
+    snapshot,
+    spans_to_csv,
+    to_json,
+    tree_report,
+    write_json,
+)
+
+__all__ = [
+    "Collector",
+    "NullCollector",
+    "Span",
+    "SpanNode",
+    "PROFILE_FORMAT",
+    "active",
+    "collecting",
+    "count",
+    "counters_to_csv",
+    "enabled",
+    "event",
+    "events_to_csv",
+    "gauge",
+    "get_collector",
+    "names",
+    "profile_from_dict",
+    "set_collector",
+    "snapshot",
+    "span",
+    "spans_to_csv",
+    "to_json",
+    "tree_report",
+    "write_json",
+]

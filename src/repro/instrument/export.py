@@ -1,0 +1,161 @@
+"""Profile exporters: JSON, CSV and a human-readable tree report.
+
+The JSON form (:func:`snapshot` / :func:`to_json`) is the canonical
+round-trippable export — :func:`profile_from_dict` rebuilds a
+:class:`~repro.instrument.collector.Collector` from it.  The CSV forms
+flatten one aspect each (counters, spans, events) for spreadsheet
+diffing across runs; :func:`tree_report` renders the span tree with
+wall/self times plus the counter table for terminals.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Optional
+
+from repro.instrument.collector import Collector, SpanNode, active
+
+PROFILE_FORMAT = "repro-profile"
+
+
+def _resolve(collector: Optional[Collector]) -> Collector:
+    return collector if collector is not None else active()
+
+
+def snapshot(
+    collector: Optional[Collector] = None, *, include_events: bool = True
+) -> Dict[str, Any]:
+    """Plain-data export of a collector (the active one by default).
+
+    ``include_events=False`` drops the event log body (keeping its
+    length) for compact artifacts; such snapshots still round-trip,
+    minus the events.
+    """
+    c = _resolve(collector)
+    out: Dict[str, Any] = {
+        "format": PROFILE_FORMAT,
+        "spans": c.root.to_dict(),
+        "counters": dict(sorted(c.counters.items())),
+        "gauges": dict(sorted(c.gauges.items())),
+        "events_total": len(c.events),
+    }
+    if include_events:
+        out["events"] = [dict(e) for e in c.events]
+    return out
+
+
+def profile_from_dict(data: Dict[str, Any]) -> Collector:
+    """Rebuild a collector from a :func:`snapshot` dictionary."""
+    if data.get("format") != PROFILE_FORMAT:
+        raise ValueError(f"not a {PROFILE_FORMAT} document")
+    c = Collector()
+    c.root = SpanNode.from_dict(data["spans"])
+    c._stack = [c.root]
+    c.counters = {str(k): int(v) for k, v in data.get("counters", {}).items()}
+    c.gauges = {str(k): float(v) for k, v in data.get("gauges", {}).items()}
+    c.events = [dict(e) for e in data.get("events", ())]
+    c._seq = max((int(e.get("seq", 0)) for e in c.events), default=0)
+    return c
+
+
+def to_json(collector: Optional[Collector] = None, *, indent: int = 2) -> str:
+    return json.dumps(snapshot(collector), indent=indent)
+
+
+def write_json(path: str, collector: Optional[Collector] = None) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_json(collector))
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def counters_to_csv(collector: Optional[Collector] = None) -> str:
+    """``counter,value`` rows, sorted by name (gauges appended)."""
+    c = _resolve(collector)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["counter", "value"])
+    for name, value in sorted(c.counters.items()):
+        writer.writerow([name, value])
+    for name, value in sorted(c.gauges.items()):
+        writer.writerow([name, value])
+    return buf.getvalue()
+
+
+def spans_to_csv(collector: Optional[Collector] = None) -> str:
+    """Flattened span rows: ``path,calls,total_s,self_s``.
+
+    Paths join span names with ``/`` (names themselves contain dots).
+    """
+    c = _resolve(collector)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["path", "calls", "total_s", "self_s"])
+
+    def emit(node: SpanNode, prefix: str) -> None:
+        for child in node.children.values():
+            path = f"{prefix}/{child.name}" if prefix else child.name
+            writer.writerow(
+                [path, child.calls, f"{child.total_s:.6f}", f"{child.self_s:.6f}"]
+            )
+            emit(child, path)
+
+    emit(c.root, "")
+    return buf.getvalue()
+
+
+def events_to_csv(collector: Optional[Collector] = None) -> str:
+    """``seq,event,data`` rows; extra fields JSON-encoded in ``data``."""
+    c = _resolve(collector)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["seq", "event", "data"])
+    for evt in c.events:
+        extra = {k: v for k, v in evt.items() if k not in ("seq", "event")}
+        writer.writerow(
+            [evt.get("seq"), evt.get("event"), json.dumps(extra, sort_keys=True)]
+        )
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Human-readable report
+# ----------------------------------------------------------------------
+def tree_report(collector: Optional[Collector] = None) -> str:
+    """The span tree plus counter/gauge tables, ready to print."""
+    c = _resolve(collector)
+    lines = ["span tree (wall-clock):"]
+    rows = [
+        (depth - 1, node)
+        for depth, node in c.root.walk()
+        if node is not c.root
+    ]
+    if not rows:
+        lines.append("  (no spans recorded)")
+    name_width = max((2 * d + len(n.name) for d, n in rows), default=4) + 2
+    for depth, node in rows:
+        label = "  " * depth + node.name
+        lines.append(
+            f"  {label:<{name_width}}{node.calls:>7}x"
+            f"{node.total_s:>11.4f}s{node.self_s:>11.4f}s"
+        )
+    if rows:
+        header = "  " + " " * name_width + "  calls      total       self"
+        lines.insert(1, header)
+    lines.append("counters:")
+    if not c.counters:
+        lines.append("  (none)")
+    cwidth = max((len(k) for k in c.counters), default=4) + 2
+    for name, value in sorted(c.counters.items()):
+        lines.append(f"  {name:<{cwidth}}{value:>14,}")
+    if c.gauges:
+        lines.append("gauges:")
+        gwidth = max(len(k) for k in c.gauges) + 2
+        for name, value in sorted(c.gauges.items()):
+            lines.append(f"  {name:<{gwidth}}{value:>14.4f}")
+    lines.append(f"events: {len(c.events)} recorded")
+    return "\n".join(lines)

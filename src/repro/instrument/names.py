@@ -1,0 +1,56 @@
+"""The span, counter, gauge and event name catalogue.
+
+Every name the routing stack emits lives here so exporters, tests and
+dashboards share one vocabulary.  Counter names are dotted
+``subsystem.metric`` strings; span names mirror the call hierarchy.
+``docs/OBSERVABILITY.md`` documents the semantics of each entry and
+the protocol for adding new ones.
+"""
+
+from __future__ import annotations
+
+# -- spans (aggregated tree nodes) -------------------------------------
+SPAN_FLOW_TWO_LAYER = "flow.two_layer"
+SPAN_FLOW_OVERCELL = "flow.overcell"
+SPAN_FLOW_ML_CHANNEL = "flow.ml_channel"
+SPAN_PLACEMENT = "placement"
+SPAN_GLOBAL_ROUTE = "global_route"
+SPAN_CHANNEL_ROUTING = "channel_routing"
+SPAN_CHANNEL_GREEDY = "channel.greedy"
+SPAN_CHANNEL_LEFT_EDGE = "channel.left_edge"
+SPAN_LEVELB_ROUTE = "levelb.route"
+SPAN_LEVELB_NET = "levelb.net"
+SPAN_LEVELB_REFINE = "levelb.refine"
+SPAN_MBFS_SEARCH = "mbfs.search"
+SPAN_MAZE_RESCUE = "maze.rescue"
+
+# -- counters ----------------------------------------------------------
+MBFS_SEARCHES = "mbfs.searches"
+MBFS_NODES_EXPANDED = "mbfs.nodes_expanded"
+MBFS_ABORTS = "mbfs.aborts"
+PST_CANDIDATES = "pst.candidates"
+PST_BACKTRACK_STEPS = "pst.backtrack_steps"
+REGION_EXPANSIONS = "region.expansions"
+MAZE_SEARCHES = "maze.searches"
+MAZE_NODES_EXPANDED = "maze.nodes_expanded"
+MAZE_FALLBACKS = "maze.fallbacks"
+RIPUPS = "ripups.performed"
+OCC_CELLS_TOUCHED = "occupancy.cells_touched"
+NETS_ROUTED = "nets.routed"
+NETS_FAILED = "nets.failed"
+CONNECTIONS_ROUTED = "connections.routed"
+VCG_CYCLES = "vcg.cycles_hit"
+LEFT_EDGE_FALLBACKS = "left_edge.fallbacks"
+CHANNELS_ROUTED = "channels.routed"
+GREEDY_COLUMNS = "greedy.columns_swept"
+GREEDY_TRACKS_ADDED = "greedy.tracks_added"
+
+# -- gauges ------------------------------------------------------------
+LEVELB_UTILIZATION = "levelb.grid_utilization"
+
+# -- events (append-only structured log) -------------------------------
+EVT_NET_ROUTED = "net.routed"
+EVT_NET_FAILED = "net.failed"
+EVT_MAZE_FALLBACK = "maze.fallback"
+EVT_RIPUP = "ripup"
+EVT_CHANNEL_CYCLIC = "channel.cyclic"

@@ -65,4 +65,6 @@ def flow_result_to_dict(result) -> Dict[str, Any]:
     }
     if result.levelb is not None:
         out["levelb"] = levelb_result_to_dict(result.levelb)
+    if result.profile is not None:
+        out["profile"] = result.profile
     return out

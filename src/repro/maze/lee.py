@@ -18,6 +18,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import instrument
+from repro.instrument.names import MAZE_NODES_EXPANDED, MAZE_SEARCHES
 from repro.geometry import Interval, Path, Point
 from repro.grid import RoutingGrid
 from repro.core.router import (
@@ -117,6 +119,13 @@ def lee_search(
                 parent[nstate] = state
                 heapq.heappush(heap, (nd, nstate))
                 stats.nodes_pushed += 1
+
+    # One batched instrumentation report per wave expansion: the inner
+    # loop above tallies into ``stats`` only.
+    inst = instrument.active()
+    if inst.enabled:
+        inst.count(MAZE_SEARCHES)
+        inst.count(MAZE_NODES_EXPANDED, stats.nodes_expanded)
 
     if goal is None:
         return None, None, stats
