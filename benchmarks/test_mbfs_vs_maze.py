@@ -16,7 +16,6 @@ import time
 
 from repro.bench_suite import random_design
 from repro.core import LevelBConfig, LevelBRouter
-from repro.geometry import Rect
 from repro.maze import MazeRouter
 from repro.placement import RowPlacement
 from repro.reporting import format_table

@@ -25,7 +25,7 @@ a via wherever it touches a trunk of its own net.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro import instrument

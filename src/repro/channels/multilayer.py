@@ -23,7 +23,7 @@ constraints stay satisfied; the result still passes the standard
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog

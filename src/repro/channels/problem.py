@@ -9,8 +9,8 @@ count any two-layer router can achieve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
 
 class ChannelRoutingError(RuntimeError):

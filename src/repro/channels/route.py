@@ -11,7 +11,7 @@ may therefore cross but never overlap on the same layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 

@@ -10,7 +10,7 @@ dogleg-free left-edge routing infeasible; dogleg splitting usually
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set
 
 from repro.channels.problem import ChannelProblem
 

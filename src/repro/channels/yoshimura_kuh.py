@@ -16,7 +16,7 @@ a hard infeasibility and raise :class:`ChannelRoutingError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.channels.problem import ChannelProblem, ChannelRoutingError

@@ -17,7 +17,12 @@ layout (between-cell *and* over-cell areas) on the metal3/metal4 pair:
   multi-terminal nets into two-terminal connections.
 * :mod:`repro.core.ordering` - serial net ordering (longest distance
   first by default, user criteria supported).
-* :mod:`repro.core.router` - the :class:`LevelBRouter` orchestrator.
+* :mod:`repro.core.engine` - the :class:`ConnectionEngine` protocol
+  (search -> candidates -> select -> commit) with a name registry; the
+  MBFS/PST engine lives here, the Lee engine in :mod:`repro.maze.lee`.
+* :mod:`repro.core.router` - the :class:`LevelBRouter` orchestrator:
+  net ordering, Steiner decomposition, rip-up, refinement - thin
+  sequencing over engines and grid transactions.
 """
 
 from repro.core.tig import GridTerminal, TrackIntersectionGraph
@@ -25,6 +30,15 @@ from repro.core.cost import CostWeights
 from repro.core.search import MBFSearch, PSTNode, SearchResult
 from repro.core.select import select_best_path
 from repro.core.ordering import NetOrdering, order_nets
+from repro.core.engine import (
+    ConnectionEngine,
+    EngineContext,
+    MBFSEngine,
+    RoutedConnection,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.core.router import LevelBConfig, LevelBResult, LevelBRouter, RoutedNet
 
 __all__ = [
@@ -37,6 +51,13 @@ __all__ = [
     "select_best_path",
     "NetOrdering",
     "order_nets",
+    "ConnectionEngine",
+    "EngineContext",
+    "MBFSEngine",
+    "RoutedConnection",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "LevelBConfig",
     "LevelBResult",
     "LevelBRouter",

@@ -22,7 +22,7 @@ on top of the other, over relatively long distances") suggests.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Optional, Sequence, Set, Tuple
 
 from repro.geometry import Point
 from repro.grid import RoutingGrid

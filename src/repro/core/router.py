@@ -5,20 +5,26 @@ Ties the pieces together exactly as section 3 describes:
 1. define routing tracks over the whole layout and assign a pair of
    tracks to each net terminal;
 2. order the nets (longest distance first by default);
-3. for each two-terminal connection, search a bounded region with the
-   modified BFS, select the best minimum-corner path from the Path
-   Selection Trees under the section 3.2 cost function, and commit it
-   to the occupancy array (the ``O(t)`` update of section 3.4);
+3. for each two-terminal connection, hand the search/select/commit
+   cycle to the configured :class:`~repro.core.engine.ConnectionEngine`
+   (the MBFS/PST engine by default, per sections 3.1-3.2, committing
+   through the ``O(t)`` occupancy update of section 3.4);
 4. decompose multi-terminal nets with the Steiner-Prim builder,
    connecting each new terminal to the closest point (terminal or
    Steiner point) of the partially routed tree;
 5. widen the search region and retry when a bounded search fails.
+
+Speculative state changes - rip-up-and-reroute, refinement, routability
+probes - run inside :class:`~repro.grid.GridTransaction` journals, so
+undoing a decision costs time proportional to the cells it touched,
+never a full-grid scan.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import instrument
 from repro.instrument.names import (
@@ -38,15 +44,23 @@ from repro.instrument.names import (
     SPAN_LEVELB_REFINE,
     SPAN_LEVELB_ROUTE,
     SPAN_MAZE_RESCUE,
+    TXN_COMMITS,
+    TXN_ROLLBACKS,
+    TXN_UNDO_CELLS,
 )
-from repro.geometry import Interval, Path, Point, Rect
+from repro.geometry import Interval, Rect
 from repro.netlist import Net
 from repro.technology import Technology
 from repro.core.cost import CornerCostEvaluator, CostWeights
+from repro.core.engine import (
+    ConnectionEngine,
+    EngineContext,
+    Region,
+    RoutedConnection,
+    get_engine,
+)
 from repro.core.ordering import NetOrdering, order_nets
-from repro.core.search import CandidatePath, MBFSearch, candidate_paths
-from repro.core.select import select_best_path
-from repro.core.steiner import SteinerTreeBuilder
+from repro.core.steiner import SteinerTreeBuilder, dedupe_terminals
 from repro.core.tig import GridTerminal, TrackIntersectionGraph
 
 
@@ -78,6 +92,11 @@ class LevelBConfig:
     max_depth: int = 12
     max_nodes_per_search: int = 250_000
     max_entries_per_track: int = 8
+    # Connection engines by registry name (repro.core.engine).  The
+    # primary engine routes every connection; the rescue engine is the
+    # last resort behind ``maze_fallback``.
+    engine: str = "mbfs"
+    rescue_engine: str = "lee"
     # The MBFS excludes paths with more than one corner per track, so
     # on congested grids a routable connection can be invisible to it
     # (the paper conditions 100% completion on the solution space).
@@ -99,30 +118,10 @@ class LevelBConfig:
     parallel_run_separation: int = 1
     # Post-routing refinement: after all nets route, each net is
     # ripped up and rerouted once per pass with full knowledge of the
-    # others (serial routers over-constrain early nets).  A net's old
-    # wiring is freed before its reroute, so with the maze fallback on
-    # the pass can never lose a connection; quality-only.
+    # others (serial routers over-constrain early nets).  Each net's
+    # rip/reroute runs in a grid transaction; a reroute that does not
+    # improve on the old wiring is rolled back in O(cells touched).
     refinement_passes: int = 0
-
-
-@dataclass
-class RoutedConnection:
-    """One committed two-terminal connection."""
-
-    source: GridTerminal
-    target: GridTerminal
-    path: Path
-    corners: List[Tuple[int, int]]
-    cost: float
-    expansions_used: int
-
-    @property
-    def wire_length(self) -> int:
-        return self.path.length
-
-    @property
-    def corner_count(self) -> int:
-        return len(self.corners)
 
 
 @dataclass
@@ -157,6 +156,17 @@ class LevelBResult:
     nodes_created: int
     ripups: int = 0
 
+    def __post_init__(self) -> None:
+        # Name index for O(1) net_result lookups.  Net names are
+        # guaranteed unique by LevelBRouter; a direct construction with
+        # duplicates fails loudly here instead of shadowing a result.
+        index: Dict[str, RoutedNet] = {}
+        for r in self.routed:
+            if r.net.name in index:
+                raise ValueError(f"duplicate net name {r.net.name!r} in result")
+            index[r.net.name] = r
+        self._by_name = index
+
     @property
     def total_wire_length(self) -> int:
         return sum(r.wire_length for r in self.routed)
@@ -188,10 +198,10 @@ class LevelBResult:
         return self.nets_completed / len(self.routed)
 
     def net_result(self, name: str) -> RoutedNet:
-        for r in self.routed:
-            if r.net.name == name:
-                return r
-        raise KeyError(f"net {name!r} was not routed at level B")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"net {name!r} was not routed at level B") from None
 
 
 class LevelBRouter:
@@ -202,7 +212,8 @@ class LevelBRouter:
     bounds:
         The fixed layout rectangle (known after level A, section 2).
     nets:
-        Set B nets; their pins must have placed positions.
+        Set B nets; their pins must have placed positions.  Net names
+        must be unique (results are indexed by name).
     technology:
         Supplies the m3 (vertical) and m4 (horizontal) pitches.
     obstacles:
@@ -227,6 +238,14 @@ class LevelBRouter:
             raise ValueError("level B routing needs a 4-layer technology")
         self.technology = tech
         self.nets = [n for n in nets if n.degree >= 2]
+        seen_names = set()
+        for net in self.nets:
+            if net.name in seen_names:
+                raise ValueError(
+                    f"duplicate net name {net.name!r}: level B results are "
+                    "indexed by name, so names must be unique"
+                )
+            seen_names.add(net.name)
         terminal_points = [p for net in self.nets for p in net.pin_positions()]
         for p in terminal_points:
             if not bounds.contains_point(p):
@@ -253,6 +272,41 @@ class LevelBRouter:
         self._nodes_created = 0
         self._sensitive_ids = frozenset(
             self._net_ids[n] for n in self.nets if n.is_sensitive
+        )
+        self._engine: ConnectionEngine = self._primary_engine()
+        self._rescue: Optional[ConnectionEngine] = None
+        self._ctx = EngineContext(
+            grid=self.tig.grid,
+            config=self.config,
+            evaluator=self._evaluator_for,
+            regions=self._regions,
+            add_nodes=self._add_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # Engine wiring
+    # ------------------------------------------------------------------
+    def _primary_engine(self) -> ConnectionEngine:
+        """The engine routing every connection (config-selected)."""
+        return get_engine(self.config.engine).from_config(self.config)
+
+    def _rescue_engine(self) -> ConnectionEngine:
+        """The last-resort engine behind ``maze_fallback`` (lazy)."""
+        if self._rescue is None:
+            self._rescue = get_engine(self.config.rescue_engine).from_config(
+                self.config
+            )
+        return self._rescue
+
+    def _add_nodes(self, n: int) -> None:
+        self._nodes_created += n
+
+    def _evaluator_for(self, net_id: int) -> CornerCostEvaluator:
+        """A fresh cost evaluator carrying the net's extension terms."""
+        return CornerCostEvaluator(
+            self.tig.grid,
+            self.config.weights,
+            extra_terms=self._extra_terms_for(net_id),
         )
 
     def _extra_terms_for(self, net_id: int) -> Tuple:
@@ -288,7 +342,9 @@ class LevelBRouter:
 
         Nets that fail outright trigger the bounded rip-up loop: the
         blockers crowding the failed terminals are unrouted, the failed
-        net retries first, and the victims re-route after it.
+        net retries first, and the victims re-route after it.  The work
+        queue is a deque with per-net generation counters, so pops,
+        victim removals and requeues are all O(1).
 
         The whole run executes inside a ``levelb.route`` instrumentation
         span; ``elapsed_s`` is the span's wall time (measured whether or
@@ -305,13 +361,25 @@ class LevelBRouter:
                 OCC_CELLS_TOUCHED,
                 REGION_EXPANSIONS,
                 RIPUPS,
+                TXN_COMMITS,
+                TXN_ROLLBACKS,
+                TXN_UNDO_CELLS,
             )
-            queue: List[Net] = order_nets(self.nets, self.config.ordering)
+            ordered = order_nets(self.nets, self.config.ordering)
+            # Work queue: (net, generation) entries plus a live-generation
+            # map.  Requeueing bumps a net's generation, so stale deque
+            # entries are skipped on pop instead of removed in O(n).
+            queue: Deque[Tuple[Net, int]] = deque((net, 0) for net in ordered)
+            live: Dict[Net, int] = {net: 0 for net in ordered}
+            pushes: Dict[Net, int] = {}
             results: Dict[Net, RoutedNet] = {}
             ripups_left = self.config.max_ripups
             ripup_count = 0
             while queue:
-                net = queue.pop(0)
+                net, generation = queue.popleft()
+                if live.get(net) != generation:
+                    continue  # superseded by a rip-up requeue
+                del live[net]
                 with instrument.span(SPAN_LEVELB_NET):
                     outcome = self._route_net(net)
                 results[net] = outcome
@@ -346,9 +414,11 @@ class LevelBRouter:
                 for victim in victims:
                     self._unroute_net(victim)
                     results.pop(victim, None)
-                    if victim in queue:
-                        queue.remove(victim)
-                queue = [net] + victims + queue
+                for requeued in reversed([net] + victims):
+                    token = pushes.get(requeued, 0) + 1
+                    pushes[requeued] = token
+                    live[requeued] = token
+                    queue.appendleft((requeued, token))
             for _ in range(self.config.refinement_passes):
                 with instrument.span(SPAN_LEVELB_REFINE):
                     self._refine(results)
@@ -366,19 +436,42 @@ class LevelBRouter:
             ripups=ripup_count,
         )
 
+    def probe(self) -> LevelBResult:
+        """What-if routability assessment: route everything, keep nothing.
+
+        Runs :meth:`route` inside one grid transaction and rolls it
+        back, so the returned :class:`LevelBResult` reports completion,
+        wire length and corners while the occupancy grid comes back
+        byte-identical to its pre-probe state (terminals still
+        reserved, no wiring).  Rollback cost is proportional to the
+        cells the probe touched.  The router can :meth:`route` for real
+        afterwards.
+        """
+        grid = self.tig.grid
+        txn = grid.begin()
+        try:
+            result = self.route()
+        finally:
+            if not txn.closed:
+                txn.rollback()
+        return result
+
     def _refine(self, results: Dict[Net, RoutedNet]) -> None:
         """One refinement pass: reroute every net with others in place.
 
-        Nets revisit in routing order.  A net's own wiring is freed
-        before its reroute, so its previous path remains available; a
-        reroute that somehow loses connections (possible only with the
-        maze fallback disabled, since the MBFS is incomplete) is
-        rolled back by restoring the better of the two outcomes.
+        Nets revisit in routing order.  Each rip/reroute runs inside a
+        grid transaction: a net's own wiring is freed before its
+        reroute (so its previous path remains available), and a reroute
+        that does not improve on the old outcome is rolled back through
+        the journal - O(cells touched), with the old wiring restored
+        byte-identically.
         """
+        grid = self.tig.grid
         for net in order_nets(list(results), self.config.ordering):
             old = results[net]
             if not old.connections and old.complete:
                 continue  # nothing wired (coincident pins)
+            txn = grid.begin()
             self._unroute_net(net)
             new = self._route_net(net)
             if (new.failed_terminals, new.wire_length, new.corner_count) <= (
@@ -386,19 +479,11 @@ class LevelBRouter:
                 old.wire_length,
                 old.corner_count,
             ):
+                txn.commit()
                 results[net] = new
-                continue
-            # Roll back: restore the original wiring verbatim.
-            self._unroute_net(net)
-            grid = self.tig.grid
-            net_id = self._net_ids[net]
-            for term in self.tig.terminals_of(net_id):
-                grid.mark_terminal_routed(term.v_idx, term.h_idx)
-            for conn in old.connections:
-                commit_points(
-                    grid, net_id, conn.path.waypoints(), conn.corners
-                )
-            results[net] = old
+            else:
+                txn.rollback()
+                results[net] = old
 
     def _pick_ripup_victims(
         self, net: Net, results: Dict[Net, RoutedNet]
@@ -423,10 +508,14 @@ class LevelBRouter:
         return victims
 
     def _unroute_net(self, net: Net) -> None:
-        """Rip a net's wiring off the grid and re-reserve its terminals."""
+        """Rip a net's wiring off the grid and re-reserve its terminals.
+
+        ``rip_net`` replays the net's mutation ledger, so the cost is
+        proportional to the cells the net actually occupied.
+        """
         net_id = self._net_ids[net]
         grid = self.tig.grid
-        grid.clear_net(net_id)
+        grid.rip_net(net_id)
         for term in self.tig.terminals_of(net_id):
             grid.reserve_terminal(term.v_idx, term.h_idx, net_id)
 
@@ -439,7 +528,7 @@ class LevelBRouter:
         for t in terminals:
             grid.mark_terminal_routed(t.v_idx, t.h_idx)
         result = RoutedNet(net=net, net_id=net_id)
-        unique = _dedupe_terminals(terminals)
+        unique = dedupe_terminals(terminals)
         if len(unique) < 2:
             return result  # all pins coincide; nothing to wire
         if len(unique) == 2:
@@ -468,87 +557,45 @@ class LevelBRouter:
     def _route_connection(
         self, net_id: int, source: GridTerminal, target: GridTerminal
     ) -> Optional[RoutedConnection]:
-        """Search/select/commit one connection with region escalation."""
-        if source == target:
-            return None
-        grid = self.tig.grid
-        cfg = self.config
-        for attempt, region in enumerate(self._regions(source, target)):
-            if attempt:
-                instrument.count(REGION_EXPANSIONS)
-            search = MBFSearch(
-                grid,
-                net_id,
-                source,
-                target,
-                region=region,
-                max_depth=cfg.max_depth,
-                max_nodes=cfg.max_nodes_per_search,
-                max_entries_per_track=cfg.max_entries_per_track,
-            )
-            outcome = search.run()
-            self._nodes_created += outcome.nodes_created
-            if not outcome.found:
-                continue
-            cands = candidate_paths(outcome, grid)
-            evaluator = CornerCostEvaluator(
-                grid, cfg.weights, extra_terms=self._extra_terms_for(net_id)
-            )
-            best, cost = select_best_path(cands, evaluator)
-            if best is None:
-                continue
-            self._commit(net_id, best)
+        """One connection through the primary engine, rescue as needed."""
+        conn = self._engine.route(self._ctx, net_id, source, target)
+        if (
+            conn is None
+            and self.config.maze_fallback
+            and self._engine.name != self.config.rescue_engine
+        ):
+            conn = self._maze_rescue(net_id, source, target)
+        if conn is not None:
             instrument.count(CONNECTIONS_ROUTED)
-            return RoutedConnection(
-                source=source,
-                target=target,
-                path=Path.from_points(best.points)
-                if len(best.points) >= 2
-                else Path.from_points([best.points[0], best.points[0]]),
-                corners=best.corners,
-                cost=cost,
-                expansions_used=attempt,
-            )
-        if cfg.maze_fallback:
-            return self._maze_rescue(net_id, source, target)
-        return None
+        return conn
 
     def _maze_rescue(
         self, net_id: int, source: GridTerminal, target: GridTerminal
     ) -> Optional[RoutedConnection]:
-        """Last-resort whole-grid maze search for one connection."""
-        from repro.maze.lee import lee_search  # local import: cycle guard
+        """Last-resort whole-grid shot with the rescue engine.
 
-        grid = self.tig.grid
+        The rescued connection's cost is evaluated with the regular
+        section 3.2 cost model (the engine prices the committed path
+        with :class:`CornerCostEvaluator`), so rescue costs aggregate
+        cleanly with MBFS costs; ``expansions_used == -1`` marks the
+        rescue.
+        """
+        engine = self._rescue_engine()
         instrument.count(MAZE_FALLBACKS)
         with instrument.span(SPAN_MAZE_RESCUE):
-            waypoints, corners, stats = lee_search(
-                grid,
-                net_id,
-                source,
-                target,
-                via_penalty=self.config.maze_via_penalty,
+            conn = engine.route(
+                self._ctx, net_id, source, target, regions=(None,)
             )
-        self._nodes_created += stats.nodes_expanded
         instrument.event(
-            EVT_MAZE_FALLBACK, net_id=net_id, found=waypoints is not None
+            EVT_MAZE_FALLBACK, net_id=net_id, found=conn is not None
         )
-        if waypoints is None or corners is None:
-            return None
-        commit_points(grid, net_id, waypoints, corners)
-        instrument.count(CONNECTIONS_ROUTED)
-        return RoutedConnection(
-            source=source,
-            target=target,
-            path=Path.from_points(waypoints),
-            corners=corners,
-            cost=float("nan"),
-            expansions_used=-1,  # marks a maze rescue
-        )
+        if conn is not None:
+            conn.expansions_used = -1  # marks a maze rescue
+        return conn
 
     def _regions(
         self, source: GridTerminal, target: GridTerminal
-    ) -> Iterable[Optional[Tuple[Interval, Interval]]]:
+    ) -> Iterator[Region]:
         """Index-space search regions, smallest first, whole grid last."""
         cfg = self.config
         v_box = Interval.spanning(source.v_idx, target.v_idx)
@@ -559,49 +606,12 @@ class LevelBRouter:
             margin *= cfg.region_growth
         yield None  # unbounded: the entire layout
 
-    def _commit(self, net_id: int, candidate: CandidatePath) -> None:
-        """Claim a selected path on the occupancy grid."""
-        commit_points(
-            self.tig.grid, net_id, candidate.points, candidate.corners
-        )
-
 
 def commit_points(
     grid,
     net_id: int,
-    points: Sequence[Point],
+    points: Sequence,
     corners: Iterable[Tuple[int, int]],
 ) -> None:
-    """Claim a path (waypoint sequence plus corner vias) for ``net_id``.
-
-    Shared by the level B router and the maze baseline so both mutate
-    the occupancy array identically.  All waypoint coordinates must lie
-    on tracks.
-    """
-    cells = 0
-    for a, b in zip(points, points[1:]):
-        if a == b:
-            continue
-        if a.y == b.y:
-            h_idx = grid.htracks.index_of(a.y)
-            idxs = grid.vtracks.index_range(min(a.x, b.x), max(a.x, b.x))
-            grid.occupy_h(h_idx, idxs.start, idxs.stop - 1, net_id)
-        else:
-            v_idx = grid.vtracks.index_of(a.x)
-            idxs = grid.htracks.index_range(min(a.y, b.y), max(a.y, b.y))
-            grid.occupy_v(v_idx, idxs.start, idxs.stop - 1, net_id)
-        cells += idxs.stop - idxs.start
-    for v_idx, h_idx in corners:
-        grid.occupy_corner(v_idx, h_idx, net_id)
-        cells += 1
-    instrument.count(OCC_CELLS_TOUCHED, cells)
-
-
-def _dedupe_terminals(terminals: Sequence[GridTerminal]) -> List[GridTerminal]:
-    seen = set()
-    out: List[GridTerminal] = []
-    for t in terminals:
-        if t not in seen:
-            seen.add(t)
-            out.append(t)
-    return out
+    """Backwards-compatible alias for :meth:`RoutingGrid.commit_path`."""
+    grid.commit_path(net_id, points, corners)

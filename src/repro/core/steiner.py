@@ -17,11 +17,22 @@ into the component so later attachments can use its Steiner points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.geometry import Point, Segment
 from repro.grid import RoutingGrid
 from repro.core.tig import GridTerminal
+
+
+def dedupe_terminals(terminals: Sequence[GridTerminal]) -> List[GridTerminal]:
+    """Unique terminals in first-seen order (coincident pins collapse)."""
+    seen: Set[GridTerminal] = set()
+    out: List[GridTerminal] = []
+    for t in terminals:
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    return out
 
 
 @dataclass(frozen=True)

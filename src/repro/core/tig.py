@@ -20,7 +20,7 @@ array directly for speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.geometry import Point, Rect
 from repro.grid import FREE, RoutingGrid, TrackSet

@@ -11,6 +11,7 @@ channel geometry per the paper's Table 3 assumptions.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import instrument
@@ -20,6 +21,7 @@ from repro.instrument.names import (
     SPAN_CHANNEL_ROUTING,
     SPAN_FLOW_ML_CHANNEL,
     SPAN_FLOW_OVERCELL,
+    SPAN_FLOW_PROBE,
     SPAN_FLOW_TWO_LAYER,
     SPAN_GLOBAL_ROUTE,
     SPAN_PLACEMENT,
@@ -249,6 +251,90 @@ def _overcell_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
         level_b_wire=levelb.total_wire_length,
     )
     return result
+
+
+@dataclass
+class RoutabilityProbe:
+    """Outcome of a what-if level B routability assessment.
+
+    Produced by :func:`routability_probe`.  The probe routes set B over
+    the realised level A layout inside one grid transaction and rolls
+    everything back, so it reports expected completion and wiring
+    figures without committing anything.
+    """
+
+    design: str
+    level_a_nets: int
+    level_b_nets: int
+    completion: float
+    failed_nets: List[str] = field(default_factory=list)
+    level_b_wire: int = 0
+    level_b_corners: int = 0
+    ripups: int = 0
+    grid_restored: bool = True
+
+    @property
+    def routable(self) -> bool:
+        return self.completion >= 1.0
+
+
+def routability_probe(
+    design: Design, params: Optional[FlowParams] = None
+) -> RoutabilityProbe:
+    """Early routability assessment for the over-cell flow.
+
+    Runs the same partition + channel pipeline as :func:`overcell_flow`
+    to realise the layout, then *probes* level B instead of routing it:
+    the whole net loop executes inside a grid transaction that is
+    rolled back (O(cells touched)), leaving the occupancy grid
+    byte-identical to its pre-probe state.  Use it to vet a floorplan,
+    partition threshold or obstacle set before committing to a full
+    flow run.
+    """
+    params = params or FlowParams()
+    with instrument.span(SPAN_FLOW_PROBE):
+        nets = design.routable_nets()
+        if params.partition is PartitionStrategy.LONG_TO_B:
+            pitch = params.channel_pitch
+            provisional = RowPlacement.build(
+                design, pitch=pitch, aspect=params.aspect
+            )
+            provisional.realize(
+                [pitch] * provisional.channel_count, margin=params.margin
+            )
+        set_a, set_b = partition_nets(
+            nets, params.partition, length_threshold=params.length_threshold
+        )
+        placement, global_route, routes, heights, side_widths = (
+            _run_channel_pipeline(design, set_a, params)
+        )
+        bounds = placement.realize(
+            heights,
+            left_width=side_widths[0],
+            right_width=side_widths[1],
+            margin=params.margin,
+        )
+        router = LevelBRouter(
+            bounds,
+            set_b,
+            technology=params.technology,
+            obstacles=params.obstacles,
+            config=params.levelb,
+        )
+        before = router.tig.grid.snapshot()
+        levelb = router.probe()
+        restored = router.tig.grid.matches(before)
+    return RoutabilityProbe(
+        design=design.name,
+        level_a_nets=len(set_a),
+        level_b_nets=len(set_b),
+        completion=levelb.completion_rate,
+        failed_nets=[r.net.name for r in levelb.routed if not r.complete],
+        level_b_wire=levelb.total_wire_length,
+        level_b_corners=levelb.total_corners,
+        ripups=levelb.ripups,
+        grid_restored=restored,
+    )
 
 
 def multilayer_channel_flow(

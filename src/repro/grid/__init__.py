@@ -12,9 +12,26 @@ package provides:
     vertical-direction ownership (reserved-layer model: metal4 carries
     horizontal, metal3 vertical), obstacle flags, and the auxiliary
     unrouted-terminal map the cost function's ``dup`` term reads.
+:class:`GridTransaction` / :class:`GridSnapshot`
+    The transactional state layer: a journal of undo records covering
+    every grid mutation, giving rollback and per-net rip-up in
+    O(cells touched), plus immutable snapshots for exactness checks.
 """
 
 from repro.grid.tracks import TrackSet
-from repro.grid.occupancy import FREE, OBSTACLE, RoutingGrid
+from repro.grid.occupancy import (
+    FREE,
+    OBSTACLE,
+    GridSnapshot,
+    GridTransaction,
+    RoutingGrid,
+)
 
-__all__ = ["TrackSet", "RoutingGrid", "FREE", "OBSTACLE"]
+__all__ = [
+    "TrackSet",
+    "RoutingGrid",
+    "FREE",
+    "OBSTACLE",
+    "GridSnapshot",
+    "GridTransaction",
+]

@@ -3,7 +3,12 @@
 The paper stores the TIG state "in a two-dimensional array which is
 updated after the completion of each two-terminal connection", an
 ``O(t)`` operation per segment (section 3.4).  This module is that
-array.
+array, plus the **transactional state layer** the routing stack builds
+on: every mutation is recorded in a per-net ledger (so rip-up is
+``O(cells the net touches)``, never a full-array scan) and, while a
+:class:`GridTransaction` is open, in an undo journal (so speculative
+route/undo cycles - refinement, rip-up-and-reroute, what-if routability
+probes - roll back in time proportional to the cells they touched).
 
 Model
 -----
@@ -21,19 +26,99 @@ block one direction (e.g. pre-existing m4 power straps inside a macro)
 or both (sensitive circuitry excluded by the user).
 
 Slot encoding: ``0`` free, ``-1`` obstacle, ``>= 1`` net id.
+
+Transactions
+------------
+::
+
+    txn = grid.begin()
+    grid.rip_net(net_id)
+    ... reroute ...
+    txn.rollback()          # or txn.commit()
+
+or, context-managed (commit on success, rollback on exception)::
+
+    with grid.transaction():
+        grid.commit_path(net_id, points, corners)
+
+Transactions nest as savepoints: an inner ``commit`` merges its journal
+entries into the enclosing transaction, an inner ``rollback`` undoes
+only the entries recorded since the inner ``begin``.  Journal entries
+are recorded only while at least one transaction is open, so the
+untransacted fast path pays a single truthiness test per mutation.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import instrument
+from repro.instrument.names import (
+    OCC_CELLS_TOUCHED,
+    TXN_COMMITS,
+    TXN_ROLLBACKS,
+    TXN_UNDO_CELLS,
+)
 from repro.geometry import Interval, Rect
 from repro.grid.tracks import TrackSet
 
 FREE: int = 0
 OBSTACLE: int = -1
+
+# Ledger entry tags: ("h", h_idx, v_lo, v_hi) for a horizontal span,
+# ("v", v_idx, h_lo, h_hi) for a vertical span, ("c", v_idx, h_idx)
+# for a both-slot claim (corner via or terminal stack).
+_LEDGER_H = "h"
+_LEDGER_V = "v"
+_LEDGER_C = "c"
+
+
+@dataclass(frozen=True)
+class GridSnapshot:
+    """An immutable copy of the grid's full mutable state.
+
+    Used for exactness checks around speculative routing: capture one
+    before a rip/reroute cycle and compare with :meth:`RoutingGrid.matches`
+    after rollback.  Arrays are read-only copies.
+    """
+
+    h_owner: np.ndarray
+    v_owner: np.ndarray
+    unrouted_terms: np.ndarray
+
+
+class GridTransaction:
+    """A savepoint over the grid's undo journal.
+
+    Obtained from :meth:`RoutingGrid.begin` (or the
+    :meth:`RoutingGrid.transaction` context manager).  Exactly one of
+    :meth:`commit` / :meth:`rollback` must be called, innermost
+    transaction first; the grid enforces the nesting discipline.
+    """
+
+    __slots__ = ("_grid", "_savepoint", "closed")
+
+    def __init__(self, grid: "RoutingGrid", savepoint: int) -> None:
+        self._grid = grid
+        self._savepoint = savepoint
+        self.closed = False
+
+    def commit(self) -> None:
+        """Keep every mutation recorded since ``begin``."""
+        self._grid._commit_txn(self)
+
+    def rollback(self) -> int:
+        """Undo every mutation recorded since ``begin``.
+
+        Returns the number of array cells restored (the ``txn.undo_cells``
+        measure) - proportional to the cells the transaction touched,
+        never to the grid size.
+        """
+        return self._grid._rollback_txn(self)
 
 
 class RoutingGrid:
@@ -43,6 +128,12 @@ class RoutingGrid:
     ``[h_track][v_track]``) and vertical scans are row slices of
     ``_v_owner`` (indexed ``[v_track][h_track]``), so both are cache
     friendly and vectorisable with numpy.
+
+    All mutation goes through :meth:`occupy_h` / :meth:`occupy_v` /
+    :meth:`occupy_corner` / :meth:`reserve_terminal` /
+    :meth:`mark_terminal_routed` (or :meth:`commit_path`, which batches
+    them), which is what lets the per-net ledger and the transaction
+    journal stay exact.
     """
 
     def __init__(self, vtracks: TrackSet, htracks: TrackSet) -> None:
@@ -54,6 +145,12 @@ class RoutingGrid:
         # Unrouted-terminal density map, read by the cost function's
         # ``dup`` term. Indexed [h][v] like _h_owner.
         self._unrouted_terms = np.zeros((nh, nv), dtype=np.int16)
+        # Per-net mutation ledger: every span/cell a net claimed, in
+        # commit order.  Rip-up replays it instead of scanning arrays.
+        self._net_ledger: Dict[int, List[tuple]] = {}
+        # Undo journal + open-transaction stack (savepoint semantics).
+        self._journal: List[tuple] = []
+        self._txns: List[GridTransaction] = []
 
     # ------------------------------------------------------------------
     # Basic shape / coordinate helpers
@@ -75,6 +172,145 @@ class RoutingGrid:
         return self.vtracks[v_idx], self.htracks[h_idx]
 
     # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> GridTransaction:
+        """Open a transaction (savepoint) over the undo journal."""
+        txn = GridTransaction(self, len(self._journal))
+        self._txns.append(txn)
+        return txn
+
+    @contextmanager
+    def transaction(self) -> Iterator[GridTransaction]:
+        """Context-managed transaction: commit on success, rollback on
+        exception.  An explicit early ``commit()``/``rollback()`` inside
+        the block is honoured."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if not txn.closed:
+                txn.rollback()
+            raise
+        if not txn.closed:
+            txn.commit()
+
+    @property
+    def in_transaction(self) -> bool:
+        return bool(self._txns)
+
+    def _require_top(self, txn: GridTransaction) -> None:
+        if txn.closed:
+            raise RuntimeError("transaction already closed")
+        if not self._txns or self._txns[-1] is not txn:
+            raise RuntimeError(
+                "transactions must close innermost-first (savepoint nesting)"
+            )
+
+    def _commit_txn(self, txn: GridTransaction) -> None:
+        self._require_top(txn)
+        self._txns.pop()
+        txn.closed = True
+        if not self._txns:
+            # Outermost commit: the journal is no longer reachable.
+            self._journal.clear()
+        inst = instrument.active()
+        if inst.enabled:
+            inst.count(TXN_COMMITS)
+
+    def _rollback_txn(self, txn: GridTransaction) -> int:
+        self._require_top(txn)
+        self._txns.pop()
+        txn.closed = True
+        undone = 0
+        H, V = self._h_owner, self._v_owner
+        while len(self._journal) > txn._savepoint:
+            rec = self._journal.pop()
+            tag = rec[0]
+            if tag == "h":
+                _, net_id, h_idx, v_lo, prior = rec
+                H[h_idx, v_lo : v_lo + len(prior)] = prior
+                undone += len(prior)
+                self._ledger_pop(net_id)
+            elif tag == "v":
+                _, net_id, v_idx, h_lo, prior = rec
+                V[v_idx, h_lo : h_lo + len(prior)] = prior
+                undone += len(prior)
+                self._ledger_pop(net_id)
+            elif tag == "c":
+                _, net_id, v_idx, h_idx, prior_h, prior_v, reserved = rec
+                H[h_idx, v_idx] = prior_h
+                V[v_idx, h_idx] = prior_v
+                if reserved:
+                    self._unrouted_terms[h_idx, v_idx] -= 1
+                undone += 2
+                self._ledger_pop(net_id)
+            elif tag == "m":
+                _, v_idx, h_idx = rec
+                self._unrouted_terms[h_idx, v_idx] += 1
+                undone += 1
+            else:  # "rip": restore the net's wiring and its ledger
+                _, net_id, ledger = rec
+                undone += self._replay_ledger(net_id, ledger)
+                self._net_ledger[net_id] = ledger
+        inst = instrument.active()
+        if inst.enabled:
+            inst.count(TXN_ROLLBACKS)
+            inst.count(TXN_UNDO_CELLS, undone)
+        return undone
+
+    def _ledger_pop(self, net_id: int) -> None:
+        if net_id >= 1:
+            self._net_ledger[net_id].pop()
+
+    def _ledger_push(self, net_id: int, entry: tuple) -> None:
+        if net_id >= 1:
+            self._net_ledger.setdefault(net_id, []).append(entry)
+
+    def _replay_ledger(self, net_id: int, ledger: Iterable[tuple]) -> int:
+        """Re-claim every ledger cell for ``net_id`` (rip-up undo)."""
+        H, V = self._h_owner, self._v_owner
+        cells = 0
+        for entry in ledger:
+            tag = entry[0]
+            if tag == _LEDGER_H:
+                _, h_idx, v_lo, v_hi = entry
+                H[h_idx, v_lo : v_hi + 1] = net_id
+                cells += v_hi - v_lo + 1
+            elif tag == _LEDGER_V:
+                _, v_idx, h_lo, h_hi = entry
+                V[v_idx, h_lo : h_hi + 1] = net_id
+                cells += h_hi - h_lo + 1
+            else:
+                _, v_idx, h_idx = entry
+                H[h_idx, v_idx] = net_id
+                V[v_idx, h_idx] = net_id
+                cells += 2
+        return cells
+
+    # ------------------------------------------------------------------
+    # Snapshots (cheap immutable copies for exactness checks)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> GridSnapshot:
+        """An immutable copy of the full mutable state."""
+        arrays = (
+            self._h_owner.copy(),
+            self._v_owner.copy(),
+            self._unrouted_terms.copy(),
+        )
+        for arr in arrays:
+            arr.setflags(write=False)
+        return GridSnapshot(*arrays)
+
+    def matches(self, snap: GridSnapshot) -> bool:
+        """Is the grid byte-identical to ``snap``?"""
+        return bool(
+            np.array_equal(self._h_owner, snap.h_owner)
+            and np.array_equal(self._v_owner, snap.v_owner)
+            and np.array_equal(self._unrouted_terms, snap.unrouted_terms)
+        )
+
+    # ------------------------------------------------------------------
     # Obstacles and terminals
     # ------------------------------------------------------------------
     def add_obstacle(
@@ -84,7 +320,8 @@ class RoutingGrid:
 
         Returns the number of intersections newly blocked.  Blocking a
         cell already owned by a net raises: obstacles must be declared
-        before routing starts.
+        before routing starts (which is also what keeps the per-net
+        ledger's cells exclusively net-owned).
         """
         vr = self.vtracks.index_range(rect.x1, rect.x2)
         hr = self.htracks.index_range(rect.y1, rect.y2)
@@ -115,21 +352,27 @@ class RoutingGrid:
         """
         if net_id < 1:
             raise ValueError("net ids must be >= 1")
-        for arr, r, c in (
-            (self._h_owner, h_idx, v_idx),
-            (self._v_owner, v_idx, h_idx),
-        ):
-            current = arr[r, c]
+        prior_h = int(self._h_owner[h_idx, v_idx])
+        prior_v = int(self._v_owner[v_idx, h_idx])
+        for current in (prior_h, prior_v):
             if current not in (FREE, net_id):
                 raise ValueError(
                     f"terminal at ({v_idx},{h_idx}) collides with owner {current}"
                 )
-            arr[r, c] = net_id
+        if self._txns:
+            self._journal.append(
+                ("c", net_id, v_idx, h_idx, prior_h, prior_v, True)
+            )
+        self._h_owner[h_idx, v_idx] = net_id
+        self._v_owner[v_idx, h_idx] = net_id
         self._unrouted_terms[h_idx, v_idx] += 1
+        self._ledger_push(net_id, (_LEDGER_C, v_idx, h_idx))
 
     def mark_terminal_routed(self, v_idx: int, h_idx: int) -> None:
         """Drop one unrouted-terminal mark at an intersection."""
         if self._unrouted_terms[h_idx, v_idx] > 0:
+            if self._txns:
+                self._journal.append(("m", v_idx, h_idx))
             self._unrouted_terms[h_idx, v_idx] -= 1
 
     # ------------------------------------------------------------------
@@ -229,7 +472,10 @@ class RoutingGrid:
             raise ValueError(
                 f"h-track {h_idx} span [{v_lo},{v_hi}] not free for net {net_id}"
             )
+        if self._txns:
+            self._journal.append(("h", net_id, h_idx, v_lo, row.copy()))
         row[:] = net_id
+        self._ledger_push(net_id, (_LEDGER_H, h_idx, v_lo, v_hi))
 
     def occupy_v(self, v_idx: int, h_lo: int, h_hi: int, net_id: int) -> None:
         """Claim the vertical slots of a span for ``net_id``."""
@@ -241,29 +487,124 @@ class RoutingGrid:
             raise ValueError(
                 f"v-track {v_idx} span [{h_lo},{h_hi}] not free for net {net_id}"
             )
+        if self._txns:
+            self._journal.append(("v", net_id, v_idx, h_lo, row.copy()))
         row[:] = net_id
+        self._ledger_push(net_id, (_LEDGER_V, v_idx, h_lo, h_hi))
 
     def occupy_corner(self, v_idx: int, h_idx: int, net_id: int) -> None:
         """Claim both slots at an intersection (an m3-m4 via)."""
         if not self.corner_free(v_idx, h_idx, net_id):
             raise ValueError(f"corner ({v_idx},{h_idx}) not free for net {net_id}")
+        if self._txns:
+            self._journal.append(
+                (
+                    "c",
+                    net_id,
+                    v_idx,
+                    h_idx,
+                    int(self._h_owner[h_idx, v_idx]),
+                    int(self._v_owner[v_idx, h_idx]),
+                    False,
+                )
+            )
         self._h_owner[h_idx, v_idx] = net_id
         self._v_owner[v_idx, h_idx] = net_id
+        self._ledger_push(net_id, (_LEDGER_C, v_idx, h_idx))
 
-    def clear_net(self, net_id: int) -> int:
+    def commit_path(
+        self,
+        net_id: int,
+        points: Sequence,
+        corners: Iterable[Tuple[int, int]],
+    ) -> int:
+        """Claim a path (waypoint sequence plus corner vias) for ``net_id``.
+
+        The shared commit primitive behind every connection engine, so
+        all of them mutate the occupancy array identically.  Waypoint
+        coordinates must lie on tracks; consecutive points must be
+        axis-aligned.  Returns the number of slots claimed.
+        """
+        cells = 0
+        for a, b in zip(points, points[1:]):
+            if a == b:
+                continue
+            if a.y == b.y:
+                h_idx = self.htracks.index_of(a.y)
+                idxs = self.vtracks.index_range(min(a.x, b.x), max(a.x, b.x))
+                self.occupy_h(h_idx, idxs.start, idxs.stop - 1, net_id)
+            else:
+                v_idx = self.vtracks.index_of(a.x)
+                idxs = self.htracks.index_range(min(a.y, b.y), max(a.y, b.y))
+                self.occupy_v(v_idx, idxs.start, idxs.stop - 1, net_id)
+            cells += idxs.stop - idxs.start
+        for v_idx, h_idx in corners:
+            self.occupy_corner(v_idx, h_idx, net_id)
+            cells += 1
+        instrument.count(OCC_CELLS_TOUCHED, cells)
+        return cells
+
+    def rip_net(self, net_id: int) -> int:
         """Remove every slot owned by ``net_id`` (rip-up).
 
-        Returns the number of slots freed.  The caller is responsible
-        for re-reserving the net's terminals afterwards.
+        Replays the net's mutation ledger, so the cost is
+        ``O(cells the net touches)`` - the occupancy arrays are never
+        scanned.  Returns the number of slots freed.  The caller is
+        responsible for re-reserving the net's terminals afterwards.
+        Inside a transaction the rip is journaled and fully undone by
+        ``rollback()`` (wiring *and* ledger restored).
         """
         if net_id < 1:
             raise ValueError("net ids must be >= 1")
+        ledger = self._net_ledger.pop(net_id, None)
+        if not ledger:
+            return 0
         freed = 0
-        for arr in (self._h_owner, self._v_owner):
-            mask = arr == net_id
-            freed += int(mask.sum())
-            arr[mask] = FREE
+        H, V = self._h_owner, self._v_owner
+        for entry in ledger:
+            tag = entry[0]
+            if tag == _LEDGER_H:
+                _, h_idx, v_lo, v_hi = entry
+                row = H[h_idx, v_lo : v_hi + 1]
+                mask = row == net_id  # overlap-safe: count each slot once
+                freed += int(mask.sum())
+                row[mask] = FREE
+            elif tag == _LEDGER_V:
+                _, v_idx, h_lo, h_hi = entry
+                row = V[v_idx, h_lo : h_hi + 1]
+                mask = row == net_id
+                freed += int(mask.sum())
+                row[mask] = FREE
+            else:
+                _, v_idx, h_idx = entry
+                if H[h_idx, v_idx] == net_id:
+                    H[h_idx, v_idx] = FREE
+                    freed += 1
+                if V[v_idx, h_idx] == net_id:
+                    V[v_idx, h_idx] = FREE
+                    freed += 1
+        if self._txns:
+            self._journal.append(("rip", net_id, ledger))
         return freed
+
+    def clear_net(self, net_id: int) -> int:
+        """Backwards-compatible alias for :meth:`rip_net`."""
+        return self.rip_net(net_id)
+
+    def net_cells_recorded(self, net_id: int) -> int:
+        """Slots recorded in a net's ledger (overlaps counted twice).
+
+        An upper bound on what :meth:`rip_net` will free; exposed for
+        tests and benchmarks asserting the O(cells) rip-up contract.
+        """
+        cells = 0
+        for entry in self._net_ledger.get(net_id, ()):
+            tag = entry[0]
+            if tag == _LEDGER_C:
+                cells += 2
+            else:
+                cells += entry[3] - entry[2] + 1
+        return cells
 
     def owners_near(self, v_idx: int, h_idx: int, radius: int) -> List[int]:
         """Net ids wired within ``radius`` tracks of an intersection."""

@@ -23,6 +23,7 @@ SPAN_LEVELB_NET = "levelb.net"
 SPAN_LEVELB_REFINE = "levelb.refine"
 SPAN_MBFS_SEARCH = "mbfs.search"
 SPAN_MAZE_RESCUE = "maze.rescue"
+SPAN_FLOW_PROBE = "flow.probe"
 
 # -- counters ----------------------------------------------------------
 MBFS_SEARCHES = "mbfs.searches"
@@ -36,6 +37,9 @@ MAZE_NODES_EXPANDED = "maze.nodes_expanded"
 MAZE_FALLBACKS = "maze.fallbacks"
 RIPUPS = "ripups.performed"
 OCC_CELLS_TOUCHED = "occupancy.cells_touched"
+TXN_COMMITS = "txn.commits"
+TXN_ROLLBACKS = "txn.rollbacks"
+TXN_UNDO_CELLS = "txn.undo_cells"
 NETS_ROUTED = "nets.routed"
 NETS_FAILED = "nets.failed"
 CONNECTIONS_ROUTED = "connections.routed"

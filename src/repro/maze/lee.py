@@ -10,23 +10,36 @@ corner via.  With non-negative costs this is Dijkstra - the standard
 generalisation of Lee's algorithm to weighted grids - and it returns a
 minimum-cost path whenever one exists, which also makes it the test
 oracle for the MBFS router's completeness within a region.
+
+:class:`LeeEngine` packages the search as a registered
+:class:`~repro.core.engine.ConnectionEngine` (name ``"lee"``), so the
+same code serves as the standalone :class:`MazeRouter` baseline and as
+the rescue engine behind ``LevelBConfig.maze_fallback``.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import instrument
-from repro.instrument.names import MAZE_NODES_EXPANDED, MAZE_SEARCHES
+from repro.instrument.names import (
+    MAZE_NODES_EXPANDED,
+    MAZE_SEARCHES,
+    REGION_EXPANSIONS,
+)
 from repro.geometry import Interval, Path, Point
 from repro.grid import RoutingGrid
-from repro.core.router import (
-    LevelBRouter,
+from repro.core.engine import (
+    ConnectionEngine,
+    EngineContext,
+    Region,
     RoutedConnection,
-    commit_points,
+    path_length,
+    register_engine,
 )
+from repro.core.router import LevelBRouter
 from repro.core.tig import GridTerminal
 
 HORIZONTAL = 0
@@ -57,7 +70,7 @@ def lee_search(
     Returns ``(waypoints, corners, stats)``.  Waypoints are the
     compressed corner sequence (source, corners..., target); corners
     are ``(v_idx, h_idx)`` index pairs ready for
-    :func:`repro.core.router.commit_points`.
+    :meth:`repro.grid.RoutingGrid.commit_path`.
     """
     stats = LeeSearchStats()
     if region is None:
@@ -153,24 +166,43 @@ def lee_search(
     return waypoints, corners, stats
 
 
-class MazeRouter(LevelBRouter):
-    """Drop-in level B router that searches with Lee wave expansion.
+@register_engine
+class LeeEngine(ConnectionEngine):
+    """Lee/Dijkstra wave expansion as a pluggable connection engine.
 
-    Inherits the whole net loop (ordering, Steiner decomposition,
-    region escalation, occupancy commit) from :class:`LevelBRouter`
-    and swaps only the per-connection search, so benchmark comparisons
-    isolate the search algorithm.
+    Complete within its region (unlike the MBFS, which drops paths with
+    more than one corner per track), so with the unbounded region it
+    finds a connection whenever one exists.  Committed paths are priced
+    with the regular section 3.2 cost model so Lee and MBFS costs
+    aggregate on one scale.
     """
 
-    via_penalty: float = 10.0
+    name = "lee"
 
-    def _route_connection(
-        self, net_id: int, source: GridTerminal, target: GridTerminal
+    def __init__(self, via_penalty: float = 10.0) -> None:
+        self.via_penalty = via_penalty
+
+    @classmethod
+    def from_config(cls, config: object) -> "LeeEngine":
+        return cls(via_penalty=getattr(config, "maze_via_penalty", 10.0))
+
+    def route(
+        self,
+        ctx: EngineContext,
+        net_id: int,
+        source: GridTerminal,
+        target: GridTerminal,
+        regions: Optional[Iterable[Region]] = None,
     ) -> Optional[RoutedConnection]:
         if source == target:
             return None
-        grid = self.tig.grid
-        for attempt, region in enumerate(self._regions(source, target)):
+        grid = ctx.grid
+        evaluator = ctx.evaluator(net_id)
+        if regions is None:
+            regions = ctx.regions(source, target)
+        for attempt, region in enumerate(regions):
+            if attempt:
+                instrument.count(REGION_EXPANSIONS)
             waypoints, corners, stats = lee_search(
                 grid,
                 net_id,
@@ -179,16 +211,37 @@ class MazeRouter(LevelBRouter):
                 via_penalty=self.via_penalty,
                 region=region,
             )
-            self._nodes_created += stats.nodes_expanded
+            ctx.add_nodes(stats.nodes_expanded)
             if waypoints is None or corners is None:
                 continue
-            commit_points(grid, net_id, waypoints, corners)
+            # Price the path before committing: the evaluator's memo
+            # assumes a frozen grid.
+            cost = evaluator.path_cost(
+                path_length(waypoints), corners
+            ) + evaluator.extra_cost(waypoints, corners)
+            with grid.transaction():
+                grid.commit_path(net_id, waypoints, corners)
             return RoutedConnection(
                 source=source,
                 target=target,
                 path=Path.from_points(waypoints),
                 corners=corners,
-                cost=float(len(corners)),
+                cost=cost,
                 expansions_used=attempt,
             )
         return None
+
+
+class MazeRouter(LevelBRouter):
+    """Drop-in level B router that searches with Lee wave expansion.
+
+    Inherits the whole net loop (ordering, Steiner decomposition,
+    region escalation, rip-up, refinement) from :class:`LevelBRouter`
+    and swaps only the per-connection engine, so benchmark comparisons
+    isolate the search algorithm.
+    """
+
+    via_penalty: float = 10.0
+
+    def _primary_engine(self) -> ConnectionEngine:
+        return LeeEngine(via_penalty=self.via_penalty)

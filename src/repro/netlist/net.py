@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 from repro.geometry import Point, Rect
 from repro.geometry.point import bounding_box_half_perimeter

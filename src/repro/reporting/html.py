@@ -10,7 +10,7 @@ from __future__ import annotations
 import html
 from typing import Optional
 
-from repro.analysis import congestion_map, routing_report
+from repro.analysis import routing_report
 from repro.technology import Technology
 
 _STYLE = """

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict
 
-from repro.geometry import Point
 from repro.netlist import Net
 from repro.technology import Technology
 from repro.timing.rctree import RCTree

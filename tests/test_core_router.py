@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.geometry import Point, Rect
-from repro.netlist import Design, Edge
+from repro.geometry import Rect
+from repro.netlist import Edge
 from repro.core import LevelBConfig, LevelBRouter
 from repro.core.cost import CostWeights
 from repro.core.ordering import NetOrdering

@@ -12,9 +12,9 @@ import random
 import pytest
 
 from repro.geometry import Interval, Point, Rect
-from repro.grid import RoutingGrid, TrackSet
+from repro.grid import TrackSet
 from repro.core.search import MBFSearch, candidate_paths
-from repro.core.tig import GridTerminal, TrackIntersectionGraph
+from repro.core.tig import TrackIntersectionGraph
 from repro.maze.lee import lee_search
 
 from conftest import make_figure1_instance

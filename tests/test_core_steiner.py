@@ -3,9 +3,9 @@
 import pytest
 
 from repro.geometry import Point
-from repro.grid import RoutingGrid, TrackSet
+from repro.grid import TrackSet
 from repro.core.steiner import SteinerTreeBuilder
-from repro.core.tig import GridTerminal, TrackIntersectionGraph
+from repro.core.tig import TrackIntersectionGraph
 
 
 def make_tig(n=11):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.channels import ChannelProblem, ChannelRoutingError, GreedyChannelRouter
+from repro.channels import ChannelProblem, GreedyChannelRouter
 
 from conftest import make_random_channel_problem
 

@@ -1,9 +1,8 @@
 """Tests for the Lee/Dijkstra maze baseline."""
 
-import pytest
 
 from repro.geometry import Point, Rect, Interval
-from repro.grid import RoutingGrid, TrackSet
+from repro.grid import TrackSet
 from repro.core.tig import TrackIntersectionGraph
 from repro.maze import MazeRouter, lee_search
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.channels import (
-    ChannelProblem,
-    GreedyChannelRouter,
-    HVHChannelRouter,
-    HorizontalSpan,
-)
+from repro.channels import ChannelProblem, HVHChannelRouter, HorizontalSpan
 
 from conftest import make_random_channel_problem
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bench_suite import random_design
 from repro.core import LevelBConfig, LevelBRouter
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 from repro.netlist import Design, Edge
 from repro.placement import RowPlacement
 

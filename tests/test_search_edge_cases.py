@@ -1,6 +1,5 @@
 """Edge-case tests for MBFS internals and router fallbacks."""
 
-import pytest
 
 from repro.geometry import Interval, Point, Rect
 from repro.grid import RoutingGrid, TrackSet

@@ -5,12 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry import Point, manhattan
-from repro.steiner import (
-    SteinerTree,
-    rectilinear_mst,
-    steiner_prim_tree,
-    tree_length,
-)
+from repro.steiner import rectilinear_mst, steiner_prim_tree, tree_length
 
 coords = st.integers(min_value=0, max_value=200)
 points = st.builds(Point, coords, coords)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench_suite import random_design
 from repro.flow import overcell_flow
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 from repro.netlist import Design, Edge
 from repro.core import LevelBRouter
 from repro.technology import Technology

@@ -5,7 +5,7 @@ from repro.channels import ChannelProblem, GreedyChannelRouter
 from repro.core import LevelBRouter
 from repro.core.search import MBFSearch
 from repro.flow import overcell_flow
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 from repro.viz import (
     render_channel,
     render_levelb_ascii,
