@@ -8,7 +8,6 @@ fixture then times the interesting kernel of each experiment.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import pytest
 
@@ -30,14 +29,14 @@ _FLOWS = {
 
 
 @pytest.fixture(scope="session")
-def flow_results() -> Dict[Tuple[str, str], FlowResult]:
+def flow_results() -> dict[tuple[str, str], FlowResult]:
     """All (suite, flow) results, computed once per session.
 
     Each flow gets its own freshly generated design: flows mutate cell
     placement, so sharing one Design across flows would let the last
     ``realize`` corrupt earlier results' pin-position bookkeeping.
     """
-    results: Dict[Tuple[str, str], FlowResult] = {}
+    results: dict[tuple[str, str], FlowResult] = {}
     for suite in SUITE_NAMES:
         for flow_name, flow in _FLOWS.items():
             design = SUITES[suite]()

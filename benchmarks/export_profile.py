@@ -23,7 +23,6 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -48,7 +47,7 @@ DEFAULT_OUT = os.path.join(
 )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=DEFAULT_OUT)
     parser.add_argument(

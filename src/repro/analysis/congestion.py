@@ -8,7 +8,6 @@ locally, here computed globally for analysis and visualisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -19,10 +18,10 @@ from repro.grid import RoutingGrid
 class CongestionMap:
     """A bins_y x bins_x matrix of utilisation fractions in [0, 1]."""
 
-    values: Tuple[Tuple[float, ...], ...]  # row-major, row 0 = bottom
+    values: tuple[tuple[float, ...], ...]  # row-major, row 0 = bottom
 
     @property
-    def shape(self) -> Tuple[int, int]:
+    def shape(self) -> tuple[int, int]:
         return (len(self.values), len(self.values[0]) if self.values else 0)
 
     @property
@@ -34,7 +33,7 @@ class CongestionMap:
         cells = [v for row in self.values for v in row]
         return sum(cells) / len(cells) if cells else 0.0
 
-    def hotspots(self, threshold: float = 0.5) -> List[Tuple[int, int]]:
+    def hotspots(self, threshold: float = 0.5) -> list[tuple[int, int]]:
         """Bin coordinates ``(row, col)`` whose utilisation >= threshold."""
         out = []
         for r, row in enumerate(self.values):
@@ -71,11 +70,11 @@ def congestion_map(
     used_h = (grid._h_owner != 0).astype(np.int64)  # [h][v]
     used_v = (grid._v_owner != 0).astype(np.int64).T  # -> [h][v]
     used = used_h + used_v
-    rows: List[Tuple[float, ...]] = []
+    rows: list[tuple[float, ...]] = []
     for by in range(bins_y):
         h_lo = by * nh // bins_y
         h_hi = max(h_lo + 1, (by + 1) * nh // bins_y)
-        row: List[float] = []
+        row: list[float] = []
         for bx in range(bins_x):
             v_lo = bx * nv // bins_x
             v_hi = max(v_lo + 1, (bx + 1) * nv // bins_x)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.analysis.congestion import congestion_map
 from repro.technology import Technology
@@ -12,8 +11,8 @@ from repro.timing import DriverModel, levelb_net_delays
 def routing_report(
     result,
     *,
-    technology: Optional[Technology] = None,
-    driver: Optional[DriverModel] = None,
+    technology: Technology | None = None,
+    driver: DriverModel | None = None,
     top_n: int = 5,
 ) -> str:
     """A multi-section text report for a :class:`~repro.flow.FlowResult`.
@@ -23,7 +22,7 @@ def routing_report(
     heatmap, and the slowest nets by Elmore delay.
     """
     tech = technology or Technology.four_layer()
-    lines: List[str] = []
+    lines: list[str] = []
     lines.append(f"Routing report: {result.design} / {result.flow}")
     lines.append("=" * len(lines[0]))
     lines.append(

@@ -10,7 +10,6 @@ two-terminal nets, and multi-terminal nets legitimately exceed it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -22,7 +21,7 @@ class WirelengthStats:
     total_hpwl: int
     mean_ratio: float
     max_ratio: float
-    worst_net: Optional[str]
+    worst_net: str | None
 
     @property
     def overall_ratio(self) -> float:
@@ -44,7 +43,7 @@ def wirelength_stats(levelb_result) -> WirelengthStats:
     Incomplete nets and nets with zero HPWL (coincident pins) are
     skipped - a partial route's length says nothing about quality.
     """
-    ratios: List[Tuple[float, str]] = []
+    ratios: list[tuple[float, str]] = []
     total_routed = 0
     total_hpwl = 0
     for routed in levelb_result.routed:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.netlist import Cell, Design, Edge
 
@@ -24,11 +23,11 @@ class SuiteProfile:
     name: str
     seed: int
     num_cells: int
-    cell_width_range: Tuple[int, int]
-    cell_height_range: Tuple[int, int]
+    cell_width_range: tuple[int, int]
+    cell_height_range: tuple[int, int]
     num_regular_nets: int
-    critical_pin_counts: Tuple[int, ...] = ()
-    regular_pin_weights: Dict[int, float] = field(
+    critical_pin_counts: tuple[int, ...] = ()
+    regular_pin_weights: dict[int, float] = field(
         default_factory=lambda: {2: 0.62, 3: 0.26, 4: 0.12}
     )
     locality: float = 0.65  # probability a pin stays near the net's seed cell
@@ -144,9 +143,9 @@ class _PinAllocator:
 
     def __init__(self, rng: random.Random) -> None:
         self.rng = rng
-        self.slots: Dict[Tuple[str, Edge], List[int]] = {}
-        self.cells: List[Cell] = []
-        self._pin_serial: Dict[str, int] = {}
+        self.slots: dict[tuple[str, Edge], list[int]] = {}
+        self.cells: list[Cell] = []
+        self._pin_serial: dict[str, int] = {}
 
     def register(self, cell: Cell) -> None:
         self.cells.append(cell)

@@ -26,7 +26,6 @@ a via wherever it touches a trunk of its own net.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
 
 from repro import instrument
 from repro.instrument.names import (
@@ -40,7 +39,7 @@ from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog
 
 TOP = "TOP"
 BOT = "BOT"
-RowRef = Union[str, int]  # TOP / BOT sentinel, or a persistent track id
+RowRef = str | int  # TOP / BOT sentinel, or a persistent track id
 
 
 @dataclass
@@ -62,8 +61,8 @@ class GreedyChannelRouter:
 
     def __init__(
         self,
-        initial_tracks: Optional[int] = None,
-        max_extension_columns: Optional[int] = None,
+        initial_tracks: int | None = None,
+        max_extension_columns: int | None = None,
         steady_jogs: bool = True,
         min_jog_length: int = 2,
     ) -> None:
@@ -108,23 +107,23 @@ class GreedyChannelRouter:
 class _State:
     """Mutable routing state for one greedy run."""
 
-    def __init__(self, problem: ChannelProblem, initial_tracks: Optional[int]):
+    def __init__(self, problem: ChannelProblem, initial_tracks: int | None):
         self.problem = problem
         self.has_pins = any(problem.top) or any(problem.bottom)
         width = initial_tracks if initial_tracks is not None else problem.density()
         width = max(1, width) if self.has_pins else 0
         self._next_id = 0
-        self.track_ids: List[int] = []
-        self.occupant: Dict[int, int] = {}
-        self.free_from: Dict[int, int] = {}
-        self.open_start: Dict[int, int] = {}
-        self.net_rows: Dict[int, List[int]] = {}
-        self.spans: List[Tuple[int, int, int, int]] = []  # net, id, c1, c2
-        self.jogs: List[_RawJog] = []
+        self.track_ids: list[int] = []
+        self.occupant: dict[int, int] = {}
+        self.free_from: dict[int, int] = {}
+        self.open_start: dict[int, int] = {}
+        self.net_rows: dict[int, list[int]] = {}
+        self.spans: list[tuple[int, int, int, int]] = []  # net, id, c1, c2
+        self.jogs: list[_RawJog] = []
         for _ in range(width):
             self._insert_track(len(self.track_ids), column=0)
         # Remaining pins per net, ascending by column.
-        self.pins_left: Dict[int, List[Tuple[int, str]]] = {}
+        self.pins_left: dict[int, list[tuple[int, str]]] = {}
         for c in range(problem.length):
             if problem.top[c]:
                 self.pins_left.setdefault(problem.top[c], []).append((c, "T"))
@@ -132,10 +131,10 @@ class _State:
                 self.pins_left.setdefault(problem.bottom[c], []).append((c, "B"))
         for pins in self.pins_left.values():
             pins.sort()
-        self.pin_counts: Dict[int, int] = {
+        self.pin_counts: dict[int, int] = {
             net: len(pins) for net, pins in self.pins_left.items()
         }
-        self._used: List[Tuple[Interval, int]] = []
+        self._used: list[tuple[Interval, int]] = []
 
     # -- track bookkeeping ---------------------------------------------
     def _insert_track(self, pos: int, column: int) -> int:
@@ -256,7 +255,7 @@ class _State:
 
     def _first_usable_from_top(
         self, net: int, col: int, missing_ok: bool = False
-    ) -> Optional[int]:
+    ) -> int | None:
         for idx, tid in enumerate(self.track_ids):
             if self.usable(tid, net, col):
                 return idx
@@ -266,7 +265,7 @@ class _State:
 
     def _first_usable_from_bottom(
         self, net: int, col: int, missing_ok: bool = False
-    ) -> Optional[int]:
+    ) -> int | None:
         for idx in range(len(self.track_ids) - 1, -1, -1):
             if self.usable(self.track_ids[idx], net, col):
                 return idx
@@ -289,7 +288,7 @@ class _State:
                 f"pin ({col},{side}) of net {net} consumed twice"
             ) from None
 
-    def _next_pin_side(self, net: int, col: int) -> Optional[str]:
+    def _next_pin_side(self, net: int, col: int) -> str | None:
         pins = self.pins_left.get(net, [])
         return pins[0][1] if pins else None
 
@@ -335,7 +334,7 @@ class _State:
                 continue
             tid = rows[0]
             row = self.row_of(tid)
-            target: Optional[int] = None
+            target: int | None = None
             if side == "T":
                 for idx in range(0, row):  # topmost suitable row
                     cand = self.track_ids[idx]
@@ -371,7 +370,7 @@ class _State:
             HorizontalSpan(net=net, track=row_index[tid], c1=c1, c2=c2)
             for net, tid, c1, c2 in self.spans
         ]
-        jogs: List[VerticalJog] = []
+        jogs: list[VerticalJog] = []
         for raw in self.jogs:
             r1 = -1 if raw.a == TOP else row_index[raw.a]
             r2 = tracks if raw.b == BOT else row_index[raw.b]

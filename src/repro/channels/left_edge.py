@@ -13,7 +13,6 @@ completion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro import instrument
 from repro.instrument.names import (
@@ -79,8 +78,8 @@ class LeftEdgeRouter:
         )
 
     # ------------------------------------------------------------------
-    def _make_subnets(self, problem: ChannelProblem) -> List[_Subnet]:
-        out: List[_Subnet] = []
+    def _make_subnets(self, problem: ChannelProblem) -> list[_Subnet]:
+        out: list[_Subnet] = []
         for net in problem.nets():
             cols = problem.pin_columns(net)
             if len(cols) < 2:
@@ -93,9 +92,9 @@ class LeftEdgeRouter:
         return out
 
     def _subnet_vcg(
-        self, problem: ChannelProblem, subnets: List[_Subnet]
+        self, problem: ChannelProblem, subnets: list[_Subnet]
     ) -> VerticalConstraintGraph:
-        by_endpoint: Dict[Tuple[int, int], List[_Subnet]] = {}
+        by_endpoint: dict[tuple[int, int], list[_Subnet]] = {}
         for s in subnets:
             by_endpoint.setdefault((s.net, s.c1), []).append(s)
             if s.c2 != s.c1:
@@ -113,17 +112,17 @@ class LeftEdgeRouter:
         return g
 
     def _assign_tracks(
-        self, subnets: List[_Subnet], vcg: VerticalConstraintGraph
-    ) -> Dict[_Subnet, int]:
-        preds: Dict[_Subnet, set] = {s: vcg.predecessors(s) for s in subnets}
+        self, subnets: list[_Subnet], vcg: VerticalConstraintGraph
+    ) -> dict[_Subnet, int]:
+        preds: dict[_Subnet, set] = {s: vcg.predecessors(s) for s in subnets}
         unplaced = sorted(subnets, key=lambda s: (s.c1, s.c2, s.net, s.seq))
-        assignment: Dict[_Subnet, int] = {}
+        assignment: dict[_Subnet, int] = {}
         placed_before: set = set()
         track = 0
         while unplaced:
-            placed_this: List[_Subnet] = []
-            last_end: Optional[int] = None
-            last_net: Optional[int] = None
+            placed_this: list[_Subnet] = []
+            last_end: int | None = None
+            last_net: int | None = None
             for s in list(unplaced):
                 fits = (
                     last_end is None
@@ -146,16 +145,16 @@ class LeftEdgeRouter:
     def _make_jogs(
         self,
         problem: ChannelProblem,
-        subnets: List[_Subnet],
-        assignment: Dict[_Subnet, int],
+        subnets: list[_Subnet],
+        assignment: dict[_Subnet, int],
         tracks: int,
-    ) -> List[VerticalJog]:
-        by_net_col: Dict[Tuple[int, int], List[int]] = {}
+    ) -> list[VerticalJog]:
+        by_net_col: dict[tuple[int, int], list[int]] = {}
         for s, t in assignment.items():
             by_net_col.setdefault((s.net, s.c1), []).append(t)
             if s.c2 != s.c1:
                 by_net_col.setdefault((s.net, s.c2), []).append(t)
-        jogs: List[VerticalJog] = []
+        jogs: list[VerticalJog] = []
         for col in range(problem.length):
             t_net, b_net = problem.top[col], problem.bottom[col]
             if t_net and t_net == b_net:

@@ -23,7 +23,6 @@ constraints stay satisfied; the result still passes the standard
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog
@@ -72,7 +71,7 @@ class HVHChannelRouter:
     def _pair_tracks(self, base: ChannelRoute) -> ChannelRoute:
         """Greedy top-down merge of adjacent compatible tracks."""
         endpoints = self._jog_endpoints_by_column(base)
-        row_map: Dict[int, Tuple[int, int]] = {}  # old row -> (new row, layer)
+        row_map: dict[int, tuple[int, int]] = {}  # old row -> (new row, layer)
         new_row = 0
         old = 0
         while old < base.tracks:
@@ -110,9 +109,9 @@ class HVHChannelRouter:
 
     def _jog_endpoints_by_column(
         self, base: ChannelRoute
-    ) -> Dict[int, List[Tuple[int, int]]]:
+    ) -> dict[int, list[tuple[int, int]]]:
         """Per column: the (row, net) pairs of jog endpoints on tracks."""
-        out: Dict[int, List[Tuple[int, int]]] = {}
+        out: dict[int, list[tuple[int, int]]] = {}
         for jog in base.jogs:
             for row in (jog.r1, jog.r2):
                 if 0 <= row < base.tracks:
@@ -121,7 +120,7 @@ class HVHChannelRouter:
 
     def _can_pair(
         self,
-        endpoints: Dict[int, List[Tuple[int, int]]],
+        endpoints: dict[int, list[tuple[int, int]]],
         upper: int,
         lower: int,
     ) -> bool:

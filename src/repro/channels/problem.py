@@ -10,7 +10,7 @@ count any two-layer router can achieve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 
 class ChannelRoutingError(RuntimeError):
@@ -26,8 +26,8 @@ class ChannelProblem:
     router.
     """
 
-    top: List[int]
-    bottom: List[int]
+    top: list[int]
+    bottom: list[int]
 
     def __post_init__(self) -> None:
         if len(self.top) != len(self.bottom):
@@ -39,9 +39,9 @@ class ChannelProblem:
 
     @staticmethod
     def from_pin_lists(
-        top_pins: Iterable[Tuple[int, int]],
-        bottom_pins: Iterable[Tuple[int, int]],
-        length: Optional[int] = None,
+        top_pins: Iterable[tuple[int, int]],
+        bottom_pins: Iterable[tuple[int, int]],
+        length: int | None = None,
     ) -> "ChannelProblem":
         """Build from ``(column, net)`` pairs.
 
@@ -72,17 +72,17 @@ class ChannelProblem:
     def length(self) -> int:
         return len(self.top)
 
-    def nets(self) -> List[int]:
+    def nets(self) -> list[int]:
         """All net ids present, ascending."""
         return sorted({n for n in self.top + self.bottom if n > 0})
 
-    def pin_columns(self, net: int) -> List[int]:
+    def pin_columns(self, net: int) -> list[int]:
         """Columns where ``net`` has a pin (either side), ascending."""
         cols = [c for c, n in enumerate(self.top) if n == net]
         cols += [c for c, n in enumerate(self.bottom) if n == net]
         return sorted(set(cols))
 
-    def span(self, net: int) -> Tuple[int, int]:
+    def span(self, net: int) -> tuple[int, int]:
         """Leftmost and rightmost pin columns of ``net``."""
         cols = self.pin_columns(net)
         if not cols:

@@ -11,7 +11,6 @@ may therefore cross but never overlap on the same layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 
@@ -68,8 +67,8 @@ class ChannelRoute:
 
     tracks: int
     length: int
-    spans: List[HorizontalSpan] = field(default_factory=list)
-    jogs: List[VerticalJog] = field(default_factory=list)
+    spans: list[HorizontalSpan] = field(default_factory=list)
+    jogs: list[VerticalJog] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Metrics
@@ -100,7 +99,7 @@ class ChannelRoute:
         how a single pin vertical connects several doglegged trunk
         pieces of one net).
         """
-        span_at: Dict[Tuple[int, int], List[HorizontalSpan]] = {}
+        span_at: dict[tuple[int, int], list[HorizontalSpan]] = {}
         for span in self.spans:
             span_at.setdefault((span.net, span.track), []).append(span)
         vias = 0
@@ -122,89 +121,104 @@ class ChannelRoute:
 
         Checks: geometric legality (no same-layer overlaps), every pin
         connected, every jog endpoint landed on metal, and per-net
-        connectivity (single component).
+        connectivity (single component).  Raises with the first
+        violation found; :meth:`violations` reports all of them.
         """
-        self._check_span_overlaps()
-        self._check_jog_overlaps()
-        self._check_pins(problem)
-        self._check_connectivity(problem)
+        found = self.violations(problem)
+        if found:
+            raise ChannelRoutingError(found[0])
 
-    def _check_span_overlaps(self) -> None:
-        by_track: Dict[Tuple[int, int], List[HorizontalSpan]] = {}
+    def violations(self, problem: ChannelProblem) -> list[str]:
+        """Every channel-legality violation, as human-readable messages.
+
+        The non-raising face of :meth:`check`, used by the
+        ``repro.check`` verification engine (rule ``chan.route``).
+        """
+        found: list[str] = []
+        self._check_span_overlaps(found)
+        self._check_jog_overlaps(found)
+        self._check_pins(problem, found)
+        self._check_connectivity(problem, found)
+        return found
+
+    def _check_span_overlaps(self, found: list[str]) -> None:
+        by_track: dict[tuple[int, int], list[HorizontalSpan]] = {}
         for span in self.spans:
             if not 0 <= span.track < self.tracks:
-                raise ChannelRoutingError(f"span {span} off-track")
+                found.append(f"span {span} off-track")
             if not 0 <= span.c1 <= span.c2 < self.length:
-                raise ChannelRoutingError(f"span {span} outside channel")
+                found.append(f"span {span} outside channel")
             by_track.setdefault((span.track, span.layer), []).append(span)
         for track, spans in by_track.items():
             spans.sort(key=lambda s: s.c1)
             for a, b in zip(spans, spans[1:]):
                 if b.c1 <= a.c2 and a.net != b.net:
-                    raise ChannelRoutingError(
+                    found.append(
                         f"track {track}: nets {a.net} and {b.net} overlap"
                     )
 
-    def _check_jog_overlaps(self) -> None:
-        by_col: Dict[int, List[VerticalJog]] = {}
+    def _check_jog_overlaps(self, found: list[str]) -> None:
+        by_col: dict[int, list[VerticalJog]] = {}
         for jog in self.jogs:
             if not 0 <= jog.column < self.length:
-                raise ChannelRoutingError(f"jog {jog} outside channel")
+                found.append(f"jog {jog} outside channel")
             if jog.r1 < TOP_ROW or jog.r2 > self.tracks:
-                raise ChannelRoutingError(f"jog {jog} outside rows")
+                found.append(f"jog {jog} outside rows")
             by_col.setdefault(jog.column, []).append(jog)
         for col, jogs in by_col.items():
             jogs.sort(key=lambda j: j.r1)
             for a, b in zip(jogs, jogs[1:]):
                 if b.r1 < a.r2 and a.net != b.net:
-                    raise ChannelRoutingError(
+                    found.append(
                         f"column {col}: jogs of nets {a.net} and {b.net} overlap"
                     )
                 if b.r1 <= a.r2 and a.net != b.net and b.r1 == a.r2:
-                    raise ChannelRoutingError(
+                    found.append(
                         f"column {col}: jogs of nets {a.net} and {b.net} touch"
                     )
 
-    def _check_pins(self, problem: ChannelProblem) -> None:
+    def _check_pins(self, problem: ChannelProblem, found: list[str]) -> None:
         for col in range(problem.length):
             top_net = problem.top[col]
             if top_net and problem.pin_count(top_net) < 2:
                 top_net = 0  # single-pin nets need no wiring
-            if top_net:
-                if not any(
-                    j.net == top_net and j.column == col and j.r1 == TOP_ROW
-                    for j in self.jogs
-                ):
-                    raise ChannelRoutingError(
-                        f"top pin of net {top_net} at column {col} unconnected"
-                    )
+            if top_net and not any(
+                j.net == top_net and j.column == col and j.r1 == TOP_ROW
+                for j in self.jogs
+            ):
+                found.append(
+                    f"top pin of net {top_net} at column {col} unconnected"
+                )
             bottom_net = problem.bottom[col]
             if bottom_net and problem.pin_count(bottom_net) < 2:
                 bottom_net = 0
-            if bottom_net:
-                if not any(
-                    j.net == bottom_net and j.column == col and j.r2 == self.tracks
-                    for j in self.jogs
-                ):
-                    raise ChannelRoutingError(
-                        f"bottom pin of net {bottom_net} at column {col} unconnected"
-                    )
+            if bottom_net and not any(
+                j.net == bottom_net and j.column == col and j.r2 == self.tracks
+                for j in self.jogs
+            ):
+                found.append(
+                    f"bottom pin of net {bottom_net} at column {col} unconnected"
+                )
 
-    def _check_connectivity(self, problem: ChannelProblem) -> None:
+    def _check_connectivity(
+        self, problem: ChannelProblem, found: list[str]
+    ) -> None:
         for net in problem.nets():
-            self._check_net_connectivity(net, problem)
+            self._check_net_connectivity(net, problem, found)
 
-    def _check_net_connectivity(self, net: int, problem: ChannelProblem) -> None:
+    def _check_net_connectivity(
+        self, net: int, problem: ChannelProblem, found: list[str]
+    ) -> None:
         spans = [s for s in self.spans if s.net == net]
         jogs = [j for j in self.jogs if j.net == net]
-        pins: List[Tuple[str, int]] = []
+        pins: list[tuple[str, int]] = []
         for col in range(problem.length):
             if problem.top[col] == net:
                 pins.append(("T", col))
             if problem.bottom[col] == net:
                 pins.append(("B", col))
         # Union-find over elements: spans, jogs, pins.
-        elements: List[object] = list(spans) + list(jogs) + list(pins)
+        elements: list[object] = list(spans) + list(jogs) + list(pins)
         index = {id(e): i for i, e in enumerate(elements)}
         parent = list(range(len(elements)))
 
@@ -235,7 +249,7 @@ class ChannelRoute:
                 if 0 <= row < self.tracks and not any(
                     s.track == row and s.c1 <= jog.column <= s.c2 for s in spans
                 ):
-                    raise ChannelRoutingError(
+                    found.append(
                         f"net {net}: jog endpoint at ({jog.column},{row}) "
                         "lands on no trunk"
                     )
@@ -253,7 +267,7 @@ class ChannelRoute:
             return
         roots = {find(index[id(e)]) for e in list(pins) + list(spans)}
         if len(roots) > 1:
-            raise ChannelRoutingError(f"net {net} is disconnected")
+            found.append(f"net {net} is disconnected")
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -10,7 +10,7 @@ dogleg-free left-edge routing infeasible; dogleg splitting usually
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from collections.abc import Hashable
 
 from repro.channels.problem import ChannelProblem
 
@@ -19,8 +19,8 @@ from repro.channels.problem import ChannelProblem
 class VerticalConstraintGraph:
     """A DAG-or-not over hashable node keys (nets or subnet keys)."""
 
-    edges: Dict[Hashable, Set[Hashable]] = field(default_factory=dict)
-    nodes: Set[Hashable] = field(default_factory=set)
+    edges: dict[Hashable, set[Hashable]] = field(default_factory=dict)
+    nodes: set[Hashable] = field(default_factory=set)
 
     @staticmethod
     def from_problem(problem: ChannelProblem) -> "VerticalConstraintGraph":
@@ -43,19 +43,19 @@ class VerticalConstraintGraph:
         self.add_node(below)
         self.edges[above].add(below)
 
-    def predecessors(self, node: Hashable) -> Set[Hashable]:
+    def predecessors(self, node: Hashable) -> set[Hashable]:
         return {u for u, vs in self.edges.items() if node in vs}
 
     def has_cycle(self) -> bool:
         return self.find_cycle() is not None
 
-    def find_cycle(self) -> Optional[List[Hashable]]:
+    def find_cycle(self) -> list[Hashable] | None:
         """A node list forming a cycle, or ``None`` when the graph is a DAG."""
         WHITE, GRAY, BLACK = 0, 1, 2
         color = {n: WHITE for n in self.nodes}
-        stack_path: List[Hashable] = []
+        stack_path: list[Hashable] = []
 
-        def visit(node: Hashable) -> Optional[List[Hashable]]:
+        def visit(node: Hashable) -> list[Hashable] | None:
             color[node] = GRAY
             stack_path.append(node)
             for succ in sorted(self.edges.get(node, ()), key=repr):
@@ -80,7 +80,7 @@ class VerticalConstraintGraph:
         """Longest chain length (a track-count lower bound); raises on cycles."""
         if self.has_cycle():
             raise ValueError("longest path undefined on cyclic VCG")
-        memo: Dict[Hashable, int] = {}
+        memo: dict[Hashable, int] = {}
 
         def depth(node: Hashable) -> int:
             if node in memo:
@@ -91,16 +91,16 @@ class VerticalConstraintGraph:
 
         return max((depth(n) for n in self.nodes), default=0)
 
-    def topological_order(self) -> List[Hashable]:
+    def topological_order(self) -> list[Hashable]:
         """A deterministic topological order; raises on cycles."""
         if self.has_cycle():
             raise ValueError("topological order undefined on cyclic VCG")
-        indegree: Dict[Hashable, int] = {n: 0 for n in self.nodes}
+        indegree: dict[Hashable, int] = {n: 0 for n in self.nodes}
         for _, succs in self.edges.items():
             for s in succs:
                 indegree[s] += 1
         ready = sorted((n for n, d in indegree.items() if d == 0), key=repr)
-        order: List[Hashable] = []
+        order: list[Hashable] = []
         while ready:
             node = ready.pop(0)
             order.append(node)

@@ -17,7 +17,6 @@ a hard infeasibility and raise :class:`ChannelRoutingError`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
 
 from repro.channels.problem import ChannelProblem, ChannelRoutingError
 from repro.channels.route import ChannelRoute, HorizontalSpan, VerticalJog
@@ -28,15 +27,15 @@ from repro.channels.vcg import VerticalConstraintGraph
 class _MergedNode:
     """A set of nets sharing one track."""
 
-    nets: List[int]
-    intervals: List[Tuple[int, int]]  # disjoint trunk spans, sorted
+    nets: list[int]
+    intervals: list[tuple[int, int]]  # disjoint trunk spans, sorted
 
     def overlaps(self, other: "_MergedNode") -> bool:
-        for a1, a2 in self.intervals:
-            for b1, b2 in other.intervals:
-                if a1 <= b2 and b1 <= a2:
-                    return True
-        return False
+        return any(
+            a1 <= b2 and b1 <= a2
+            for a1, a2 in self.intervals
+            for b1, b2 in other.intervals
+        )
 
 
 class YKChannelRouter:
@@ -60,8 +59,8 @@ class YKChannelRouter:
         merged = self._merge(problem, real_trunks, spans, vcg)
         assignment = self._assign_tracks(merged, vcg)
         tracks = (max(assignment.values()) + 1) if assignment else 0
-        route_spans: List[HorizontalSpan] = []
-        net_track: Dict[int, int] = {}
+        route_spans: list[HorizontalSpan] = []
+        net_track: dict[int, int] = {}
         for node, track in assignment.items():
             for net in node.nets:
                 net_track[net] = track
@@ -78,21 +77,21 @@ class YKChannelRouter:
     def _merge(
         self,
         problem: ChannelProblem,
-        nets: List[int],
-        spans: Dict[int, Tuple[int, int]],
+        nets: list[int],
+        spans: dict[int, tuple[int, int]],
         vcg: VerticalConstraintGraph,
-    ) -> List[_MergedNode]:
+    ) -> list[_MergedNode]:
         """Left-to-right merge sweep; mutates ``vcg`` by node fusion."""
-        node_of: Dict[int, _MergedNode] = {
+        node_of: dict[int, _MergedNode] = {
             net: _MergedNode(nets=[net], intervals=[spans[net]]) for net in nets
         }
         starts = sorted(nets, key=lambda n: (spans[n][0], spans[n][1], n))
-        ended: List[_MergedNode] = []
-        active: List[Tuple[int, _MergedNode]] = []  # (end column, node)
+        ended: list[_MergedNode] = []
+        active: list[tuple[int, _MergedNode]] = []  # (end column, node)
         for net in starts:
             lo, hi = spans[net]
             # Retire merged nodes fully left of this net.
-            still_active: List[Tuple[int, _MergedNode]] = []
+            still_active: list[tuple[int, _MergedNode]] = []
             for end, node in active:
                 if end < lo:
                     if node not in ended:
@@ -101,8 +100,8 @@ class YKChannelRouter:
                     still_active.append((end, node))
             active = still_active
             node = node_of[net]
-            best: Optional[_MergedNode] = None
-            best_depth: Optional[int] = None
+            best: _MergedNode | None = None
+            best_depth: int | None = None
             for candidate in ended:
                 if candidate is node or candidate.overlaps(node):
                     continue
@@ -120,8 +119,8 @@ class YKChannelRouter:
                 ended.remove(best)
                 node = best
             active.append((max(i[1] for i in node.intervals), node))
-        seen: Set[int] = set()
-        out: List[_MergedNode] = []
+        seen: set[int] = set()
+        out: list[_MergedNode] = []
         for node in node_of.values():
             if id(node) not in seen:
                 seen.add(id(node))
@@ -133,13 +132,13 @@ class YKChannelRouter:
         vcg: VerticalConstraintGraph,
         a: _MergedNode,
         b: _MergedNode,
-    ) -> Optional[int]:
+    ) -> int | None:
         """Longest VCG path if ``a`` and ``b`` fused, or None on a cycle.
 
         Works on a temporary graph over merged-node representatives.
         """
         probe = VerticalConstraintGraph()
-        groups: Dict[int, int] = {}
+        groups: dict[int, int] = {}
 
         def rep_of(net: int) -> int:
             return groups.get(net, net)
@@ -185,11 +184,11 @@ class YKChannelRouter:
     # ------------------------------------------------------------------
     def _assign_tracks(
         self,
-        merged: List[_MergedNode],
+        merged: list[_MergedNode],
         vcg: VerticalConstraintGraph,
-    ) -> Dict[_MergedNode, int]:
+    ) -> dict[_MergedNode, int]:
         """Topological track assignment of merged nodes."""
-        by_rep: Dict[int, _MergedNode] = {node.nets[0]: node for node in merged}
+        by_rep: dict[int, _MergedNode] = {node.nets[0]: node for node in merged}
         if vcg.has_cycle():  # pragma: no cover - fusion preserves acyclicity
             raise ChannelRoutingError("merged VCG became cyclic")
         order = [rep for rep in vcg.topological_order() if rep in by_rep]
@@ -197,12 +196,12 @@ class YKChannelRouter:
         for rep, node in sorted(by_rep.items()):
             if rep not in order:
                 order.append(rep)
-        assignment: Dict[_MergedNode, int] = {}
-        track_members: List[List[_MergedNode]] = []
-        preds_cache: Dict[int, Set[int]] = {
+        assignment: dict[_MergedNode, int] = {}
+        track_members: list[list[_MergedNode]] = []
+        preds_cache: dict[int, set[int]] = {
             rep: vcg.predecessors(rep) for rep in order
         }
-        rep_of_net: Dict[int, int] = {}
+        rep_of_net: dict[int, int] = {}
         for node in merged:
             for net in node.nets:
                 rep_of_net[net] = node.nets[0]
@@ -229,11 +228,11 @@ class YKChannelRouter:
     def _make_jogs(
         self,
         problem: ChannelProblem,
-        spans: Dict[int, Tuple[int, int]],
-        net_track: Dict[int, int],
+        spans: dict[int, tuple[int, int]],
+        net_track: dict[int, int],
         tracks: int,
-    ) -> List[VerticalJog]:
-        jogs: List[VerticalJog] = []
+    ) -> list[VerticalJog]:
+        jogs: list[VerticalJog] = []
         for col in range(problem.length):
             t_net, b_net = problem.top[col], problem.bottom[col]
             if t_net and t_net == b_net:

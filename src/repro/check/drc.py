@@ -1,0 +1,278 @@
+"""Geometry design-rule checks over extracted wiring.
+
+Four rules, all operating on the :class:`~repro.check.extract.ExtractedDesign`
+(never on occupancy state):
+
+``drc.short``
+    Same-layer overlap of two nets' wires (a single shared grid cell is
+    a short - each intersection has one slot per direction), and via or
+    terminal-stack conflicts: a via occupies both slots, so foreign
+    wiring through its point on either layer shorts.
+``drc.track``
+    Wiring geometry must lie on defined routing tracks and inside the
+    layout bounds.
+``drc.corner``
+    Every claimed corner must index a real track intersection and sit
+    at a direction change of its own connection's path.
+``drc.obstacle``
+    No wiring through over-cell areas excluded for its direction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.check.extract import (
+    HORIZONTAL_LAYER,
+    VERTICAL_LAYER,
+    ExtractedDesign,
+    Via,
+    Wire,
+)
+from repro.check.rules import RULE_CORNER, RULE_OBSTACLE, RULE_SHORT, RULE_TRACK
+from repro.check.violations import Violation
+from repro.geometry import Point, Rect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.router import LevelBResult, Obstacle
+    from repro.grid import RoutingGrid
+
+
+def check_shorts(design: ExtractedDesign) -> list[Violation]:
+    """Same-layer overlaps and via conflicts between different nets."""
+    violations = []
+    by_track = design.by_track()
+    # Wire-wire overlap: one sweep per (layer, track), O(k log k) each.
+    for (layer, track), wires in by_track.items():
+        max_hi = None
+        holder: Wire | None = None
+        for w in wires:
+            if (
+                holder is not None
+                and max_hi is not None
+                and w.lo <= max_hi
+                and w.net != holder.net
+            ):
+                at = (
+                    (w.lo, track)
+                    if layer == HORIZONTAL_LAYER
+                    else (track, w.lo)
+                )
+                violations.append(
+                    Violation(
+                        RULE_SHORT,
+                        f"nets {holder.net} and {w.net} overlap on "
+                        f"m{layer} track {track} "
+                        f"[{w.lo},{min(w.hi, max_hi)}]",
+                        nets=(holder.net, w.net),
+                        location=at,
+                        layer=layer,
+                    )
+                )
+            if max_hi is None or w.hi > max_hi:
+                max_hi, holder = w.hi, w
+    # Via conflicts: point collisions and foreign wiring through a via.
+    by_point: dict[Point, list[Via]] = {}
+    for via in design.vias:
+        by_point.setdefault(via.point, []).append(via)
+    for point, vias in by_point.items():
+        nets = sorted({v.net for v in vias})
+        if len(nets) > 1:
+            violations.append(
+                Violation(
+                    RULE_SHORT,
+                    f"vias of nets {', '.join(nets)} collide at {point}",
+                    nets=tuple(nets),
+                    location=(point.x, point.y),
+                )
+            )
+    for point, vias in by_point.items():
+        via_nets = {v.net for v in vias}
+        for wire in _wires_through(by_track, point):
+            if wire.net not in via_nets:
+                other = sorted(via_nets)[0]
+                violations.append(
+                    Violation(
+                        RULE_SHORT,
+                        f"wire of net {wire.net} crosses the via/terminal "
+                        f"of net {other} at {point} on m{wire.layer}",
+                        nets=(wire.net, other),
+                        location=(point.x, point.y),
+                        layer=wire.layer,
+                    )
+                )
+    return violations
+
+
+def _wires_through(
+    by_track: dict[tuple[int, int], list[Wire]], point: Point
+) -> list[Wire]:
+    """All wires whose metal passes through geometric ``point``."""
+    hits = []
+    for wire in by_track.get((HORIZONTAL_LAYER, point.y), ()):
+        if wire.lo <= point.x <= wire.hi:
+            hits.append(wire)
+    for wire in by_track.get((VERTICAL_LAYER, point.x), ()):
+        if wire.lo <= point.y <= wire.hi:
+            hits.append(wire)
+    return hits
+
+
+def check_tracks(
+    design: ExtractedDesign, grid: "RoutingGrid", bounds: Rect | None = None
+) -> list[Violation]:
+    """All wiring on defined tracks and inside the layout."""
+    violations = []
+    vt, ht = grid.vtracks, grid.htracks
+    for w in design.wires:
+        fixed, varying = (ht, vt) if w.is_horizontal else (vt, ht)
+        axis = "y" if w.is_horizontal else "x"
+        if not fixed.has(w.track):
+            violations.append(
+                Violation(
+                    RULE_TRACK,
+                    f"wire of net {w.net} runs at {axis}={w.track} where "
+                    f"m{w.layer} has no track",
+                    nets=(w.net,),
+                    location=_wire_anchor(w),
+                    layer=w.layer,
+                )
+            )
+        for end in (w.lo, w.hi):
+            if not varying.has(end):
+                violations.append(
+                    Violation(
+                        RULE_TRACK,
+                        f"wire of net {w.net} ends off-track at "
+                        f"{_end_point(w, end)}",
+                        nets=(w.net,),
+                        location=_end_point(w, end),
+                        layer=w.layer,
+                    )
+                )
+        if bounds is not None and not bounds.contains_rect(_wire_rect(w)):
+            violations.append(
+                Violation(
+                    RULE_TRACK,
+                    f"wire of net {w.net} leaves the layout bounds "
+                    f"({w})",
+                    nets=(w.net,),
+                    location=_wire_anchor(w),
+                    layer=w.layer,
+                )
+            )
+    for via in design.vias:
+        if not (vt.has(via.x) and ht.has(via.y)):
+            violations.append(
+                Violation(
+                    RULE_TRACK,
+                    f"{via.kind} via of net {via.net} at ({via.x},{via.y}) "
+                    "is on no track intersection",
+                    nets=(via.net,),
+                    location=(via.x, via.y),
+                )
+            )
+    return violations
+
+
+def _wire_anchor(w: Wire) -> tuple[int, int]:
+    return (w.lo, w.track) if w.is_horizontal else (w.track, w.lo)
+
+
+def _end_point(w: Wire, end: int) -> tuple[int, int]:
+    return (end, w.track) if w.is_horizontal else (w.track, end)
+
+
+def _wire_rect(w: Wire) -> Rect:
+    if w.is_horizontal:
+        return Rect(w.lo, w.track, w.hi, w.track)
+    return Rect(w.track, w.lo, w.track, w.hi)
+
+
+def check_corners(result: "LevelBResult") -> list[Violation]:
+    """Claimed corners index real intersections at real turns."""
+    violations = []
+    grid = result.tig.grid
+    nv, nh = grid.num_vtracks, grid.num_htracks
+    for routed in result.routed:
+        for conn in routed.connections:
+            turns = set(conn.path.corners())
+            for v_idx, h_idx in conn.corners:
+                if not (0 <= v_idx < nv and 0 <= h_idx < nh):
+                    violations.append(
+                        Violation(
+                            RULE_CORNER,
+                            f"net {routed.net.name} claims corner at "
+                            f"track indices ({v_idx},{h_idx}) outside the "
+                            f"{nv}x{nh} grid",
+                            nets=(routed.net.name,),
+                        )
+                    )
+                    continue
+                point = Point(*grid.coord_of(v_idx, h_idx))
+                if point not in turns:
+                    violations.append(
+                        Violation(
+                            RULE_CORNER,
+                            f"net {routed.net.name} claims a corner at "
+                            f"{point} but its path does not turn there",
+                            nets=(routed.net.name,),
+                            location=(point.x, point.y),
+                        )
+                    )
+    return violations
+
+
+def check_obstacles(
+    design: ExtractedDesign,
+    obstacles: "list[Obstacle] | tuple[Obstacle, ...]",
+    grid: "RoutingGrid",
+) -> list[Violation]:
+    """No wiring through excluded over-cell areas.
+
+    An obstacle blocks the track *intersections* inside its rectangle
+    (per direction), so a wire violates only when a blocked
+    intersection lies under its metal - matching
+    :meth:`RoutingGrid.add_obstacle` exactly, but re-derived from the
+    obstacle rectangles rather than the occupancy arrays.
+    """
+    violations = []
+    vt, ht = grid.vtracks, grid.htracks
+    for obs in obstacles:
+        rect = obs.rect
+        label = f" {obs.name!r}" if obs.name else ""
+        for w in design.wires:
+            if w.is_horizontal:
+                if not obs.block_h or not (rect.y1 <= w.track <= rect.y2):
+                    continue
+                lo, hi = max(w.lo, rect.x1), min(w.hi, rect.x2)
+                crossed = lo <= hi and len(vt.index_range(lo, hi)) > 0
+            else:
+                if not obs.block_v or not (rect.x1 <= w.track <= rect.x2):
+                    continue
+                lo, hi = max(w.lo, rect.y1), min(w.hi, rect.y2)
+                crossed = lo <= hi and len(ht.index_range(lo, hi)) > 0
+            if crossed:
+                violations.append(
+                    Violation(
+                        RULE_OBSTACLE,
+                        f"wire of net {w.net} crosses blocked area{label} "
+                        f"{rect} ({w})",
+                        nets=(w.net,),
+                        location=_wire_anchor(w),
+                        layer=w.layer,
+                    )
+                )
+        if obs.block_h or obs.block_v:
+            for via in design.vias:
+                if rect.contains_point(via.point):
+                    violations.append(
+                        Violation(
+                            RULE_OBSTACLE,
+                            f"{via.kind} via of net {via.net} inside "
+                            f"blocked area{label} {rect}",
+                            nets=(via.net,),
+                            location=(via.x, via.y),
+                        )
+                    )
+    return violations

@@ -1,0 +1,216 @@
+"""Independent geometry extraction from a routed design.
+
+The verification passes deliberately do **not** read the occupancy
+arrays (the router's own bookkeeping).  Instead this module re-derives
+the realised wiring from first principles:
+
+* every committed connection's :class:`~repro.geometry.Path` becomes
+  per-layer :class:`Wire` records (metal4 horizontal, metal3 vertical
+  under the reserved-layer model);
+* every claimed corner becomes an m3-m4 :class:`Via`;
+* every net pin position (straight from the netlist) becomes a
+  terminal via stack, which the paper lets connect any layer.
+
+The DRC sweep, the LVS-lite connectivity rebuild and several invariant
+checks all consume the resulting :class:`ExtractedDesign`.  The only
+grid inputs used are the *track definitions* (static geometry, needed
+to map corner indices to coordinates) - never ownership state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.router import LevelBResult
+
+#: Reserved-layer model: metal3 carries vertical wiring, metal4 horizontal.
+VERTICAL_LAYER = 3
+HORIZONTAL_LAYER = 4
+
+#: Via kinds.
+VIA_CORNER = "corner"
+VIA_TERMINAL = "terminal"
+VIA_JUNCTION = "junction"
+
+
+@dataclass(frozen=True)
+class Wire:
+    """One extracted wire piece on one layer.
+
+    ``track`` is the fixed coordinate (y for horizontal wires on
+    metal4, x for vertical wires on metal3); ``lo``/``hi`` bound the
+    varying coordinate, ``lo <= hi``.
+    """
+
+    net: str
+    layer: int
+    track: int
+    lo: int
+    hi: int
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.layer == HORIZONTAL_LAYER
+
+    def contains(self, x: int, y: int) -> bool:
+        """Does the wire pass through geometric point ``(x, y)``?"""
+        if self.is_horizontal:
+            return y == self.track and self.lo <= x <= self.hi
+        return x == self.track and self.lo <= y <= self.hi
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_horizontal:
+            return f"{self.net}:m{self.layer} y={self.track} x[{self.lo},{self.hi}]"
+        return f"{self.net}:m{self.layer} x={self.track} y[{self.lo},{self.hi}]"
+
+
+@dataclass(frozen=True)
+class Via:
+    """A layer connection at a point: an m3-m4 corner or a terminal stack.
+
+    A terminal stack reaches from the cell pin up through every routing
+    layer (paper section 2), so it makes metal on *any* layer at its
+    point electrically one node; a corner via connects m3 and m4.  Both
+    occupy the full intersection for ownership purposes.
+    """
+
+    net: str
+    x: int
+    y: int
+    kind: str
+
+    @property
+    def point(self) -> Point:
+        return Point(self.x, self.y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.net}:{self.kind}@({self.x},{self.y})"
+
+
+@dataclass
+class ExtractedDesign:
+    """Everything the verification passes need, re-derived from geometry."""
+
+    wires: list[Wire] = field(default_factory=list)
+    vias: list[Via] = field(default_factory=list)
+    #: net name -> unique terminal points (netlist ground truth).
+    terminals: dict[str, list[Point]] = field(default_factory=dict)
+    #: net name -> did the router claim the net complete?
+    complete: dict[str, bool] = field(default_factory=dict)
+
+    def by_track(self) -> dict[tuple[int, int], list[Wire]]:
+        """Wires grouped by ``(layer, track)``, sorted by span start."""
+        groups: dict[tuple[int, int], list[Wire]] = {}
+        for w in self.wires:
+            groups.setdefault((w.layer, w.track), []).append(w)
+        for wires in groups.values():
+            wires.sort(key=lambda w: (w.lo, w.hi))
+        return groups
+
+
+def wires_of_path(net: str, path) -> list[Wire]:
+    """The non-degenerate wire pieces of one connection path."""
+    wires = []
+    for seg in path.segments:
+        if seg.is_point:
+            continue
+        if seg.is_horizontal:
+            lo, hi = sorted((seg.a.x, seg.b.x))
+            wires.append(Wire(net, HORIZONTAL_LAYER, seg.a.y, lo, hi))
+        else:
+            lo, hi = sorted((seg.a.y, seg.b.y))
+            wires.append(Wire(net, VERTICAL_LAYER, seg.a.x, lo, hi))
+    return wires
+
+
+def _end_layers(path) -> list[tuple[Point, int]]:
+    """Path endpoints with the layer of their adjacent wire piece.
+
+    Walks inward past degenerate segments; a path with no real segment
+    yields nothing.
+    """
+    real = [s for s in path.segments if not s.is_point]
+    if not real:
+        return []
+    first, last = real[0], real[-1]
+    return [
+        (first.a, HORIZONTAL_LAYER if first.is_horizontal else VERTICAL_LAYER),
+        (last.b, HORIZONTAL_LAYER if last.is_horizontal else VERTICAL_LAYER),
+    ]
+
+
+def _junction_vias(
+    design: ExtractedDesign,
+    endpoints: dict[str, list[tuple[Point, int]]],
+) -> list[Via]:
+    """Steiner junction vias, inferred from geometry alone.
+
+    When a connection *ends* on same-net metal of the opposite layer
+    (a T-junction onto an earlier trunk of the tree), the committed
+    grid state carries both slots of that intersection for the net -
+    the junction via is physically there even though no corner was
+    claimed (corners are direction changes *within* a path).  Re-derive
+    it: endpoint not a terminal of the net, same-net wire of the other
+    layer passing through it.
+    """
+    spans: dict[tuple[str, int, int], list[tuple[int, int]]] = {}
+    for w in design.wires:
+        spans.setdefault((w.net, w.layer, w.track), []).append((w.lo, w.hi))
+    vias = []
+    emitted: set[tuple[str, int, int]] = set()
+    for net, ends in endpoints.items():
+        terminal_points = set(design.terminals.get(net, ()))
+        for point, layer in ends:
+            if point in terminal_points:
+                continue  # a terminal stack already connects all layers
+            if (net, point.x, point.y) in emitted:
+                continue
+            other = (
+                VERTICAL_LAYER if layer == HORIZONTAL_LAYER else HORIZONTAL_LAYER
+            )
+            track = point.x if other == VERTICAL_LAYER else point.y
+            varying = point.y if other == VERTICAL_LAYER else point.x
+            for lo, hi in spans.get((net, other, track), ()):
+                if lo <= varying <= hi:
+                    vias.append(Via(net, point.x, point.y, VIA_JUNCTION))
+                    emitted.add((net, point.x, point.y))
+                    break
+    return vias
+
+
+def extract_levelb(result: "LevelBResult") -> ExtractedDesign:
+    """Re-extract the level B wiring of a routing result.
+
+    Claimed corner indices that fall outside the grid produce no via
+    (the ``drc.corner`` rule reports them); everything else maps
+    through the grid's static track coordinates.
+    """
+    grid = result.tig.grid
+    nv, nh = grid.num_vtracks, grid.num_htracks
+    design = ExtractedDesign()
+    endpoints: dict[str, list[tuple[Point, int]]] = {}
+    for routed in result.routed:
+        name = routed.net.name
+        design.complete[name] = routed.complete
+        seen: set[Point] = set()
+        points = []
+        for p in routed.net.pin_positions():
+            if p not in seen:
+                seen.add(p)
+                points.append(p)
+        design.terminals[name] = points
+        for p in points:
+            design.vias.append(Via(name, p.x, p.y, VIA_TERMINAL))
+        for conn in routed.connections:
+            design.wires.extend(wires_of_path(name, conn.path))
+            endpoints.setdefault(name, []).extend(_end_layers(conn.path))
+            for v_idx, h_idx in conn.corners:
+                if 0 <= v_idx < nv and 0 <= h_idx < nh:
+                    x, y = grid.coord_of(v_idx, h_idx)
+                    design.vias.append(Via(name, x, y, VIA_CORNER))
+    design.vias.extend(_junction_vias(design, endpoints))
+    return design

@@ -1,0 +1,149 @@
+"""LVS-lite: rebuild connectivity from extracted geometry.
+
+The netlist says which terminals belong together; the extracted wiring
+says what is actually connected.  This pass unions wires and vias into
+electrical components using only geometric adjacency:
+
+* two wires on the same ``(layer, track)`` connect when their closed
+  spans overlap or share an endpoint (one shared cell is contact);
+* a via connects every wire passing through its point, on both layers
+  (terminal stacks reach all layers, corner vias join m3 and m4);
+* crossing wires on *different* layers never connect without a via.
+
+Comparing components against the netlist yields three rules:
+``lvs.open`` (a claimed-complete net whose terminals split across
+components), ``lvs.short`` (one component carrying more than one net)
+and ``lvs.dangling`` (metal with no terminal at all).
+"""
+
+from __future__ import annotations
+
+from repro.check.extract import (
+    HORIZONTAL_LAYER,
+    VERTICAL_LAYER,
+    VIA_TERMINAL,
+    ExtractedDesign,
+)
+from repro.check.rules import RULE_DANGLING, RULE_MERGED, RULE_OPEN
+from repro.check.violations import Severity, Violation
+
+
+class _DSU:
+    """Union-find with path halving."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        parent = self._parent
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def check_connectivity(design: ExtractedDesign) -> list[Violation]:
+    """Opens, merged nets and dangling metal in one connectivity rebuild."""
+    wires, vias = design.wires, design.vias
+    n_wires = len(wires)
+    dsu = _DSU(n_wires + len(vias))
+
+    # Wire indices grouped per (layer, track), sorted by span.
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i, w in enumerate(wires):
+        groups.setdefault((w.layer, w.track), []).append(i)
+    for idxs in groups.values():
+        idxs.sort(key=lambda i: (wires[i].lo, wires[i].hi))
+        max_hi, max_idx = None, -1
+        for i in idxs:
+            w = wires[i]
+            if max_hi is not None and w.lo <= max_hi:
+                dsu.union(max_idx, i)
+            if max_hi is None or w.hi > max_hi:
+                max_hi, max_idx = w.hi, i
+
+    # Vias: join both layers at their point, and each other.
+    at_point: dict[tuple[int, int], int] = {}
+    for j, via in enumerate(vias):
+        node = n_wires + j
+        key = (via.x, via.y)
+        if key in at_point:
+            dsu.union(at_point[key], node)
+        else:
+            at_point[key] = node
+        for i in groups.get((HORIZONTAL_LAYER, via.y), ()):
+            if wires[i].lo <= via.x <= wires[i].hi:
+                dsu.union(node, i)
+        for i in groups.get((VERTICAL_LAYER, via.x), ()):
+            if wires[i].lo <= via.y <= wires[i].hi:
+                dsu.union(node, i)
+
+    # Components: who is in each, which nets, any terminal?
+    comp_nets: dict[int, set[str]] = {}
+    comp_has_wire: dict[int, bool] = {}
+    comp_has_term: dict[int, bool] = {}
+    for i, w in enumerate(wires):
+        root = dsu.find(i)
+        comp_nets.setdefault(root, set()).add(w.net)
+        comp_has_wire[root] = True
+    for j, via in enumerate(vias):
+        root = dsu.find(n_wires + j)
+        comp_nets.setdefault(root, set()).add(via.net)
+        if via.kind == VIA_TERMINAL:
+            comp_has_term[root] = True
+
+    violations = []
+
+    # lvs.short - one electrical component, several nets.
+    for root, nets in sorted(comp_nets.items()):
+        if len(nets) > 1:
+            names = sorted(nets)
+            violations.append(
+                Violation(
+                    RULE_MERGED,
+                    f"nets {', '.join(names)} are electrically merged "
+                    "into one component",
+                    nets=tuple(names),
+                )
+            )
+
+    # lvs.open - terminals of a claimed-complete net split apart.
+    term_node: dict[tuple[int, int], int] = {}
+    for j, via in enumerate(vias):
+        if via.kind == VIA_TERMINAL:
+            term_node[(via.x, via.y)] = n_wires + j
+    for net, points in sorted(design.terminals.items()):
+        if not design.complete.get(net, False) or len(points) < 2:
+            continue
+        roots = {dsu.find(term_node[(p.x, p.y)]) for p in points}
+        if len(roots) > 1:
+            violations.append(
+                Violation(
+                    RULE_OPEN,
+                    f"net {net} claimed complete but its {len(points)} "
+                    f"terminals form {len(roots)} disconnected pieces",
+                    nets=(net,),
+                    location=(points[0].x, points[0].y),
+                )
+            )
+
+    # lvs.dangling - metal that reaches no terminal.
+    for root, has_wire in sorted(comp_has_wire.items()):
+        if has_wire and not comp_has_term.get(root, False):
+            names = sorted(comp_nets[root])
+            violations.append(
+                Violation(
+                    RULE_DANGLING,
+                    f"orphan wiring of net(s) {', '.join(names)} touches "
+                    "no terminal",
+                    severity=Severity.WARNING,
+                    nets=tuple(names),
+                )
+            )
+
+    return violations

@@ -1,0 +1,96 @@
+"""The verification rule catalogue.
+
+Every check in :mod:`repro.check` reports violations under one of the
+rule ids defined here.  Ids are dotted ``pass.rule`` strings grouped by
+verification pass:
+
+``drc.*``
+    Geometric design-rule checks over the realised wiring.
+``lvs.*``
+    Connectivity checks of the re-extracted net graph against the
+    netlist.
+``inv.*``
+    Paper-level router invariants (section 3 guarantees).
+``grid.*``
+    Occupancy-state audits (transactional bookkeeping consistency).
+``chan.*``
+    Level A channel-routing legality (delegated to
+    :meth:`repro.channels.ChannelRoute.violations`).
+
+``docs/VERIFICATION.md`` documents each rule's semantics, severity and
+the injection test that proves the rule fires.
+"""
+
+from __future__ import annotations
+
+# -- DRC: geometry ------------------------------------------------------
+RULE_SHORT = "drc.short"
+"""Two nets overlap on the same layer, or a via/terminal stack of one
+net touches wiring of another at its intersection."""
+
+RULE_TRACK = "drc.track"
+"""Wiring geometry off the routing tracks: a segment whose fixed or
+endpoint coordinates lie on no defined track, or outside the layout."""
+
+RULE_CORNER = "drc.corner"
+"""A claimed corner via sits on no valid track intersection or not at a
+direction change of its connection's path."""
+
+RULE_OBSTACLE = "drc.obstacle"
+"""Wiring crosses an over-cell area excluded for its direction."""
+
+# -- LVS: connectivity --------------------------------------------------
+RULE_OPEN = "lvs.open"
+"""A net the router reported complete whose extracted geometry does not
+connect all of its terminals into one component."""
+
+RULE_MERGED = "lvs.short"
+"""Two different nets are electrically merged: one extracted component
+carries geometry or terminals of more than one net."""
+
+RULE_DANGLING = "lvs.dangling"
+"""Orphan metal: an extracted component with wiring but no terminal."""
+
+# -- invariants: paper-level assertions --------------------------------
+RULE_CORNER_PER_TRACK = "inv.corner_per_track"
+"""An MBFS-routed connection turns off the same track twice (the search
+guarantees at most one corner per track per connection)."""
+
+RULE_CORNER_CLAIM = "inv.corner_claim"
+"""The corner list a connection claims (what the PST selector priced)
+does not match the geometric corners of its committed path."""
+
+RULE_LAYER = "inv.layer"
+"""Layer-assignment violation: a set A net routed over the cells on
+metal3/metal4, or a set B net missing from the level B result."""
+
+# -- grid: occupancy-state audits --------------------------------------
+RULE_LEDGER = "grid.ledger"
+"""The occupancy arrays do not replay exactly from the per-net mutation
+ledgers (wiring present with no ledger record, or vice versa)."""
+
+RULE_JOURNAL = "grid.journal"
+"""The transaction journal is unbalanced: entries remain with no open
+transaction, or a transaction was left open."""
+
+# -- channels: level A legality ----------------------------------------
+RULE_CHANNEL = "chan.route"
+"""A detailed channel route violates channel legality (overlap, open,
+unconnected pin); see :meth:`repro.channels.ChannelRoute.violations`."""
+
+#: Every rule id, in catalogue order (docs and tests iterate this).
+ALL_RULES: tuple[str, ...] = (
+    RULE_SHORT,
+    RULE_TRACK,
+    RULE_CORNER,
+    RULE_OBSTACLE,
+    RULE_OPEN,
+    RULE_MERGED,
+    RULE_DANGLING,
+    RULE_CORNER_PER_TRACK,
+    RULE_CORNER_CLAIM,
+    RULE_LAYER,
+    RULE_LEDGER,
+    RULE_JOURNAL,
+    RULE_CHANNEL,
+)

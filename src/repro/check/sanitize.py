@@ -1,0 +1,234 @@
+"""Invariant sanitizer: paper-level guarantees and occupancy audits.
+
+Two families live here.  ``check_invariants`` re-derives the section 3
+search guarantees from committed paths alone:
+
+``inv.corner_per_track``
+    MBFS examines each track at most once, so a connection never turns
+    *off* the same track twice.  Only the final track of a path may
+    recur (target tracks are re-enterable); maze-rescued connections
+    (``expansions_used == -1``) are exempt because Lee search gives no
+    such guarantee.
+``inv.corner_claim``
+    The corner list a connection claims (what the PST corner selector
+    priced and what ``commit_path`` stamped into the grid) must equal,
+    as a multiset, the geometric direction changes of its path.
+``inv.layer``
+    Reserved-layer partitioning: exactly the set B nets appear in the
+    level B (m3/m4) result.
+
+``audit_grid`` cross-checks the grid's redundant bookkeeping:
+
+``grid.ledger``
+    Replaying every per-net mutation ledger into fresh arrays must
+    reproduce the live occupancy exactly (positive cells both ways).
+``grid.journal``
+    Outside any transaction the undo journal must be empty, and a
+    "closed" audit point must not find a transaction still open.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.check.rules import (
+    RULE_CORNER_CLAIM,
+    RULE_CORNER_PER_TRACK,
+    RULE_JOURNAL,
+    RULE_LAYER,
+    RULE_LEDGER,
+)
+from repro.check.violations import Violation
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from repro.core.engine import RoutedConnection
+    from repro.core.router import LevelBResult
+    from repro.grid import RoutingGrid
+
+
+def _direction_runs(path) -> list[tuple[str, int]]:
+    """Merged direction runs as ``(direction, track)`` pairs.
+
+    Consecutive same-direction segments on the same track are one run;
+    degenerate segments never start or split a run.
+    """
+    runs: list[tuple[str, int]] = []
+    for seg in path.segments:
+        if seg.is_point:
+            continue
+        run = ("H", seg.a.y) if seg.is_horizontal else ("V", seg.a.x)
+        if not runs or runs[-1] != run:
+            runs.append(run)
+    return runs
+
+
+def check_connection_invariants(
+    net: str, conn: "RoutedConnection", grid: "RoutingGrid"
+) -> list[Violation]:
+    """Per-connection paper invariants (corner claim + corner/track)."""
+    violations = []
+    nv, nh = grid.num_vtracks, grid.num_htracks
+
+    # inv.corner_claim: claimed corners == geometric turns, as multisets.
+    claimed = Counter(
+        Point(*grid.coord_of(v_idx, h_idx))
+        for v_idx, h_idx in conn.corners
+        if 0 <= v_idx < nv and 0 <= h_idx < nh
+    )
+    actual = Counter(conn.path.corners())
+    if claimed != actual:
+        missing = sorted((actual - claimed).elements())
+        extra = sorted((claimed - actual).elements())
+        detail = []
+        if missing:
+            detail.append(f"unclaimed turns {missing}")
+        if extra:
+            detail.append(f"claims without turns {extra}")
+        violations.append(
+            Violation(
+                RULE_CORNER_CLAIM,
+                f"net {net}: claimed corners do not match the path's "
+                f"direction changes ({'; '.join(detail)})",
+                nets=(net,),
+                location=(
+                    (missing or extra)[0].x,
+                    (missing or extra)[0].y,
+                ),
+            )
+        )
+
+    # inv.corner_per_track: no track departed twice (MBFS guarantee).
+    if conn.expansions_used != -1:
+        runs = _direction_runs(conn.path)
+        seen: set[tuple[str, int]] = set()
+        for direction, track in runs[:-1]:  # final track may recur
+            if (direction, track) in seen:
+                axis = "y" if direction == "H" else "x"
+                violations.append(
+                    Violation(
+                        RULE_CORNER_PER_TRACK,
+                        f"net {net}: connection turns off "
+                        f"{axis}={track} twice (one corner per track "
+                        "violated)",
+                        nets=(net,),
+                    )
+                )
+            seen.add((direction, track))
+    return violations
+
+
+def check_invariants(result: "LevelBResult") -> list[Violation]:
+    """Paper invariants over every committed connection of a result."""
+    grid = result.tig.grid
+    violations = []
+    for routed in result.routed:
+        for conn in routed.connections:
+            violations.extend(
+                check_connection_invariants(routed.net.name, conn, grid)
+            )
+    return violations
+
+
+def check_layer_assignment(
+    result: "LevelBResult",
+    set_a_names: "Iterable[str]",
+    set_b_names: "Iterable[str]",
+) -> list[Violation]:
+    """Reserved-layer partition: level B carries exactly the set B nets."""
+    routed_names = {r.net.name for r in result.routed}
+    set_a, set_b = set(set_a_names), set(set_b_names)
+    violations = []
+    for name in sorted(routed_names & set_a):
+        violations.append(
+            Violation(
+                RULE_LAYER,
+                f"set A net {name} was routed over the cells on m3/m4",
+                nets=(name,),
+            )
+        )
+    for name in sorted(set_b - routed_names):
+        violations.append(
+            Violation(
+                RULE_LAYER,
+                f"set B net {name} is missing from the level B result",
+                nets=(name,),
+            )
+        )
+    for name in sorted(routed_names - set_a - set_b):
+        violations.append(
+            Violation(
+                RULE_LAYER,
+                f"net {name} in the level B result belongs to neither "
+                "partition",
+                nets=(name,),
+            )
+        )
+    return violations
+
+
+def audit_grid(
+    grid: "RoutingGrid", *, expect_closed: bool = True
+) -> list[Violation]:
+    """Occupancy bookkeeping audits: ledger replay + journal balance."""
+    violations = []
+
+    # grid.journal - balance first, it is cheap.
+    if grid.in_transaction:
+        if expect_closed:
+            violations.append(
+                Violation(
+                    RULE_JOURNAL,
+                    "a grid transaction is still open at a point where "
+                    "all transactions should have completed",
+                )
+            )
+    elif grid.journal_len > 0:
+        violations.append(
+            Violation(
+                RULE_JOURNAL,
+                f"{grid.journal_len} undo-journal entries remain with no "
+                "open transaction",
+            )
+        )
+
+    # grid.ledger - replay every net's ledger into fresh arrays.
+    snap = grid.snapshot()
+    rep_h = np.zeros_like(snap.h_owner)
+    rep_v = np.zeros_like(snap.v_owner)
+    for net_id in grid.ledgered_net_ids():
+        for entry in grid.ledger_entries(net_id):
+            tag = entry[0]
+            if tag == "h":
+                _, h_idx, v_lo, v_hi = entry
+                rep_h[h_idx, v_lo : v_hi + 1] = net_id
+            elif tag == "v":
+                _, v_idx, h_lo, h_hi = entry
+                rep_v[v_idx, h_lo : h_hi + 1] = net_id
+            else:  # "c": a corner or terminal stack claims both slots
+                _, v_idx, h_idx = entry
+                rep_h[h_idx, v_idx] = net_id
+                rep_v[v_idx, h_idx] = net_id
+    for label, rep, live in (
+        ("h", rep_h, snap.h_owner),
+        ("v", rep_v, snap.v_owner),
+    ):
+        bad = (rep != live) & ((rep > 0) | (live > 0))
+        if bad.any():
+            spots = np.argwhere(bad)
+            a, b = (int(x) for x in spots[0])
+            violations.append(
+                Violation(
+                    RULE_LEDGER,
+                    f"{label}-owner array disagrees with the replayed "
+                    f"ledgers at {int(bad.sum())} cell(s); first at "
+                    f"index ({a},{b}): live={int(live[a, b])} "
+                    f"replayed={int(rep[a, b])}",
+                )
+            )
+    return violations

@@ -1,0 +1,152 @@
+"""Structured violation records and check reports.
+
+A :class:`Violation` is one rule breach at one location; a
+:class:`CheckReport` aggregates a whole verification run.  Violations
+are plain data so they serialise cleanly (CLI ``--json``, instrument
+events) and so tests can assert on rule ids rather than message text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a violation is.
+
+    ``ERROR`` breaks correctness (shorts, opens, off-track wiring);
+    ``WARNING`` flags suspect but not provably broken state;
+    ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule breach.
+
+    Attributes
+    ----------
+    rule:
+        A rule id from :mod:`repro.check.rules`.
+    message:
+        Human-readable description with concrete coordinates/names.
+    severity:
+        See :class:`Severity`; defaults to ``ERROR``.
+    nets:
+        Names of the nets involved (offender first when meaningful).
+    location:
+        Geometric ``(x, y)`` anchor of the violation, when one exists.
+    layer:
+        Metal layer number the violation sits on, when layer-specific.
+    """
+
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+    nets: tuple[str, ...] = ()
+    location: tuple[int, int] | None = None
+    layer: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.nets:
+            out["nets"] = list(self.nets)
+        if self.location is not None:
+            out["location"] = list(self.location)
+        if self.layer is not None:
+            out["layer"] = self.layer
+        return out
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location is not None else ""
+        who = f" [{','.join(self.nets)}]" if self.nets else ""
+        return f"{self.severity.value.upper()} {self.rule}{where}{who}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """Aggregate outcome of one verification run."""
+
+    subject: str = ""
+    violations: list[Violation] = field(default_factory=list)
+    rules_run: tuple[str, ...] = ()
+
+    def extend(self, violations: list[Violation]) -> None:
+        self.violations.extend(violations)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity violation was found."""
+        return not any(v.severity is Severity.ERROR for v in self.violations)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for v in self.violations if v.severity is Severity.ERROR)
+
+    def by_rule(self, rule: str) -> list[Violation]:
+        return [v for v in self.violations if v.rule == rule]
+
+    def counts(self) -> dict[str, int]:
+        """Violation count per rule id (only rules that fired)."""
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        label = f"{self.subject}: " if self.subject else ""
+        if not self.violations:
+            return f"{label}CLEAN ({len(self.rules_run)} rules checked)"
+        parts = ", ".join(
+            f"{rule}={n}" for rule, n in sorted(self.counts().items())
+        )
+        return (
+            f"{label}{self.error_count} error(s), "
+            f"{len(self.violations)} violation(s): {parts}"
+        )
+
+    def render(self, limit: int = 50) -> str:
+        """Multi-line report: summary plus the first ``limit`` violations."""
+        lines = [self.summary()]
+        lines.extend(f"  {v}" for v in self.violations[:limit])
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "rules_run": list(self.rules_run),
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class CheckFailure(RuntimeError):
+    """Raised by checked mode when the sanitizer finds violations.
+
+    Carries the structured records so handlers need not re-parse the
+    message.
+    """
+
+    def __init__(self, violations: list[Violation]) -> None:
+        self.violations = list(violations)
+        head = "; ".join(str(v) for v in self.violations[:3])
+        more = (
+            f" (+{len(self.violations) - 3} more)"
+            if len(self.violations) > 3
+            else ""
+        )
+        super().__init__(f"checked mode: {head}{more}")

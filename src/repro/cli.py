@@ -6,6 +6,7 @@ The subcommands cover the common library entry points::
     python -m repro flow    --suite ami33 --flow overcell --svg out.svg
     python -m repro tables  --suite ami33
     python -m repro profile --suite ami33 --flow overcell --out profile.json
+    python -m repro check   --suite ami33 --flow overcell
 
 ``flow`` accepts either ``--suite <name>`` (a built-in synthetic
 benchmark) or ``--design <file.json>`` (a design written by
@@ -13,6 +14,9 @@ benchmark) or ``--design <file.json>`` (a design written by
 line, and optionally writes an SVG plot and/or a JSON result summary.
 ``profile`` runs a flow inside an ``instrument.collecting()`` block and
 exports the span tree / counters / events (see docs/OBSERVABILITY.md).
+``check`` runs a flow and then the independent verification engine
+(``repro.check``) over its output, printing every violation and
+exiting nonzero when any is found (see docs/VERIFICATION.md).
 """
 
 from __future__ import annotations
@@ -20,7 +24,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
 
 from repro.bench_suite import SUITES
 from repro.flow import multilayer_channel_flow, overcell_flow, two_layer_flow
@@ -126,6 +129,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0 if result.completion == 1.0 else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run a flow, verify its output independently, gate on violations."""
+    from repro.check import check_flow
+
+    design = _load_design_arg(args)
+    result = _FLOWS[args.flow](design, _flow_params(args))
+    print(result.summary())
+    report = check_flow(result)
+    print(report.render(limit=args.limit))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"check report written to {args.json}")
+    if args.strict and report.violations:
+        return 1
+    return 0 if report.ok else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     design = _load_design_arg(args)
     baseline = two_layer_flow(design)
@@ -181,6 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.set_defaults(func=_cmd_profile)
 
+    p_check = sub.add_parser(
+        "check",
+        help="run a flow and verify its output with the static checker",
+    )
+    p_check.add_argument("--suite", choices=sorted(SUITES))
+    p_check.add_argument("--design", help="design JSON (repro.io format)")
+    p_check.add_argument("--flow", choices=sorted(_FLOWS), default="overcell")
+    p_check.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_check.add_argument("--json", help="write the check report as JSON")
+    p_check.add_argument(
+        "--limit", type=int, default=50, help="violations to print"
+    )
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument("--suite", choices=sorted(SUITES))
     p_tables.add_argument("--design", help="design JSON (repro.io format)")
@@ -201,7 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
 

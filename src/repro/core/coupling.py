@@ -22,7 +22,7 @@ on top of the other, over relatively long distances") suggests.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.geometry import Point
 from repro.grid import RoutingGrid
@@ -36,7 +36,7 @@ class PathCostTerm(ABC):
         self,
         grid: RoutingGrid,
         points: Sequence[Point],
-        corners: Sequence[Tuple[int, int]],
+        corners: Sequence[tuple[int, int]],
     ) -> float:
         """Non-negative extra cost of the candidate.
 
@@ -59,7 +59,7 @@ class ParallelRunPenalty(PathCostTerm):
 
     def __init__(
         self,
-        targets: Optional[Iterable[int]],
+        targets: Iterable[int] | None,
         weight: float = 20.0,
         separation: int = 1,
         exclude: int = 0,
@@ -68,7 +68,7 @@ class ParallelRunPenalty(PathCostTerm):
             raise ValueError("weight must be non-negative")
         if separation < 1:
             raise ValueError("separation must be >= 1")
-        self.targets: Optional[Set[int]] = (
+        self.targets: set[int] | None = (
             None if targets is None else {int(i) for i in targets}
         )
         self.weight = weight

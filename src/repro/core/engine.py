@@ -33,15 +33,7 @@ from __future__ import annotations
 import abc
 import importlib
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Tuple,
-    Type,
-)
+from collections.abc import Callable, Iterable
 
 from repro import instrument
 from repro.instrument.names import REGION_EXPANSIONS
@@ -53,7 +45,7 @@ from repro.core.select import select_best_path
 from repro.core.tig import GridTerminal
 
 #: A bounded search region in index space, or ``None`` for the whole grid.
-Region = Optional[Tuple[Interval, Interval]]
+Region = tuple[Interval, Interval] | None
 
 
 @dataclass
@@ -63,7 +55,7 @@ class RoutedConnection:
     source: GridTerminal
     target: GridTerminal
     path: Path
-    corners: List[Tuple[int, int]]
+    corners: list[tuple[int, int]]
     cost: float
     expansions_used: int
 
@@ -130,8 +122,8 @@ class ConnectionEngine(abc.ABC):
         net_id: int,
         source: GridTerminal,
         target: GridTerminal,
-        regions: Optional[Iterable[Region]] = None,
-    ) -> Optional[RoutedConnection]:
+        regions: Iterable[Region] | None = None,
+    ) -> RoutedConnection | None:
         """Route and commit one connection, or return ``None``.
 
         ``regions`` overrides the context's escalation schedule (the
@@ -142,13 +134,13 @@ class ConnectionEngine(abc.ABC):
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-_REGISTRY: Dict[str, Type[ConnectionEngine]] = {}
+_REGISTRY: dict[str, type[ConnectionEngine]] = {}
 # Engines living outside repro.core load on first lookup, keeping the
 # dependency arrow strictly maze -> core.
-_LAZY: Dict[str, str] = {"lee": "repro.maze.lee"}
+_LAZY: dict[str, str] = {"lee": "repro.maze.lee"}
 
 
-def register_engine(cls: Type[ConnectionEngine]) -> Type[ConnectionEngine]:
+def register_engine(cls: type[ConnectionEngine]) -> type[ConnectionEngine]:
     """Class decorator: add a :class:`ConnectionEngine` to the registry."""
     if not cls.name:
         raise ValueError(f"engine class {cls.__name__} must set a name")
@@ -156,12 +148,12 @@ def register_engine(cls: Type[ConnectionEngine]) -> Type[ConnectionEngine]:
     return cls
 
 
-def available_engines() -> List[str]:
+def available_engines() -> list[str]:
     """Names resolvable by :func:`get_engine` (registered or lazy)."""
     return sorted(set(_REGISTRY) | set(_LAZY))
 
 
-def get_engine(name: str) -> Type[ConnectionEngine]:
+def get_engine(name: str) -> type[ConnectionEngine]:
     """Resolve an engine class by registry name."""
     if name not in _REGISTRY and name in _LAZY:
         importlib.import_module(_LAZY[name])
@@ -189,8 +181,8 @@ class MBFSEngine(ConnectionEngine):
         net_id: int,
         source: GridTerminal,
         target: GridTerminal,
-        regions: Optional[Iterable[Region]] = None,
-    ) -> Optional[RoutedConnection]:
+        regions: Iterable[Region] | None = None,
+    ) -> RoutedConnection | None:
         if source == target:
             return None
         grid = ctx.grid

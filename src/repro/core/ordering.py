@@ -9,7 +9,7 @@ deterministic (net name breaks ties) so routing runs reproduce exactly.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, List
+from collections.abc import Callable, Iterable
 
 from repro.netlist import Net
 
@@ -28,7 +28,7 @@ def order_nets(
     nets: Iterable[Net],
     criterion: NetOrdering = NetOrdering.LONGEST_FIRST,
     key: Callable[[Net], object] | None = None,
-) -> List[Net]:
+) -> list[Net]:
     """Order ``nets`` for serial routing.
 
     ``criterion`` selects a built-in ordering; passing ``key`` instead

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro import instrument
 from repro.instrument.names import (
@@ -122,6 +122,11 @@ class LevelBConfig:
     # rip/reroute runs in a grid transaction; a reroute that does not
     # improve on the old wiring is rolled back in O(cells touched).
     refinement_passes: int = 0
+    # Checked mode (repro.check): run the invariant sanitizer and grid
+    # bookkeeping audit after every net commit, raising CheckFailure on
+    # the first violation.  Off by default - it adds a full ledger
+    # replay per commit (see docs/VERIFICATION.md for measured cost).
+    checked: bool = False
 
 
 @dataclass
@@ -130,7 +135,7 @@ class RoutedNet:
 
     net: Net
     net_id: int
-    connections: List[RoutedConnection] = field(default_factory=list)
+    connections: list[RoutedConnection] = field(default_factory=list)
     failed_terminals: int = 0
 
     @property
@@ -151,16 +156,22 @@ class LevelBResult:
     """Aggregate outcome of a level B routing run."""
 
     tig: TrackIntersectionGraph
-    routed: List[RoutedNet]
+    routed: list[RoutedNet]
     elapsed_s: float
     nodes_created: int
     ripups: int = 0
+    # Inputs the independent checker (repro.check) needs verbatim: the
+    # layout rectangle and the declared exclusions.  Carried on the
+    # result so verification never reverse-engineers them from
+    # occupancy state.
+    bounds: Rect | None = None
+    obstacles: tuple[Obstacle, ...] = ()
 
     def __post_init__(self) -> None:
         # Name index for O(1) net_result lookups.  Net names are
         # guaranteed unique by LevelBRouter; a direct construction with
         # duplicates fails loudly here instead of shadowing a result.
-        index: Dict[str, RoutedNet] = {}
+        index: dict[str, RoutedNet] = {}
         for r in self.routed:
             if r.net.name in index:
                 raise ValueError(f"duplicate net name {r.net.name!r} in result")
@@ -227,9 +238,9 @@ class LevelBRouter:
         bounds: Rect,
         nets: Sequence[Net],
         *,
-        technology: Optional[Technology] = None,
+        technology: Technology | None = None,
         obstacles: Iterable[Obstacle | Rect] = (),
-        config: Optional[LevelBConfig] = None,
+        config: LevelBConfig | None = None,
     ) -> None:
         self.bounds = bounds
         self.config = config or LevelBConfig()
@@ -256,7 +267,7 @@ class LevelBRouter:
             h_pitch=tech.layer(4).pitch,
             terminal_points=terminal_points,
         )
-        self.obstacles: List[Obstacle] = []
+        self.obstacles: list[Obstacle] = []
         for obs in obstacles:
             if isinstance(obs, Rect):
                 obs = Obstacle(rect=obs)
@@ -264,7 +275,7 @@ class LevelBRouter:
             self.tig.add_obstacle(
                 obs.rect, block_h=obs.block_h, block_v=obs.block_v
             )
-        self._net_ids: Dict[Net, int] = {
+        self._net_ids: dict[Net, int] = {
             net: i + 1 for i, net in enumerate(sorted(self.nets, key=lambda n: n.name))
         }
         for net, net_id in self._net_ids.items():
@@ -274,7 +285,7 @@ class LevelBRouter:
             self._net_ids[n] for n in self.nets if n.is_sensitive
         )
         self._engine: ConnectionEngine = self._primary_engine()
-        self._rescue: Optional[ConnectionEngine] = None
+        self._rescue: ConnectionEngine | None = None
         self._ctx = EngineContext(
             grid=self.tig.grid,
             config=self.config,
@@ -309,7 +320,7 @@ class LevelBRouter:
             extra_terms=self._extra_terms_for(net_id),
         )
 
-    def _extra_terms_for(self, net_id: int) -> Tuple:
+    def _extra_terms_for(self, net_id: int) -> tuple:
         """Cost-function extension terms for one net's connections.
 
         A sensitive net keeps clear of *all* foreign wiring; every
@@ -350,6 +361,9 @@ class LevelBRouter:
         span; ``elapsed_s`` is the span's wall time (measured whether or
         not a collector is active).
         """
+        # Journal-balance audits must tolerate an outer transaction
+        # (probe() wraps this whole method in one).
+        ambient_txn = self.tig.grid.in_transaction
         with instrument.span(SPAN_LEVELB_ROUTE) as route_span:
             # Declare the level B catalogue so exported profiles carry
             # these keys (at 0) even on runs where they never fire.
@@ -369,10 +383,10 @@ class LevelBRouter:
             # Work queue: (net, generation) entries plus a live-generation
             # map.  Requeueing bumps a net's generation, so stale deque
             # entries are skipped on pop instead of removed in O(n).
-            queue: Deque[Tuple[Net, int]] = deque((net, 0) for net in ordered)
-            live: Dict[Net, int] = {net: 0 for net in ordered}
-            pushes: Dict[Net, int] = {}
-            results: Dict[Net, RoutedNet] = {}
+            queue: deque[tuple[Net, int]] = deque((net, 0) for net in ordered)
+            live: dict[Net, int] = {net: 0 for net in ordered}
+            pushes: dict[Net, int] = {}
+            results: dict[Net, RoutedNet] = {}
             ripups_left = self.config.max_ripups
             ripup_count = 0
             while queue:
@@ -383,6 +397,8 @@ class LevelBRouter:
                 with instrument.span(SPAN_LEVELB_NET):
                     outcome = self._route_net(net)
                 results[net] = outcome
+                if self.config.checked:
+                    self._sanitize(outcome, ambient_txn)
                 if outcome.complete:
                     instrument.event(
                         EVT_NET_ROUTED,
@@ -421,7 +437,7 @@ class LevelBRouter:
                     queue.appendleft((requeued, token))
             for _ in range(self.config.refinement_passes):
                 with instrument.span(SPAN_LEVELB_REFINE):
-                    self._refine(results)
+                    self._refine(results, ambient_txn)
             routed = [results[net] for net in self.nets if net in results]
             inst = instrument.active()
             if inst.enabled:
@@ -434,6 +450,8 @@ class LevelBRouter:
             elapsed_s=route_span.elapsed_s,
             nodes_created=self._nodes_created,
             ripups=ripup_count,
+            bounds=self.bounds,
+            obstacles=tuple(self.obstacles),
         )
 
     def probe(self) -> LevelBResult:
@@ -456,7 +474,9 @@ class LevelBRouter:
                 txn.rollback()
         return result
 
-    def _refine(self, results: Dict[Net, RoutedNet]) -> None:
+    def _refine(
+        self, results: dict[Net, RoutedNet], ambient_txn: bool = False
+    ) -> None:
         """One refinement pass: reroute every net with others in place.
 
         Nets revisit in routing order.  Each rip/reroute runs inside a
@@ -484,14 +504,33 @@ class LevelBRouter:
             else:
                 txn.rollback()
                 results[net] = old
+            if self.config.checked:
+                self._sanitize(results[net], ambient_txn)
+
+    def _sanitize(self, outcome: RoutedNet, ambient_txn: bool) -> None:
+        """Checked mode: sanitize one committed net, raise on violations.
+
+        Runs the paper invariants of the net's own connections plus the
+        grid bookkeeping audit (ledger replay, journal balance) through
+        :func:`repro.check.sanitize_commit`; violations raise
+        :class:`repro.check.CheckFailure` at the first bad commit
+        instead of surfacing as mystery shorts later.
+        """
+        from repro.check import CheckFailure, sanitize_commit
+
+        violations = sanitize_commit(
+            self.tig.grid, outcome, in_ambient_txn=ambient_txn
+        )
+        if violations:
+            raise CheckFailure(violations)
 
     def _pick_ripup_victims(
-        self, net: Net, results: Dict[Net, RoutedNet]
-    ) -> List[Net]:
+        self, net: Net, results: dict[Net, RoutedNet]
+    ) -> list[Net]:
         """Routed nets crowding the failed net's terminals (at most 3)."""
         grid = self.tig.grid
         net_id = self._net_ids[net]
-        counts: Dict[int, int] = {}
+        counts: dict[int, int] = {}
         for term in self.tig.terminals_of(net_id):
             for owner in grid.owners_near(term.v_idx, term.h_idx, radius=2):
                 if owner != net_id:
@@ -556,7 +595,7 @@ class LevelBRouter:
 
     def _route_connection(
         self, net_id: int, source: GridTerminal, target: GridTerminal
-    ) -> Optional[RoutedConnection]:
+    ) -> RoutedConnection | None:
         """One connection through the primary engine, rescue as needed."""
         conn = self._engine.route(self._ctx, net_id, source, target)
         if (
@@ -571,7 +610,7 @@ class LevelBRouter:
 
     def _maze_rescue(
         self, net_id: int, source: GridTerminal, target: GridTerminal
-    ) -> Optional[RoutedConnection]:
+    ) -> RoutedConnection | None:
         """Last-resort whole-grid shot with the rescue engine.
 
         The rescued connection's cost is evaluated with the regular
@@ -611,7 +650,7 @@ def commit_points(
     grid,
     net_id: int,
     points: Sequence,
-    corners: Iterable[Tuple[int, int]],
+    corners: Iterable[tuple[int, int]],
 ) -> None:
     """Backwards-compatible alias for :meth:`RoutingGrid.commit_path`."""
     grid.commit_path(net_id, points, corners)

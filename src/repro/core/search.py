@@ -28,7 +28,6 @@ Key properties implemented here, matching the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro import instrument
 from repro.instrument.names import (
@@ -74,13 +73,13 @@ class PSTNode:
     kind: str
     track: int
     entry: int
-    span: Optional[Interval]
-    parent: Optional["PSTNode"]
+    span: Interval | None
+    parent: "PSTNode" | None
     depth: int
-    children: List["PSTNode"] = field(default_factory=list, repr=False)
+    children: list["PSTNode"] = field(default_factory=list, repr=False)
 
     @property
-    def entry_intersection(self) -> Tuple[int, int]:
+    def entry_intersection(self) -> tuple[int, int]:
         """The ``(v_idx, h_idx)`` where the path entered this track."""
         if self.kind == VERTICAL:
             return (self.track, self.entry)
@@ -90,17 +89,17 @@ class PSTNode:
         """Paper-style vertex name (``v3`` / ``h2``, 1-based)."""
         return f"{'v' if self.kind == VERTICAL else 'h'}{self.track + 1}"
 
-    def chain(self) -> List["PSTNode"]:
+    def chain(self) -> list["PSTNode"]:
         """Root-to-this node list."""
-        nodes: List[PSTNode] = []
-        node: Optional[PSTNode] = self
+        nodes: list[PSTNode] = []
+        node: PSTNode | None = self
         while node is not None:
             nodes.append(node)
             node = node.parent
         nodes.reverse()
         return nodes
 
-    def track_sequence(self) -> List[str]:
+    def track_sequence(self) -> list[str]:
         """Paper-style track name sequence from the root."""
         return [n.name() for n in self.chain()]
 
@@ -109,8 +108,8 @@ class PSTNode:
 class CandidatePath:
     """A reconstructed minimum-corner candidate for one connection."""
 
-    points: List[Point]
-    corners: List[Tuple[int, int]]
+    points: list[Point]
+    corners: list[tuple[int, int]]
     length: int
     leaf: PSTNode
 
@@ -125,9 +124,9 @@ class SearchResult:
 
     source: GridTerminal
     target: GridTerminal
-    roots: List[PSTNode]
-    leaves: List[PSTNode]
-    min_corners: Optional[int]
+    roots: list[PSTNode]
+    leaves: list[PSTNode]
+    min_corners: int | None
     nodes_created: int
     aborted: bool = False
 
@@ -168,7 +167,7 @@ class MBFSearch:
         net_id: int,
         source: GridTerminal,
         target: GridTerminal,
-        region: Optional[Tuple[Interval, Interval]] = None,
+        region: tuple[Interval, Interval] | None = None,
         max_depth: int = 12,
         max_nodes: int = 250_000,
         max_entries_per_track: int = 8,
@@ -204,9 +203,9 @@ class MBFSearch:
         reported to the instrumentation collector in one batch here, so
         the per-node expansion loop carries no observability cost.
         """
-        roots: List[PSTNode] = []
-        all_leaves: List[Tuple[int, List[PSTNode]]] = []
-        best_depth: Optional[int] = None
+        roots: list[PSTNode] = []
+        all_leaves: list[tuple[int, list[PSTNode]]] = []
+        best_depth: int | None = None
         with instrument.span(SPAN_MBFS_SEARCH):
             for kind in (VERTICAL, HORIZONTAL):
                 limit = self.max_depth if best_depth is None else best_depth
@@ -240,7 +239,7 @@ class MBFSearch:
     # ------------------------------------------------------------------
     def _single_search(
         self, root_kind: str, depth_limit: int
-    ) -> Tuple[Optional[PSTNode], List[PSTNode], Optional[int]]:
+    ) -> tuple[PSTNode | None, list[PSTNode], int | None]:
         """One MBFS from one of the source's two tracks."""
         if root_kind == VERTICAL:
             track, entry = self.source.v_idx, self.source.h_idx
@@ -254,16 +253,16 @@ class MBFSearch:
         self._nodes_created += 1
         # visited[(kind, track)] -> level at which the track was first
         # reached; target tracks are exempt and never recorded.
-        visited: Dict[Tuple[str, int], int] = {(root_kind, track): 0}
+        visited: dict[tuple[str, int], int] = {(root_kind, track): 0}
         if self._completes(root):
             return root, [root], 0
         frontier = [root]
         level = 0
         while frontier and level < depth_limit:
             level += 1
-            next_frontier: List[PSTNode] = []
-            completions: List[PSTNode] = []
-            entries_this_level: Dict[Tuple[str, int], int] = {}
+            next_frontier: list[PSTNode] = []
+            completions: list[PSTNode] = []
+            entries_this_level: dict[tuple[str, int], int] = {}
             for node in frontier:
                 children = self._expand(node, visited, entries_this_level, level)
                 if children is None:  # node budget exhausted
@@ -280,7 +279,7 @@ class MBFSearch:
             frontier = next_frontier
         return root, [], None
 
-    def _node_span(self, node: PSTNode) -> Optional[Interval]:
+    def _node_span(self, node: PSTNode) -> Interval | None:
         """The node's slide interval, computed on first use."""
         if node.span is None:
             if node.kind == VERTICAL:
@@ -296,10 +295,10 @@ class MBFSearch:
     def _expand(
         self,
         node: PSTNode,
-        visited: Dict[Tuple[str, int], int],
-        entries_this_level: Dict[Tuple[str, int], int],
+        visited: dict[tuple[str, int], int],
+        entries_this_level: dict[tuple[str, int], int],
         level: int,
-    ) -> Optional[List[PSTNode]]:
+    ) -> list[PSTNode] | None:
         """Children of ``node``: turns onto crossing tracks in its span.
 
         Corner availability along the whole span is checked in one
@@ -319,7 +318,7 @@ class MBFSearch:
             crossings = grid.corner_candidates_on_h(
                 node.track, span.lo, span.hi, net
             )
-        children: List[PSTNode] = []
+        children: list[PSTNode] = []
         for cross in crossings:
             if cross == node.entry:
                 continue
@@ -371,25 +370,25 @@ class MBFSearch:
 # ----------------------------------------------------------------------
 def candidate_paths(
     result: SearchResult, grid: RoutingGrid
-) -> List[CandidatePath]:
+) -> list[CandidatePath]:
     """Geometric candidates for every minimum-corner leaf.
 
     Each candidate's point list runs source, corners..., target with
     consecutive points axis-aligned; duplicate consecutive points
     (a corner coinciding with a terminal) are merged.
     """
-    out: List[CandidatePath] = []
+    out: list[CandidatePath] = []
     src = result.source.position(grid)
     dst = result.target.position(grid)
     for leaf in result.leaves:
         chain = leaf.chain()
-        corners: List[Tuple[int, int]] = []
+        corners: list[tuple[int, int]] = []
         for parent, child in zip(chain, chain[1:]):
             if parent.kind == VERTICAL:
                 corners.append((parent.track, child.track))
             else:
                 corners.append((child.track, parent.track))
-        points: List[Point] = [src]
+        points: list[Point] = [src]
         for v_idx, h_idx in corners:
             x, y = grid.coord_of(v_idx, h_idx)
             points.append(Point(x, y))

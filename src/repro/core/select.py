@@ -17,7 +17,6 @@ also terminates early once ``w1 * length`` alone reaches the bound.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from repro import instrument
 from repro.instrument.names import PST_BACKTRACK_STEPS, PST_CANDIDATES
@@ -26,8 +25,8 @@ from repro.core.search import CandidatePath
 
 
 def select_best_path(
-    candidates: List[CandidatePath], evaluator: CornerCostEvaluator
-) -> Tuple[Optional[CandidatePath], float]:
+    candidates: list[CandidatePath], evaluator: CornerCostEvaluator
+) -> tuple[CandidatePath | None, float]:
     """The cheapest candidate under the section 3.2 cost function.
 
     Returns ``(candidate, cost)``; ``(None, inf)`` for an empty input.
@@ -36,7 +35,7 @@ def select_best_path(
     corner-cost evaluation during the bounded walk) is tallied locally
     and reported in one batch.
     """
-    best: Optional[CandidatePath] = None
+    best: CandidatePath | None = None
     best_cost = float("inf")
     steps = 0
     w1 = evaluator.weights.w1

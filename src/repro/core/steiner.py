@@ -17,17 +17,17 @@ into the component so later attachments can use its Steiner points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 from repro.geometry import Point, Segment
 from repro.grid import RoutingGrid
 from repro.core.tig import GridTerminal
 
 
-def dedupe_terminals(terminals: Sequence[GridTerminal]) -> List[GridTerminal]:
+def dedupe_terminals(terminals: Sequence[GridTerminal]) -> list[GridTerminal]:
     """Unique terminals in first-seen order (coincident pins collapse)."""
-    seen: Set[GridTerminal] = set()
-    out: List[GridTerminal] = []
+    seen: set[GridTerminal] = set()
+    out: list[GridTerminal] = []
     for t in terminals:
         if t not in seen:
             seen.add(t)
@@ -57,10 +57,10 @@ class SteinerTreeBuilder:
         self._all = list(terminals)
         self._points = {t: t.position(grid) for t in self._all}
         start = self._pick_start()
-        self._connected: List[GridTerminal] = [start]
-        self._remaining: List[GridTerminal] = [t for t in self._all if t is not start]
-        self._tree_segments: List[Segment] = []
-        self._failed: List[GridTerminal] = []
+        self._connected: list[GridTerminal] = [start]
+        self._remaining: list[GridTerminal] = [t for t in self._all if t is not start]
+        self._tree_segments: list[Segment] = []
+        self._failed: list[GridTerminal] = []
 
     def _pick_start(self) -> GridTerminal:
         """Deterministic start: the terminal nearest the pin centroid."""
@@ -79,7 +79,7 @@ class SteinerTreeBuilder:
         return not self._remaining
 
     @property
-    def failed_terminals(self) -> List[GridTerminal]:
+    def failed_terminals(self) -> list[GridTerminal]:
         return list(self._failed)
 
     def next_source(self) -> GridTerminal:
@@ -91,7 +91,7 @@ class SteinerTreeBuilder:
             key=lambda t: (self._distance_to_tree(self._points[t]), self._points[t]),
         )
 
-    def attach_candidates(self, source: GridTerminal, limit: int = 6) -> List[GridTerminal]:
+    def attach_candidates(self, source: GridTerminal, limit: int = 6) -> list[GridTerminal]:
         """Connection targets for ``source``, nearest first.
 
         Candidates are Steiner points on routed segments (projected to
@@ -101,7 +101,7 @@ class SteinerTreeBuilder:
         congested Steiner point cannot strand the net.
         """
         src_pt = self._points[source]
-        cands: List[AttachPoint] = []
+        cands: list[AttachPoint] = []
         for seg in self._tree_segments:
             attach = self._project_to_segment(src_pt, seg)
             if attach is None:
@@ -114,8 +114,8 @@ class SteinerTreeBuilder:
             dist = src_pt.manhattan_to(self._points[term])
             cands.append(AttachPoint(term, dist, on_segment=False))
         cands.sort(key=lambda a: (a.distance, a.on_segment, a.terminal.v_idx, a.terminal.h_idx))
-        seen: Set[GridTerminal] = set()
-        out: List[GridTerminal] = []
+        seen: set[GridTerminal] = set()
+        out: list[GridTerminal] = []
         for cand in cands:
             if cand.terminal in seen or cand.terminal == source:
                 continue
@@ -153,7 +153,7 @@ class SteinerTreeBuilder:
             best = min(best, abs(p.x - cx) + abs(p.y - cy))
         return best
 
-    def _project_to_segment(self, p: Point, seg: Segment) -> Optional[GridTerminal]:
+    def _project_to_segment(self, p: Point, seg: Segment) -> GridTerminal | None:
         """Nearest track intersection to ``p`` on segment ``seg``."""
         vtracks, htracks = self.grid.vtracks, self.grid.htracks
         if seg.is_point:

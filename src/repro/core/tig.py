@@ -20,7 +20,7 @@ array directly for speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.geometry import Point, Rect
 from repro.grid import FREE, RoutingGrid, TrackSet
@@ -55,7 +55,7 @@ class TrackIntersectionGraph:
 
     def __init__(self, vtracks: TrackSet, htracks: TrackSet) -> None:
         self.grid = RoutingGrid(vtracks, htracks)
-        self._terminals: Dict[int, List[GridTerminal]] = {}
+        self._terminals: dict[int, list[GridTerminal]] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -99,7 +99,7 @@ class TrackIntersectionGraph:
         self.grid.reserve_terminal(terminal.v_idx, terminal.h_idx, net_id)
         self._terminals.setdefault(net_id, []).append(terminal)
 
-    def register_net(self, net_id: int, points: Sequence[Point]) -> List[GridTerminal]:
+    def register_net(self, net_id: int, points: Sequence[Point]) -> list[GridTerminal]:
         """Register all terminals of a net by geometric position."""
         terminals = [self.terminal_at(p) for p in points]
         for t in terminals:
@@ -120,13 +120,13 @@ class TrackIntersectionGraph:
     # ------------------------------------------------------------------
     # Graph-level queries (used by tests, figures and small instances)
     # ------------------------------------------------------------------
-    def terminals_of(self, net_id: int) -> List[GridTerminal]:
+    def terminals_of(self, net_id: int) -> list[GridTerminal]:
         return list(self._terminals.get(net_id, []))
 
-    def all_terminals(self) -> Dict[int, List[GridTerminal]]:
+    def all_terminals(self) -> dict[int, list[GridTerminal]]:
         return {k: list(v) for k, v in self._terminals.items()}
 
-    def vertex_names(self) -> Tuple[List[str], List[str]]:
+    def vertex_names(self) -> tuple[list[str], list[str]]:
         """The paper-style vertex names ``([v1..], [h1..])``."""
         vs = [f"v{i + 1}" for i in range(self.grid.num_vtracks)]
         hs = [f"h{j + 1}" for j in range(self.grid.num_htracks)]
@@ -146,7 +146,7 @@ class TrackIntersectionGraph:
             )
         return self.grid.corner_free(v_idx, h_idx, net_id)
 
-    def edges(self, net_id: int = FREE) -> Iterator[Tuple[int, int]]:
+    def edges(self, net_id: int = FREE) -> Iterator[tuple[int, int]]:
         """All usable TIG edges as ``(v_idx, h_idx)`` pairs.
 
         Enumeration is ``O(h*v)``; intended for small didactic

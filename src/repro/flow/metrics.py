@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.geometry import Rect
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core import LevelBResult
     from repro.channels import ChannelRoute
+    from repro.check import CheckReport
     from repro.globalroute import GlobalRoute
     from repro.placement import RowPlacement
 
@@ -25,6 +26,10 @@ class FlowResult:
     ``profile`` is a :func:`repro.instrument.snapshot` dictionary (span
     tree, counters, gauges, events) captured when the flow ran inside
     an ``instrument.collecting()`` block; ``None`` otherwise.
+
+    ``check_report`` is the :class:`repro.check.CheckReport` of the
+    post-flow independent verification when the flow ran with
+    ``FlowParams(checked=True)``; ``None`` otherwise.
     """
 
     flow: str
@@ -32,16 +37,17 @@ class FlowResult:
     bounds: Rect
     wire_length: int
     via_count: int
-    channel_tracks: List[int] = field(default_factory=list)
-    channel_heights: List[int] = field(default_factory=list)
+    channel_tracks: list[int] = field(default_factory=list)
+    channel_heights: list[int] = field(default_factory=list)
     side_widths: tuple = (0, 0)
     completion: float = 1.0
-    placement: Optional["RowPlacement"] = None
-    global_route: Optional["GlobalRoute"] = None
-    channel_routes: Optional[List["ChannelRoute"]] = None
-    levelb: Optional["LevelBResult"] = None
-    notes: Dict[str, object] = field(default_factory=dict)
-    profile: Optional[Dict[str, object]] = None
+    placement: "RowPlacement" | None = None
+    global_route: "GlobalRoute" | None = None
+    channel_routes: list["ChannelRoute"] | None = None
+    levelb: "LevelBResult" | None = None
+    notes: dict[str, object] = field(default_factory=dict)
+    profile: dict[str, object] | None = None
+    check_report: "CheckReport" | None = None
 
     @property
     def layout_area(self) -> int:

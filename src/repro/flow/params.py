@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
 
 from repro.core import LevelBConfig
 from repro.core.router import Obstacle
@@ -39,6 +38,11 @@ class FlowParams:
         Detailed channel router for level A: ``"greedy"`` (default;
         always completes) or ``"left-edge"`` (dogleg left-edge, falls
         back to greedy on vertical-constraint cycles).
+    checked:
+        Run the full independent verification (:func:`repro.check.
+        check_flow`) after the flow and attach the report to
+        ``FlowResult.check_report``; also turns on the level B
+        router's per-commit checked mode.  Off by default.
     """
 
     technology: Technology = field(default_factory=Technology.four_layer)
@@ -46,10 +50,11 @@ class FlowParams:
     margin: int = 16
     aspect: float = 1.0
     partition: PartitionStrategy = PartitionStrategy.CRITICAL_TO_A
-    length_threshold: Optional[int] = None
+    length_threshold: int | None = None
     levelb: LevelBConfig = field(default_factory=LevelBConfig)
-    obstacles: Tuple[Obstacle, ...] = ()
+    obstacles: tuple[Obstacle, ...] = ()
     channel_area_factor: float = 0.5
+    checked: bool = False
 
     @property
     def channel_pitch(self) -> int:

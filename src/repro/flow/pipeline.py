@@ -11,8 +11,8 @@ channel geometry per the paper's Table 3 assumptions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from collections.abc import Sequence
 
 from repro import instrument
 from repro.instrument.names import (
@@ -44,13 +44,13 @@ from repro.placement import RowPlacement
 # ----------------------------------------------------------------------
 # Shared pipeline pieces
 # ----------------------------------------------------------------------
-def _assign_net_ids(nets: Sequence[Net]) -> Dict[Net, int]:
+def _assign_net_ids(nets: Sequence[Net]) -> dict[Net, int]:
     return {net: i + 1 for i, net in enumerate(sorted(nets, key=lambda n: n.name))}
 
 
 def _route_channels(
     global_route: GlobalRoute, channel_router: str = "greedy"
-) -> List[ChannelRoute]:
+) -> list[ChannelRoute]:
     """Detailed-route every channel with the selected router.
 
     The left-edge router cannot handle vertical-constraint cycles;
@@ -80,7 +80,7 @@ def _route_channels(
 
 def _channel_heights(
     global_route: GlobalRoute, routes: Sequence[ChannelRoute], pitch: int
-) -> List[int]:
+) -> list[int]:
     """Per-channel height; empty channels keep one pitch of clearance."""
     heights = []
     for spec, route in zip(global_route.specs, routes):
@@ -96,9 +96,9 @@ def _level_a_wire_and_vias(
     routes: Sequence[ChannelRoute],
     placement: RowPlacement,
     heights: Sequence[int],
-    side_widths: Tuple[int, int],
+    side_widths: tuple[int, int],
     pitch: int,
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     wire = sum(r.wire_length(pitch, pitch) for r in routes)
     row_heights = [row.height for row in placement.rows]
     wire += global_route.side_wire_length(row_heights, heights)
@@ -115,7 +115,7 @@ def _run_channel_pipeline(
     design: Design,
     nets: Sequence[Net],
     params: FlowParams,
-) -> Tuple[RowPlacement, GlobalRoute, List[ChannelRoute], List[int], Tuple[int, int]]:
+) -> tuple[RowPlacement, GlobalRoute, list[ChannelRoute], list[int], tuple[int, int]]:
     pitch = params.channel_pitch
     with instrument.span(SPAN_PLACEMENT):
         placement = RowPlacement.build(
@@ -136,6 +136,15 @@ def _run_channel_pipeline(
 # ----------------------------------------------------------------------
 # Flows
 # ----------------------------------------------------------------------
+def _maybe_check(result: FlowResult, params: FlowParams) -> FlowResult:
+    """Run the independent checker over a finished flow if requested."""
+    if params.checked:
+        from repro.check import check_flow
+
+        result.check_report = check_flow(result)
+    return result
+
+
 def _attach_profile(result: FlowResult) -> FlowResult:
     """Snapshot the active collector into ``result.profile`` if enabled.
 
@@ -149,14 +158,14 @@ def _attach_profile(result: FlowResult) -> FlowResult:
     return result
 
 
-def two_layer_flow(design: Design, params: Optional[FlowParams] = None) -> FlowResult:
+def two_layer_flow(design: Design, params: FlowParams | None = None) -> FlowResult:
     """The conventional baseline: every net channel-routed on m1/m2."""
     with instrument.span(SPAN_FLOW_TWO_LAYER):
         result = _two_layer_flow(design, params)
     return _attach_profile(result)
 
 
-def _two_layer_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
+def _two_layer_flow(design: Design, params: FlowParams | None) -> FlowResult:
     params = params or FlowParams()
     nets = design.routable_nets()
     placement, global_route, routes, heights, side_widths = _run_channel_pipeline(
@@ -171,7 +180,7 @@ def _two_layer_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
     wire, vias = _level_a_wire_and_vias(
         global_route, routes, placement, heights, side_widths, params.channel_pitch
     )
-    return FlowResult(
+    result = FlowResult(
         flow="two-layer-channel",
         design=design.name,
         bounds=bounds,
@@ -184,16 +193,17 @@ def _two_layer_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
         global_route=global_route,
         channel_routes=routes,
     )
+    return _maybe_check(result, params)
 
 
-def overcell_flow(design: Design, params: Optional[FlowParams] = None) -> FlowResult:
+def overcell_flow(design: Design, params: FlowParams | None = None) -> FlowResult:
     """The paper's flow: set A in channels, set B over the cells."""
     with instrument.span(SPAN_FLOW_OVERCELL):
         result = _overcell_flow(design, params)
     return _attach_profile(result)
 
 
-def _overcell_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
+def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
     params = params or FlowParams()
     nets = design.routable_nets()
     if params.partition is PartitionStrategy.LONG_TO_B:
@@ -216,12 +226,15 @@ def _overcell_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
     wire_a, vias_a = _level_a_wire_and_vias(
         global_route, routes, placement, heights, side_widths, params.channel_pitch
     )
+    levelb_config = params.levelb
+    if params.checked and not levelb_config.checked:
+        levelb_config = replace(levelb_config, checked=True)
     levelb_router = LevelBRouter(
         bounds,
         set_b,
         technology=params.technology,
         obstacles=params.obstacles,
-        config=params.levelb,
+        config=levelb_config,
     )
     levelb = levelb_router.route()
     result = FlowResult(
@@ -243,6 +256,10 @@ def _overcell_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
     result.notes.update(
         level_a_nets=len(set_a),
         level_b_nets=len(set_b),
+        # Partition by name: the checker's layer-assignment rule
+        # (inv.layer) verifies the level B result against these.
+        level_a_net_names=sorted(n.name for n in set_a),
+        level_b_net_names=sorted(n.name for n in set_b if n.degree >= 2),
         level_a_avg_pins=(
             sum(n.degree for n in set_a) / len(set_a) if set_a else 0.0
         ),
@@ -250,7 +267,7 @@ def _overcell_flow(design: Design, params: Optional[FlowParams]) -> FlowResult:
         level_a_wire=wire_a,
         level_b_wire=levelb.total_wire_length,
     )
-    return result
+    return _maybe_check(result, params)
 
 
 @dataclass
@@ -267,7 +284,7 @@ class RoutabilityProbe:
     level_a_nets: int
     level_b_nets: int
     completion: float
-    failed_nets: List[str] = field(default_factory=list)
+    failed_nets: list[str] = field(default_factory=list)
     level_b_wire: int = 0
     level_b_corners: int = 0
     ripups: int = 0
@@ -279,7 +296,7 @@ class RoutabilityProbe:
 
 
 def routability_probe(
-    design: Design, params: Optional[FlowParams] = None
+    design: Design, params: FlowParams | None = None
 ) -> RoutabilityProbe:
     """Early routability assessment for the over-cell flow.
 
@@ -339,10 +356,10 @@ def routability_probe(
 
 def multilayer_channel_flow(
     design: Design,
-    params: Optional[FlowParams] = None,
+    params: FlowParams | None = None,
     *,
     design_rule_aware: bool = False,
-    model: Optional[str] = None,
+    model: str | None = None,
 ) -> FlowResult:
     """Table 3's comparison: a multi-layer *channel* router.
 
@@ -373,10 +390,10 @@ def multilayer_channel_flow(
 
 def _multilayer_channel_flow(
     design: Design,
-    params: Optional[FlowParams],
+    params: FlowParams | None,
     *,
     design_rule_aware: bool,
-    model: Optional[str],
+    model: str | None,
 ) -> FlowResult:
     params = params or FlowParams()
     if model is None:
@@ -463,4 +480,4 @@ def _multilayer_channel_flow(
         "design-rule": "design-rule-aware track halving",
         "hvh": "real HVH three-layer channel routing",
     }[model]
-    return result
+    return _maybe_check(result, params)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from collections.abc import Iterable, Iterator
 
 
 @dataclass(frozen=True, order=True)
@@ -62,7 +62,7 @@ class Interval:
         """
         return self.lo < other.hi and other.lo < self.hi
 
-    def intersection(self, other: "Interval") -> Optional["Interval"]:
+    def intersection(self, other: "Interval") -> "Interval" | None:
         """The common sub-interval, or ``None`` when disjoint."""
         lo = max(self.lo, other.lo)
         hi = min(self.hi, other.hi)
@@ -99,8 +99,8 @@ class IntervalSet:
     __slots__ = ("_los", "_his")
 
     def __init__(self, intervals: Iterable[Interval] = ()) -> None:
-        self._los: List[int] = []
-        self._his: List[int] = []
+        self._los: list[int] = []
+        self._his: list[int] = []
         for iv in intervals:
             self.add(iv)
 
@@ -149,8 +149,8 @@ class IntervalSet:
         right = bisect.bisect_right(self._los, hi)
         if left >= right:
             return
-        new_los: List[int] = []
-        new_his: List[int] = []
+        new_los: list[int] = []
+        new_his: list[int] = []
         if self._los[left] < lo:
             new_los.append(self._los[left])
             new_his.append(lo - 1)
@@ -179,14 +179,14 @@ class IntervalSet:
             and iv.hi <= self._his[idx]
         )
 
-    def interval_at(self, value: int) -> Optional[Interval]:
+    def interval_at(self, value: int) -> Interval | None:
         """The stored interval covering ``value``, or ``None``."""
         idx = bisect.bisect_left(self._his, value)
         if idx < len(self._los) and self._los[idx] <= value:
             return Interval(self._los[idx], self._his[idx])
         return None
 
-    def gap_around(self, value: int, within: Interval) -> Optional[Interval]:
+    def gap_around(self, value: int, within: Interval) -> Interval | None:
         """The maximal uncovered interval containing ``value``.
 
         The result is clipped to ``within``.  Returns ``None`` when
@@ -208,9 +208,9 @@ class IntervalSet:
             return None
         return Interval(lo, hi)
 
-    def complement_within(self, within: Interval) -> List[Interval]:
+    def complement_within(self, within: Interval) -> list[Interval]:
         """The uncovered intervals inside ``within``, in order."""
-        gaps: List[Interval] = []
+        gaps: list[Interval] = []
         cursor = within.lo
         for lo, hi in zip(self._los, self._his):
             if hi < within.lo:
@@ -226,7 +226,7 @@ class IntervalSet:
             gaps.append(Interval(cursor, within.hi))
         return gaps
 
-    def intervals(self) -> List[Tuple[int, int]]:
+    def intervals(self) -> list[tuple[int, int]]:
         """The stored intervals as ``(lo, hi)`` tuples."""
         return list(zip(self._los, self._his))
 

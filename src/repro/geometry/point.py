@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable, NamedTuple
+from collections.abc import Iterable
+from typing import NamedTuple
 
 
 class Point(NamedTuple):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.geometry.interval import Interval
 from repro.geometry.point import Point
@@ -106,7 +106,7 @@ class Rect:
             and other.y1 < self.y2
         )
 
-    def intersection(self, other: "Rect") -> Optional["Rect"]:
+    def intersection(self, other: "Rect") -> "Rect" | None:
         """The common rectangle, or ``None`` when disjoint."""
         x1 = max(self.x1, other.x1)
         y1 = max(self.y1, other.y1)
@@ -131,7 +131,7 @@ class Rect:
             self.x1 - margin, self.y1 - margin, self.x2 + margin, self.y2 + margin
         )
 
-    def clipped_to(self, bounds: "Rect") -> Optional["Rect"]:
+    def clipped_to(self, bounds: "Rect") -> "Rect" | None:
         """Alias of :meth:`intersection`, reading better at call sites."""
         return self.intersection(bounds)
 

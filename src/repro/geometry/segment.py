@@ -9,7 +9,7 @@ corner positions) and the validity checks the test-suite leans on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.geometry.interval import Interval
 from repro.geometry.point import Point
@@ -108,7 +108,7 @@ class Path:
     degenerate segments never contribute corners.
     """
 
-    segments: Tuple[Segment, ...]
+    segments: tuple[Segment, ...]
 
     def __post_init__(self) -> None:
         for prev, nxt in zip(self.segments, self.segments[1:]):
@@ -142,18 +142,18 @@ class Path:
         """Number of direction changes along the path."""
         return len(self.corners())
 
-    def corners(self) -> List[Point]:
+    def corners(self) -> list[Point]:
         """The points where the path changes direction.
 
         Degenerate segments are skipped, so a path that merely passes
         through a zero-length stub does not accrue a corner there.
         """
-        directions: List[Tuple[str, Point]] = []
+        directions: list[tuple[str, Point]] = []
         for seg in self.segments:
             if seg.is_point:
                 continue
             directions.append(("H" if seg.is_horizontal else "V", seg.a))
-        result: List[Point] = []
+        result: list[Point] = []
         for (d1, _), (d2, start) in zip(directions, directions[1:]):
             if d1 != d2:
                 result.append(start)
@@ -169,7 +169,7 @@ class Path:
                 yield p
             first = False
 
-    def waypoints(self) -> List[Point]:
+    def waypoints(self) -> list[Point]:
         """Endpoint sequence: start plus each segment's far endpoint."""
         return [self.segments[0].a] + [seg.b for seg in self.segments]
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.channels import ChannelProblem
 from repro.netlist import Edge, Net, Pin
@@ -27,7 +27,7 @@ class NetSideUse:
     side: str  # "L" or "R"
     min_ch: int
     max_ch: int
-    exits: List[Tuple[int, int]] = field(default_factory=list)  # (channel, column)
+    exits: list[tuple[int, int]] = field(default_factory=list)  # (channel, column)
 
     @property
     def rows_crossed(self) -> range:
@@ -52,11 +52,11 @@ class ChannelSpec:
 class GlobalRoute:
     """The full channel decomposition of a net set."""
 
-    specs: List[ChannelSpec]
-    side_uses: Dict[int, NetSideUse]
+    specs: list[ChannelSpec]
+    side_uses: dict[int, NetSideUse]
     pitch: int
 
-    def crossing_profile(self, side: str, num_rows: int) -> List[int]:
+    def crossing_profile(self, side: str, num_rows: int) -> list[int]:
         """Verticals passing each row on one side channel."""
         profile = [0] * num_rows
         for use in self.side_uses.values():
@@ -67,7 +67,7 @@ class GlobalRoute:
                     profile[row] += 1
         return profile
 
-    def side_widths(self, num_rows: int) -> Tuple[int, int]:
+    def side_widths(self, num_rows: int) -> tuple[int, int]:
         """(left, right) side channel widths in lambda.
 
         One vertical wiring track per simultaneous crossing, plus one
@@ -101,17 +101,17 @@ class GlobalRoute:
 class GlobalRouter:
     """Builds a :class:`GlobalRoute` for a net set over a placement."""
 
-    def __init__(self, placement: RowPlacement, pitch: Optional[int] = None) -> None:
+    def __init__(self, placement: RowPlacement, pitch: int | None = None) -> None:
         self.placement = placement
         self.pitch = pitch if pitch is not None else placement.pitch
 
     # ------------------------------------------------------------------
-    def route(self, nets: Sequence[Net], net_ids: Dict[Net, int]) -> GlobalRoute:
+    def route(self, nets: Sequence[Net], net_ids: dict[Net, int]) -> GlobalRoute:
         """Decompose ``nets``; ids must be positive and unique."""
-        channel_pins: Dict[int, List[_ChannelPin]] = {
+        channel_pins: dict[int, list[_ChannelPin]] = {
             i: [] for i in range(self.placement.channel_count)
         }
-        side_uses: Dict[int, NetSideUse] = {}
+        side_uses: dict[int, NetSideUse] = {}
         for net in sorted(nets, key=lambda n: n.name):
             if net.degree < 2:
                 continue
@@ -134,7 +134,7 @@ class GlobalRouter:
         return GlobalRoute(specs=specs, side_uses=side_uses, pitch=self.pitch)
 
     # ------------------------------------------------------------------
-    def _pin_entry(self, net_id: int, pin: Pin) -> Tuple[int, _ChannelPin]:
+    def _pin_entry(self, net_id: int, pin: Pin) -> tuple[int, _ChannelPin]:
         if not pin.edge.is_horizontal:
             raise ValueError(
                 f"pin {pin.full_name}: LEFT/RIGHT pins are not supported by "
@@ -153,7 +153,7 @@ class GlobalRouter:
             net_id=net_id, column=x // self.pitch, from_top=not on_top_edge
         )
 
-    def _pick_side(self, entries: List[Tuple[int, _ChannelPin]]) -> str:
+    def _pick_side(self, entries: list[tuple[int, _ChannelPin]]) -> str:
         """Side channel minimising total horizontal reach (ties go left)."""
         width_cols = max(1, self.placement.core_width // self.pitch)
         left_cost = sum(pin.column for _, pin in entries)
@@ -163,11 +163,11 @@ class GlobalRouter:
     def _build_spec(
         self,
         index: int,
-        pins: List[_ChannelPin],
-        side_uses: Dict[int, NetSideUse],
+        pins: list[_ChannelPin],
+        side_uses: dict[int, NetSideUse],
     ) -> ChannelSpec:
-        top: Dict[int, int] = {}
-        bottom: Dict[int, int] = {}
+        top: dict[int, int] = {}
+        bottom: dict[int, int] = {}
         for pin in sorted(pins, key=lambda p: (p.column, p.from_top, p.net_id)):
             target = top if pin.from_top else bottom
             col = pin.column

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -147,10 +147,10 @@ class RoutingGrid:
         self._unrouted_terms = np.zeros((nh, nv), dtype=np.int16)
         # Per-net mutation ledger: every span/cell a net claimed, in
         # commit order.  Rip-up replays it instead of scanning arrays.
-        self._net_ledger: Dict[int, List[tuple]] = {}
+        self._net_ledger: dict[int, list[tuple]] = {}
         # Undo journal + open-transaction stack (savepoint semantics).
-        self._journal: List[tuple] = []
-        self._txns: List[GridTransaction] = []
+        self._journal: list[tuple] = []
+        self._txns: list[GridTransaction] = []
 
     # ------------------------------------------------------------------
     # Basic shape / coordinate helpers
@@ -167,7 +167,7 @@ class RoutingGrid:
     def num_intersections(self) -> int:
         return self.num_vtracks * self.num_htracks
 
-    def coord_of(self, v_idx: int, h_idx: int) -> Tuple[int, int]:
+    def coord_of(self, v_idx: int, h_idx: int) -> tuple[int, int]:
         """Geometric ``(x, y)`` of intersection ``(v_idx, h_idx)``."""
         return self.vtracks[v_idx], self.htracks[h_idx]
 
@@ -198,6 +198,18 @@ class RoutingGrid:
     @property
     def in_transaction(self) -> bool:
         return bool(self._txns)
+
+    @property
+    def journal_len(self) -> int:
+        """Undo-journal entries currently recorded.
+
+        Entries exist only while a transaction is open (the outermost
+        commit clears the journal, rollbacks pop their own entries), so
+        a nonzero value with :attr:`in_transaction` false indicates a
+        balance bug.  Exposed for the ``grid.journal`` audit rule in
+        :mod:`repro.check`.
+        """
+        return len(self._journal)
 
     def _require_top(self, txn: GridTransaction) -> None:
         if txn.closed:
@@ -391,8 +403,8 @@ class RoutingGrid:
         return int(self._v_owner[v_idx, h_idx])
 
     def free_span_h(
-        self, h_idx: int, v_idx: int, net_id: int, within: Optional[Interval] = None
-    ) -> Optional[Interval]:
+        self, h_idx: int, v_idx: int, net_id: int, within: Interval | None = None
+    ) -> Interval | None:
         """Maximal v-index interval around ``v_idx`` usable on h-track.
 
         A cell is usable when its horizontal slot is free or already
@@ -404,15 +416,15 @@ class RoutingGrid:
         return _free_span(row, v_idx, net_id, within)
 
     def free_span_v(
-        self, v_idx: int, h_idx: int, net_id: int, within: Optional[Interval] = None
-    ) -> Optional[Interval]:
+        self, v_idx: int, h_idx: int, net_id: int, within: Interval | None = None
+    ) -> Interval | None:
         """Maximal h-index interval around ``h_idx`` usable on v-track."""
         row = self._v_owner[v_idx]
         return _free_span(row, h_idx, net_id, within)
 
     def corner_candidates_on_v(
         self, v_idx: int, h_lo: int, h_hi: int, net_id: int
-    ) -> List[int]:
+    ) -> list[int]:
         """h-indices in ``[h_lo, h_hi]`` where ``net_id`` may corner.
 
         Batched form of :meth:`corner_free` along a vertical track -
@@ -431,7 +443,7 @@ class RoutingGrid:
 
     def corner_candidates_on_h(
         self, h_idx: int, v_lo: int, v_hi: int, net_id: int
-    ) -> List[int]:
+    ) -> list[int]:
         """v-indices in ``[v_lo, v_hi]`` where ``net_id`` may corner."""
         h = self._h_owner[h_idx, v_lo : v_hi + 1].tolist()
         v = self._v_owner[v_lo : v_hi + 1, h_idx].tolist()
@@ -516,7 +528,7 @@ class RoutingGrid:
         self,
         net_id: int,
         points: Sequence,
-        corners: Iterable[Tuple[int, int]],
+        corners: Iterable[tuple[int, int]],
     ) -> int:
         """Claim a path (waypoint sequence plus corner vias) for ``net_id``.
 
@@ -591,6 +603,21 @@ class RoutingGrid:
         """Backwards-compatible alias for :meth:`rip_net`."""
         return self.rip_net(net_id)
 
+    def ledgered_net_ids(self) -> list[int]:
+        """Net ids with a non-empty mutation ledger, sorted."""
+        return sorted(i for i, entries in self._net_ledger.items() if entries)
+
+    def ledger_entries(self, net_id: int) -> tuple[tuple, ...]:
+        """A read-only copy of a net's mutation ledger.
+
+        Entries are ``("h", h_idx, v_lo, v_hi)`` for horizontal spans,
+        ``("v", v_idx, h_lo, h_hi)`` for vertical spans and
+        ``("c", v_idx, h_idx)`` for both-slot claims (corner vias and
+        terminal stacks), in commit order.  The ``grid.ledger`` audit in
+        :mod:`repro.check` replays these against the occupancy arrays.
+        """
+        return tuple(self._net_ledger.get(net_id, ()))
+
     def net_cells_recorded(self, net_id: int) -> int:
         """Slots recorded in a net's ledger (overlaps counted twice).
 
@@ -606,7 +633,7 @@ class RoutingGrid:
                 cells += entry[3] - entry[2] + 1
         return cells
 
-    def owners_near(self, v_idx: int, h_idx: int, radius: int) -> List[int]:
+    def owners_near(self, v_idx: int, h_idx: int, radius: int) -> list[int]:
         """Net ids wired within ``radius`` tracks of an intersection."""
         hw, vw = self._window(v_idx, h_idx, radius)
         h = self._h_owner[hw, vw]
@@ -645,7 +672,7 @@ class RoutingGrid:
         busy = (h != FREE).sum() + (v != FREE).sum()
         return float(busy) / float(2 * h.size)
 
-    def _window(self, v_idx: int, h_idx: int, radius: int) -> Tuple[slice, slice]:
+    def _window(self, v_idx: int, h_idx: int, radius: int) -> tuple[slice, slice]:
         h_lo = max(0, h_idx - radius)
         h_hi = min(self.num_htracks - 1, h_idx + radius)
         v_lo = max(0, v_idx - radius)
@@ -660,7 +687,7 @@ class RoutingGrid:
         used = int((self._h_owner > 0).sum()) + int((self._v_owner > 0).sum())
         return used / float(2 * self.num_intersections)
 
-    def owners(self) -> List[int]:
+    def owners(self) -> list[int]:
         """Sorted list of net ids present anywhere on the grid."""
         ids = set(np.unique(self._h_owner)) | set(np.unique(self._v_owner))
         return sorted(int(i) for i in ids if i > 0)
@@ -673,8 +700,8 @@ class RoutingGrid:
 
 
 def _free_span(
-    row: np.ndarray, idx: int, net_id: int, within: Optional[Interval]
-) -> Optional[Interval]:
+    row: np.ndarray, idx: int, net_id: int, within: Interval | None
+) -> Interval | None:
     """Maximal usable index interval around ``idx`` in a slot row.
 
     Implemented as an outward scan over ``tolist()`` of the clipped

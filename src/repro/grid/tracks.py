@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, Iterator, List, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.geometry import Interval
 
@@ -20,10 +20,10 @@ class TrackSet:
     __slots__ = ("_coords", "_index")
 
     def __init__(self, coords: Iterable[int]) -> None:
-        self._coords: List[int] = sorted(set(int(c) for c in coords))
+        self._coords: list[int] = sorted(set(int(c) for c in coords))
         if not self._coords:
             raise ValueError("TrackSet needs at least one track")
-        self._index: Dict[int, int] = {c: i for i, c in enumerate(self._coords)}
+        self._index: dict[int, int] = {c: i for i, c in enumerate(self._coords)}
 
     @staticmethod
     def uniform(lo: int, hi: int, pitch: int, extra: Iterable[int] = ()) -> "TrackSet":

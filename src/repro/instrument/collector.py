@@ -32,7 +32,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Any
 
 
 @dataclass
@@ -47,7 +48,7 @@ class SpanNode:
     name: str
     calls: int = 0
     total_s: float = 0.0
-    children: Dict[str, "SpanNode"] = field(default_factory=dict)
+    children: dict[str, "SpanNode"] = field(default_factory=dict)
 
     def child(self, name: str) -> "SpanNode":
         node = self.children.get(name)
@@ -62,22 +63,22 @@ class SpanNode:
             0.0, self.total_s - sum(c.total_s for c in self.children.values())
         )
 
-    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "SpanNode"]]:
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "SpanNode"]]:
         """Depth-first ``(depth, node)`` pairs, this node first."""
         yield depth, self
         for c in self.children.values():
             yield from c.walk(depth + 1)
 
-    def find(self, *path: str) -> Optional["SpanNode"]:
+    def find(self, *path: str) -> "SpanNode" | None:
         """The descendant at ``path`` (child names), or ``None``."""
-        node: Optional[SpanNode] = self
+        node: SpanNode | None = self
         for name in path:
             if node is None:
                 return None
             node = node.children.get(name)
         return node
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "calls": self.calls,
@@ -86,7 +87,7 @@ class SpanNode:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "SpanNode":
+    def from_dict(cls, data: dict[str, Any]) -> "SpanNode":
         node = cls(
             name=data["name"],
             calls=int(data.get("calls", 0)),
@@ -111,7 +112,7 @@ class Span:
         self.name = name
         self.elapsed_s = 0.0
         self._collector = collector
-        self._node: Optional[SpanNode] = None
+        self._node: SpanNode | None = None
 
     def __enter__(self) -> "Span":
         if self._collector.enabled:
@@ -132,10 +133,10 @@ class Collector:
 
     def __init__(self) -> None:
         self.root = SpanNode("root")
-        self.counters: Dict[str, int] = {}
-        self.gauges: Dict[str, float] = {}
-        self.events: List[Dict[str, Any]] = []
-        self._stack: List[SpanNode] = [self.root]
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.events: list[dict[str, Any]] = []
+        self._stack: list[SpanNode] = [self.root]
         self._seq = 0
 
     # -- spans ----------------------------------------------------------
@@ -213,7 +214,7 @@ def active() -> Collector:
 get_collector = active
 
 
-def set_collector(collector: Optional[Collector]) -> Collector:
+def set_collector(collector: Collector | None) -> Collector:
     """Install ``collector`` globally; ``None`` restores the null one."""
     global _active
     _active = collector if collector is not None else _NULL
@@ -221,7 +222,7 @@ def set_collector(collector: Optional[Collector]) -> Collector:
 
 
 @contextmanager
-def collecting(collector: Optional[Collector] = None) -> Iterator[Collector]:
+def collecting(collector: Collector | None = None) -> Iterator[Collector]:
     """Enable collection for a ``with`` block; restores on exit."""
     global _active
     previous = _active

@@ -13,20 +13,20 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict, Optional
+from typing import Any
 
 from repro.instrument.collector import Collector, SpanNode, active
 
 PROFILE_FORMAT = "repro-profile"
 
 
-def _resolve(collector: Optional[Collector]) -> Collector:
+def _resolve(collector: Collector | None) -> Collector:
     return collector if collector is not None else active()
 
 
 def snapshot(
-    collector: Optional[Collector] = None, *, include_events: bool = True
-) -> Dict[str, Any]:
+    collector: Collector | None = None, *, include_events: bool = True
+) -> dict[str, Any]:
     """Plain-data export of a collector (the active one by default).
 
     ``include_events=False`` drops the event log body (keeping its
@@ -34,7 +34,7 @@ def snapshot(
     minus the events.
     """
     c = _resolve(collector)
-    out: Dict[str, Any] = {
+    out: dict[str, Any] = {
         "format": PROFILE_FORMAT,
         "spans": c.root.to_dict(),
         "counters": dict(sorted(c.counters.items())),
@@ -46,7 +46,7 @@ def snapshot(
     return out
 
 
-def profile_from_dict(data: Dict[str, Any]) -> Collector:
+def profile_from_dict(data: dict[str, Any]) -> Collector:
     """Rebuild a collector from a :func:`snapshot` dictionary."""
     if data.get("format") != PROFILE_FORMAT:
         raise ValueError(f"not a {PROFILE_FORMAT} document")
@@ -60,11 +60,11 @@ def profile_from_dict(data: Dict[str, Any]) -> Collector:
     return c
 
 
-def to_json(collector: Optional[Collector] = None, *, indent: int = 2) -> str:
+def to_json(collector: Collector | None = None, *, indent: int = 2) -> str:
     return json.dumps(snapshot(collector), indent=indent)
 
 
-def write_json(path: str, collector: Optional[Collector] = None) -> None:
+def write_json(path: str, collector: Collector | None = None) -> None:
     with open(path, "w") as fh:
         fh.write(to_json(collector))
         fh.write("\n")
@@ -73,7 +73,7 @@ def write_json(path: str, collector: Optional[Collector] = None) -> None:
 # ----------------------------------------------------------------------
 # CSV
 # ----------------------------------------------------------------------
-def counters_to_csv(collector: Optional[Collector] = None) -> str:
+def counters_to_csv(collector: Collector | None = None) -> str:
     """``counter,value`` rows, sorted by name (gauges appended)."""
     c = _resolve(collector)
     buf = io.StringIO()
@@ -86,7 +86,7 @@ def counters_to_csv(collector: Optional[Collector] = None) -> str:
     return buf.getvalue()
 
 
-def spans_to_csv(collector: Optional[Collector] = None) -> str:
+def spans_to_csv(collector: Collector | None = None) -> str:
     """Flattened span rows: ``path,calls,total_s,self_s``.
 
     Paths join span names with ``/`` (names themselves contain dots).
@@ -108,7 +108,7 @@ def spans_to_csv(collector: Optional[Collector] = None) -> str:
     return buf.getvalue()
 
 
-def events_to_csv(collector: Optional[Collector] = None) -> str:
+def events_to_csv(collector: Collector | None = None) -> str:
     """``seq,event,data`` rows; extra fields JSON-encoded in ``data``."""
     c = _resolve(collector)
     buf = io.StringIO()
@@ -125,7 +125,7 @@ def events_to_csv(collector: Optional[Collector] = None) -> str:
 # ----------------------------------------------------------------------
 # Human-readable report
 # ----------------------------------------------------------------------
-def tree_report(collector: Optional[Collector] = None) -> str:
+def tree_report(collector: Collector | None = None) -> str:
     """The span tree plus counter/gauge tables, ready to print."""
     c = _resolve(collector)
     lines = ["span tree (wall-clock):"]

@@ -24,6 +24,8 @@ SPAN_LEVELB_REFINE = "levelb.refine"
 SPAN_MBFS_SEARCH = "mbfs.search"
 SPAN_MAZE_RESCUE = "maze.rescue"
 SPAN_FLOW_PROBE = "flow.probe"
+SPAN_CHECK = "check"
+SPAN_CHECK_COMMIT = "check.commit"
 
 # -- counters ----------------------------------------------------------
 MBFS_SEARCHES = "mbfs.searches"
@@ -48,6 +50,9 @@ LEFT_EDGE_FALLBACKS = "left_edge.fallbacks"
 CHANNELS_ROUTED = "channels.routed"
 GREEDY_COLUMNS = "greedy.columns_swept"
 GREEDY_TRACKS_ADDED = "greedy.tracks_added"
+CHECKS_RUN = "check.runs"
+CHECK_RULES_EVALUATED = "check.rules_evaluated"
+CHECK_VIOLATIONS = "check.violations"
 
 # -- gauges ------------------------------------------------------------
 LEVELB_UTILIZATION = "levelb.grid_utilization"
@@ -58,3 +63,4 @@ EVT_NET_FAILED = "net.failed"
 EVT_MAZE_FALLBACK = "maze.fallback"
 EVT_RIPUP = "ripup"
 EVT_CHANNEL_CYCLIC = "channel.cyclic"
+EVT_CHECK_VIOLATION = "check.violation"

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any
 
 from repro.netlist import Design, Edge
 
 FORMAT_VERSION = 1
 
 
-def design_to_dict(design: Design) -> Dict[str, Any]:
+def design_to_dict(design: Design) -> dict[str, Any]:
     """A plain-data snapshot of ``design`` (placement included)."""
     cells = []
     for cell in design.cells.values():
@@ -51,7 +51,7 @@ def design_to_dict(design: Design) -> Dict[str, Any]:
     }
 
 
-def design_from_dict(data: Dict[str, Any]) -> Design:
+def design_from_dict(data: dict[str, Any]) -> Design:
     """Rebuild a :class:`Design` written by :func:`design_to_dict`."""
     if data.get("format") != "repro-design":
         raise ValueError("not a repro design document")
@@ -89,11 +89,11 @@ def design_from_dict(data: Dict[str, Any]) -> Design:
     return design
 
 
-def save_design(design: Design, path: Union[str, Path]) -> None:
+def save_design(design: Design, path: str | Path) -> None:
     """Write ``design`` as JSON."""
     Path(path).write_text(json.dumps(design_to_dict(design), indent=2))
 
 
-def load_design(path: Union[str, Path]) -> Design:
+def load_design(path: str | Path) -> Design:
     """Read a design JSON written by :func:`save_design`."""
     return design_from_dict(json.loads(Path(path).read_text()))

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 
-def levelb_result_to_dict(result) -> Dict[str, Any]:
+def levelb_result_to_dict(result) -> dict[str, Any]:
     """Plain-data export of a :class:`~repro.core.router.LevelBResult`.
 
     Paths are waypoint lists (terminal, corners..., terminal); corner
@@ -46,9 +46,9 @@ def levelb_result_to_dict(result) -> Dict[str, Any]:
     }
 
 
-def flow_result_to_dict(result) -> Dict[str, Any]:
+def flow_result_to_dict(result) -> dict[str, Any]:
     """Plain-data summary of a :class:`~repro.flow.FlowResult`."""
-    out: Dict[str, Any] = {
+    out: dict[str, Any] = {
         "format": "repro-flow-result",
         "flow": result.flow,
         "design": result.design,
@@ -67,4 +67,6 @@ def flow_result_to_dict(result) -> Dict[str, Any]:
         out["levelb"] = levelb_result_to_dict(result.levelb)
     if result.profile is not None:
         out["profile"] = result.profile
+    if result.check_report is not None:
+        out["check"] = result.check_report.to_dict()
     return out

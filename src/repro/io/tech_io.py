@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any
 
 from repro.technology import Layer, RoutingDirection, Technology, ViaRule
 
 FORMAT_VERSION = 1
 
 
-def technology_to_dict(tech: Technology) -> Dict[str, Any]:
+def technology_to_dict(tech: Technology) -> dict[str, Any]:
     """A plain-data snapshot of a technology."""
     return {
         "format": "repro-technology",
@@ -36,7 +36,7 @@ def technology_to_dict(tech: Technology) -> Dict[str, Any]:
     }
 
 
-def technology_from_dict(data: Dict[str, Any]) -> Technology:
+def technology_from_dict(data: dict[str, Any]) -> Technology:
     """Rebuild a :class:`Technology` from :func:`technology_to_dict`."""
     if data.get("format") != "repro-technology":
         raise ValueError("not a repro technology document")
@@ -63,11 +63,11 @@ def technology_from_dict(data: Dict[str, Any]) -> Technology:
     return Technology(name=data["name"], layers=layers, vias=vias)
 
 
-def save_technology(tech: Technology, path: Union[str, Path]) -> None:
+def save_technology(tech: Technology, path: str | Path) -> None:
     """Write ``tech`` as JSON."""
     Path(path).write_text(json.dumps(technology_to_dict(tech), indent=2))
 
 
-def load_technology(path: Union[str, Path]) -> Technology:
+def load_technology(path: str | Path) -> Technology:
     """Read a technology JSON written by :func:`save_technology`."""
     return technology_from_dict(json.loads(Path(path).read_text()))

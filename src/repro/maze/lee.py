@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from repro import instrument
 from repro.instrument.names import (
@@ -45,7 +45,7 @@ from repro.core.tig import GridTerminal
 HORIZONTAL = 0
 VERTICAL = 1
 
-State = Tuple[int, int, int]  # (v_idx, h_idx, direction)
+State = tuple[int, int, int]  # (v_idx, h_idx, direction)
 
 
 @dataclass
@@ -63,8 +63,8 @@ def lee_search(
     target: GridTerminal,
     *,
     via_penalty: float = 10.0,
-    region: Optional[Tuple[Interval, Interval]] = None,
-) -> Tuple[Optional[List[Point]], Optional[List[Tuple[int, int]]], LeeSearchStats]:
+    region: tuple[Interval, Interval] | None = None,
+) -> tuple[list[Point] | None, list[tuple[int, int]] | None, LeeSearchStats]:
     """Minimum-cost path between two terminals, or ``None``.
 
     Returns ``(waypoints, corners, stats)``.  Waypoints are the
@@ -91,9 +91,9 @@ def lee_search(
     def v_ok(v: int, h: int) -> bool:
         return grid.v_slot(v, h) in (0, net_id)
 
-    dist: Dict[State, float] = {}
-    parent: Dict[State, Optional[State]] = {}
-    heap: List[Tuple[float, State]] = []
+    dist: dict[State, float] = {}
+    parent: dict[State, State | None] = {}
+    heap: list[tuple[float, State]] = []
     for direction, ok in ((HORIZONTAL, h_ok), (VERTICAL, v_ok)):
         if ok(source.v_idx, source.h_idx):
             state = (source.v_idx, source.h_idx, direction)
@@ -102,7 +102,7 @@ def lee_search(
             heapq.heappush(heap, (0.0, state))
             stats.nodes_pushed += 1
 
-    goal: Optional[State] = None
+    goal: State | None = None
     while heap:
         d, state = heapq.heappop(heap)
         if d > dist.get(state, float("inf")):
@@ -112,7 +112,7 @@ def lee_search(
         if v == target.v_idx and h == target.h_idx:
             goal = state
             break
-        moves: List[Tuple[State, float]] = []
+        moves: list[tuple[State, float]] = []
         if direction == HORIZONTAL:
             for nv in (v - 1, v + 1):
                 if v_iv.contains(nv) and h_ok(nv, h):
@@ -144,14 +144,14 @@ def lee_search(
         return None, None, stats
 
     # Walk parents, then compress to waypoints at direction changes.
-    states: List[State] = []
-    cursor: Optional[State] = goal
+    states: list[State] = []
+    cursor: State | None = goal
     while cursor is not None:
         states.append(cursor)
         cursor = parent[cursor]
     states.reverse()
-    waypoints: List[Point] = [Point(xs[states[0][0]], ys[states[0][1]])]
-    corners: List[Tuple[int, int]] = []
+    waypoints: list[Point] = [Point(xs[states[0][0]], ys[states[0][1]])]
+    corners: list[tuple[int, int]] = []
     for prev, nxt in zip(states, states[1:]):
         if prev[2] != nxt[2]:  # in-place direction switch: a corner via
             corners.append((prev[0], prev[1]))
@@ -192,8 +192,8 @@ class LeeEngine(ConnectionEngine):
         net_id: int,
         source: GridTerminal,
         target: GridTerminal,
-        regions: Optional[Iterable[Region]] = None,
-    ) -> Optional[RoutedConnection]:
+        regions: Iterable[Region] | None = None,
+    ) -> RoutedConnection | None:
         if source == target:
             return None
         grid = ctx.grid

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.geometry import Point, Rect
 
@@ -38,8 +38,8 @@ class Cell:
     name: str
     width: int
     height: int
-    origin: Optional[Point] = None
-    pins: List["Pin"] = field(default_factory=list, repr=False)
+    origin: Point | None = None
+    pins: list["Pin"] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.geometry import Rect
 from repro.netlist.cell import Cell, Edge
@@ -39,8 +38,8 @@ class Design:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.cells: Dict[str, Cell] = {}
-        self.nets: Dict[str, Net] = {}
+        self.cells: dict[str, Cell] = {}
+        self.nets: dict[str, Net] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,10 +82,10 @@ class Design:
     def is_placed(self) -> bool:
         return all(cell.is_placed for cell in self.cells.values())
 
-    def all_pins(self) -> List[Pin]:
+    def all_pins(self) -> list[Pin]:
         return [pin for cell in self.cells.values() for pin in cell.pins]
 
-    def routable_nets(self) -> List[Net]:
+    def routable_nets(self) -> list[Net]:
         """Nets with at least two pins, in insertion order."""
         return [net for net in self.nets.values() if net.degree >= 2]
 
@@ -116,9 +115,9 @@ class Design:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self) -> List[str]:
+    def validate(self) -> list[str]:
         """Structural checks; returns a list of problem descriptions."""
-        problems: List[str] = []
+        problems: list[str] = []
         for net in self.nets.values():
             if net.degree < 2:
                 problems.append(f"net {net.name} has fewer than two pins")

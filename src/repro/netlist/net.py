@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
 
 from repro.geometry import Point, Rect
 from repro.geometry.point import bounding_box_half_perimeter
@@ -33,7 +32,7 @@ class Net:
     """
 
     name: str
-    pins: List[Pin] = field(default_factory=list)
+    pins: list[Pin] = field(default_factory=list)
     is_critical: bool = False
     is_sensitive: bool = False
     weight: float = 1.0
@@ -54,7 +53,7 @@ class Net:
     def is_multi_terminal(self) -> bool:
         return self.degree > 2
 
-    def pin_positions(self) -> List[Point]:
+    def pin_positions(self) -> list[Point]:
         """Absolute positions of all terminals (requires placement)."""
         return [pin.position for pin in self.pins]
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.geometry import Point
 from repro.netlist.cell import Cell, Edge
@@ -29,7 +29,7 @@ class Pin:
     cell: Cell
     edge: Edge
     offset: int
-    net: Optional["Net"] = None
+    net: "Net" | None = None
 
     @property
     def position(self) -> Point:

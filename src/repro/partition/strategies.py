@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from repro.netlist import Net
 
@@ -37,15 +37,15 @@ def partition_nets(
     nets: Iterable[Net],
     strategy: PartitionStrategy = PartitionStrategy.CRITICAL_TO_A,
     *,
-    length_threshold: Optional[int] = None,
-) -> Tuple[List[Net], List[Net]]:
+    length_threshold: int | None = None,
+) -> tuple[list[Net], list[Net]]:
     """Split ``nets`` into ``(set_a, set_b)`` per ``strategy``.
 
     ``LONG_TO_B`` requires placed pins (half-perimeter is geometric)
     and a ``length_threshold`` in lambda.
     """
-    set_a: List[Net] = []
-    set_b: List[Net] = []
+    set_a: list[Net] = []
+    set_b: list[Net] = []
     for net in nets:
         if strategy is PartitionStrategy.ALL_A:
             set_a.append(net)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.geometry import Rect
 from repro.netlist import Cell, Design
@@ -15,7 +15,7 @@ class PlacedRow:
     """One shelf of cells (left to right)."""
 
     index: int
-    cells: List[Cell] = field(default_factory=list)
+    cells: list[Cell] = field(default_factory=list)
 
     @property
     def height(self) -> int:
@@ -33,8 +33,8 @@ class RowPlacement:
     def __init__(
         self,
         design: Design,
-        rows: List[PlacedRow],
-        cell_x: Dict[str, int],
+        rows: list[PlacedRow],
+        cell_x: dict[str, int],
         pitch: int,
         cell_gap: int,
     ) -> None:
@@ -43,7 +43,7 @@ class RowPlacement:
         self.cell_x = cell_x
         self.pitch = pitch
         self.cell_gap = cell_gap
-        self.row_of_cell: Dict[str, int] = {}
+        self.row_of_cell: dict[str, int] = {}
         for row in rows:
             for cell in row.cells:
                 self.row_of_cell[cell.name] = row.index
@@ -54,8 +54,8 @@ class RowPlacement:
         design: Design,
         *,
         pitch: int = 8,
-        cell_gap: Optional[int] = None,
-        row_width_target: Optional[int] = None,
+        cell_gap: int | None = None,
+        row_width_target: int | None = None,
         aspect: float = 1.0,
     ) -> "RowPlacement":
         """Shelf-pack the design's cells into rows.
@@ -78,8 +78,8 @@ class RowPlacement:
                 max(c.width for c in cells),
                 int(math.sqrt(total_area * aspect)),
             )
-        rows: List[PlacedRow] = []
-        cell_x: Dict[str, int] = {}
+        rows: list[PlacedRow] = []
+        cell_x: dict[str, int] = {}
         current = PlacedRow(index=0)
         cursor = 0
         for cell in cells:
@@ -153,13 +153,13 @@ class RowPlacement:
 
     def channel_y_ranges(
         self, channel_heights: Sequence[int], *, margin: int = 0
-    ) -> List[Rect]:
+    ) -> list[Rect]:
         """The channel strips' y extents (x spans the core width).
 
         Useful for visualisation; must be called with the same heights
         passed to :meth:`realize`.
         """
-        out: List[Rect] = []
+        out: list[Rect] = []
         y = margin
         width = self.core_width
         for i in range(self.channel_count):

@@ -8,7 +8,6 @@ no external assets, no JavaScript.
 from __future__ import annotations
 
 import html
-from typing import Optional
 
 from repro.analysis import routing_report
 from repro.technology import Technology
@@ -39,7 +38,7 @@ def _metric(label: str, value: str) -> str:
 def html_report(
     result,
     *,
-    technology: Optional[Technology] = None,
+    technology: Technology | None = None,
     scale: float = 0.5,
     top_n: int = 8,
 ) -> str:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.flow import FlowResult, percent_reduction
 from repro.netlist import Design
@@ -27,10 +27,10 @@ class PaperComparison:
 
     experiment: str
     metric: str
-    paper: Optional[float]
+    paper: float | None
     measured: float
 
-    def row(self) -> Tuple[str, str, str, str]:
+    def row(self) -> tuple[str, str, str, str]:
         paper = "n/a (not legible)" if self.paper is None else f"{self.paper:,.2f}"
         return (self.experiment, self.metric, paper, f"{self.measured:,.2f}")
 
@@ -38,7 +38,7 @@ class PaperComparison:
 # ----------------------------------------------------------------------
 # Table builders (one per paper table)
 # ----------------------------------------------------------------------
-def table1_rows(design: Design, overcell: FlowResult) -> List[List[object]]:
+def table1_rows(design: Design, overcell: FlowResult) -> list[list[object]]:
     """Table 1: example information including the level A partition."""
     stats = design.stats()
     return [[
@@ -60,7 +60,7 @@ TABLE1_HEADERS = [
 
 def table2_rows(
     baseline: FlowResult, overcell: FlowResult
-) -> List[List[object]]:
+) -> list[list[object]]:
     """Table 2: % reductions of the over-cell flow vs two-layer channel."""
     return [[
         baseline.design,
@@ -75,7 +75,7 @@ TABLE2_HEADERS = ["Example", "Layout Area %", "Wire Length %", "Vias %"]
 
 def table3_rows(
     ml_channel: FlowResult, overcell: FlowResult
-) -> List[List[object]]:
+) -> list[list[object]]:
     """Table 3: areas of 4-layer channel model vs 4-layer over-cell."""
     return [[
         ml_channel.design,

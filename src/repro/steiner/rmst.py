@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.geometry import Point, manhattan
 
@@ -20,7 +20,7 @@ class TreeEdge:
         return manhattan(self.a, self.b)
 
 
-def rectilinear_mst(points: Sequence[Point]) -> List[TreeEdge]:
+def rectilinear_mst(points: Sequence[Point]) -> list[TreeEdge]:
     """Prim's MST under the Manhattan metric, ``O(n^2)``.
 
     Deterministic: starts from the first point and breaks distance ties
@@ -36,7 +36,7 @@ def rectilinear_mst(points: Sequence[Point]) -> List[TreeEdge]:
     in_tree[0] = True
     for i in range(1, n):
         best_dist[i] = manhattan(pts[0], pts[i])
-    edges: List[TreeEdge] = []
+    edges: list[TreeEdge] = []
     for _ in range(n - 1):
         pick = -1
         pick_d = None

@@ -12,7 +12,7 @@ Steiner point for later terminals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.geometry import Point, Segment, manhattan
 
@@ -21,17 +21,17 @@ from repro.geometry import Point, Segment, manhattan
 class SteinerTree:
     """The realised tree: rectilinear segments spanning the terminals."""
 
-    terminals: List[Point]
-    segments: List[Segment] = field(default_factory=list)
+    terminals: list[Point]
+    segments: list[Segment] = field(default_factory=list)
 
     @property
     def length(self) -> int:
         return sum(s.length for s in self.segments)
 
-    def steiner_points(self) -> List[Point]:
+    def steiner_points(self) -> list[Point]:
         """Segment junction points that are not terminals."""
         term = set(self.terminals)
-        endpoints: List[Point] = []
+        endpoints: list[Point] = []
         for seg in self.segments:
             for p in (seg.a, seg.b):
                 if p not in term and p not in endpoints:
@@ -50,7 +50,7 @@ def _closest_on_segment(p: Point, seg: Segment) -> Point:
     return Point(box.x_interval.clamp(p.x), box.y_interval.clamp(p.y))
 
 
-def _closest_tree_point(tree: SteinerTree, connected: Sequence[Point], p: Point) -> Tuple[Point, int]:
+def _closest_tree_point(tree: SteinerTree, connected: Sequence[Point], p: Point) -> tuple[Point, int]:
     best_pt = connected[0]
     best_d = manhattan(p, best_pt)
     for q in connected[1:]:
@@ -65,7 +65,7 @@ def _closest_tree_point(tree: SteinerTree, connected: Sequence[Point], p: Point)
     return best_pt, best_d
 
 
-def _l_shape(a: Point, b: Point, prefer_horizontal_first: bool) -> List[Segment]:
+def _l_shape(a: Point, b: Point, prefer_horizontal_first: bool) -> list[Segment]:
     """Realise a connection as at most two axis-parallel segments."""
     if a == b:
         return []
@@ -98,12 +98,12 @@ def steiner_prim_tree(
     cy = sum(p.y for p in pts) // len(pts)
     centroid = Point(cx, cy)
     start = min(pts, key=lambda p: (manhattan(p, centroid), p))
-    connected: List[Point] = [start]
-    remaining: List[Point] = [p for p in pts if p != start]
+    connected: list[Point] = [start]
+    remaining: list[Point] = [p for p in pts if p != start]
     while remaining:
-        pick: Optional[Point] = None
-        pick_attach: Optional[Point] = None
-        pick_d: Optional[int] = None
+        pick: Point | None = None
+        pick_attach: Point | None = None
+        pick_d: int | None = None
         for p in remaining:
             attach, d = _closest_tree_point(tree, connected, p)
             if pick_d is None or d < pick_d or (d == pick_d and p < pick):

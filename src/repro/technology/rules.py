@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.technology.layers import Layer, RoutingDirection
 
@@ -40,8 +40,8 @@ class Technology:
     """
 
     name: str
-    layers: Tuple[Layer, ...]
-    vias: Tuple[ViaRule, ...]
+    layers: tuple[Layer, ...]
+    vias: tuple[ViaRule, ...]
 
     def __post_init__(self) -> None:
         indices = [layer.index for layer in self.layers]
@@ -147,8 +147,8 @@ class Technology:
             ),
         )
 
-    def horizontal_layers(self) -> List[Layer]:
+    def horizontal_layers(self) -> list[Layer]:
         return [l for l in self.layers if l.is_horizontal]
 
-    def vertical_layers(self) -> List[Layer]:
+    def vertical_layers(self) -> list[Layer]:
         return [l for l in self.layers if l.is_vertical]

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.netlist import Net
 from repro.technology import Technology
@@ -68,7 +67,7 @@ def build_levelb_rctree(
 
 def levelb_net_delays(
     routed, technology: Technology, driver: DriverModel = DriverModel()
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Elmore delay (ps) from the net's first pin to every other pin.
 
     Returns ``{pin full name: delay_ps}``; pins whose connection failed
@@ -77,7 +76,7 @@ def levelb_net_delays(
     if not routed.connections:
         return {}
     tree = build_levelb_rctree(routed, technology, driver)
-    out: Dict[str, float] = {}
+    out: dict[str, float] = {}
     for pin in routed.net.pins[1:]:
         position = pin.position
         if not tree.contains(position):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from collections.abc import Hashable
 
 
 @dataclass(frozen=True)
@@ -34,8 +34,8 @@ class RCTree:
     """
 
     def __init__(self) -> None:
-        self._adj: Dict[Hashable, List[_Edge]] = {}
-        self._node_cap: Dict[Hashable, float] = {}
+        self._adj: dict[Hashable, list[_Edge]] = {}
+        self._node_cap: dict[Hashable, float] = {}
 
     # ------------------------------------------------------------------
     def add_wire(
@@ -60,7 +60,7 @@ class RCTree:
 
     # ------------------------------------------------------------------
     @property
-    def nodes(self) -> List[Hashable]:
+    def nodes(self) -> list[Hashable]:
         return list(self._adj)
 
     def total_cap(self) -> float:
@@ -84,8 +84,8 @@ class RCTree:
             raise KeyError(f"source {source!r} not in tree")
         if sink not in self._adj:
             raise KeyError(f"sink {sink!r} not in tree")
-        parent: Dict[Hashable, Optional[Tuple[Hashable, float]]] = {source: None}
-        order: List[Hashable] = [source]
+        parent: dict[Hashable, tuple[Hashable, float] | None] = {source: None}
+        order: list[Hashable] = [source]
         queue = deque([source])
         while queue:
             node = queue.popleft()
@@ -112,9 +112,9 @@ class RCTree:
             node = up
         return delay_ffs / 1000.0  # ohm*fF = fs; report ps
 
-    def max_delay(self, source: Hashable) -> Tuple[Optional[Hashable], float]:
+    def max_delay(self, source: Hashable) -> tuple[Hashable | None, float]:
         """The worst Elmore delay from ``source`` over all nodes."""
-        worst_node: Optional[Hashable] = None
+        worst_node: Hashable | None = None
         worst = 0.0
         for node in self._adj:
             if node == source:

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.channels import ChannelProblem, ChannelRoute
 from repro.core.search import PSTNode
@@ -20,7 +21,7 @@ def _net_char(net: int) -> str:
     return "#"
 
 
-def render_channel(route: ChannelRoute, problem: Optional[ChannelProblem] = None) -> str:
+def render_channel(route: ChannelRoute, problem: ChannelProblem | None = None) -> str:
     """A character map of a routed channel.
 
     Rows: the top pin row, one row per track, the bottom pin row.
@@ -80,7 +81,7 @@ def render_pst(root: PSTNode, completed: Sequence[PSTNode] = ()) -> str:
     Completing nodes (minimum-corner leaves) are marked with ``*``.
     """
     done = {id(n) for n in completed}
-    lines: List[str] = []
+    lines: list[str] = []
 
     def visit(node: PSTNode, depth: int) -> None:
         mark = " *" if id(node) in done else ""
@@ -147,7 +148,7 @@ def render_levelb_ascii(
     return "\n".join("".join(row) for row in canvas)
 
 
-def _blend(canvas: List[List[str]], x: int, y: int, glyph: str) -> None:
+def _blend(canvas: list[list[str]], x: int, y: int, glyph: str) -> None:
     current = canvas[y][x]
     if current in (" ", "."):
         canvas[y][x] = glyph

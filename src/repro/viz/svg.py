@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, TYPE_CHECKING
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.geometry import Rect
 
@@ -24,7 +25,7 @@ def svg_layout(
     bounds: Rect,
     *,
     cells: Sequence = (),
-    levelb: Optional["LevelBResult"] = None,
+    levelb: "LevelBResult" | None = None,
     obstacles: Sequence[Rect] = (),
     scale: float = 0.5,
     title: str = "",

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import Tuple
 
 import pytest
 
@@ -37,7 +36,7 @@ def make_random_channel_problem(
     return ChannelProblem(top=top, bottom=bottom)
 
 
-def make_figure1_instance() -> Tuple[TrackIntersectionGraph, dict]:
+def make_figure1_instance() -> tuple[TrackIntersectionGraph, dict]:
     """A small instance shaped like the paper's Figure 1.
 
     Six vertical tracks (v1..v6), five horizontal (h1..h5); net A and C

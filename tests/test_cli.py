@@ -64,6 +64,46 @@ class TestFlowCommand:
             main(["flow", "--flow", "overcell"])
 
 
+class TestCheckCommand:
+    @pytest.fixture()
+    def design_file(self, tmp_path):
+        from repro.bench_suite import random_design
+        from repro.io import save_design
+
+        design = random_design("clichk", seed=9, num_cells=6, num_nets=14,
+                               num_critical=2)
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        return path
+
+    def test_check_clean_design(self, design_file, tmp_path, capsys):
+        report_json = tmp_path / "report.json"
+        rc = main([
+            "check", "--design", str(design_file), "--flow", "overcell",
+            "--json", str(report_json),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CLEAN" in out
+        doc = json.loads(report_json.read_text())
+        assert doc["ok"] is True
+        assert doc["violations"] == []
+        assert "drc.short" in doc["rules_run"]
+
+    def test_check_two_layer_flow(self, design_file, capsys):
+        rc = main([
+            "check", "--design", str(design_file), "--flow", "two-layer",
+        ])
+        assert rc == 0
+        # Only the channel rule applies: the two-layer flow has no
+        # level B wiring to verify.
+        assert "CLEAN (1 rules checked)" in capsys.readouterr().out
+
+    def test_check_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--flow", "overcell"])
+
+
 class TestTablesCommand:
     def test_tables_from_design_file(self, tmp_path, capsys):
         from repro.bench_suite import random_design

@@ -7,6 +7,7 @@ nodes, and bounded-region behaviour.  A Lee/Dijkstra corner oracle
 verifies minimum-corner optimality on randomized instances.
 """
 
+import contextlib
 import random
 
 import pytest
@@ -230,10 +231,8 @@ class TestMinCornerOptimality:
         for _ in range(6):
             x = rng.randrange(1, 7) * 10
             y = rng.randrange(1, 7) * 10
-            try:
+            with contextlib.suppress(ValueError):
                 tig.add_obstacle(Rect(x, y, x + 10, y + 10))
-            except ValueError:
-                pass
         a, b = tig.terminals_of(1)
         res = MBFSearch(tig.grid, 1, a, b).run()
         oracle = self.oracle_corners(tig.grid, 1, a, b)

@@ -58,7 +58,7 @@ class TestRegistry:
             @register_engine
             class Nameless(ConnectionEngine):
                 def route(self, ctx, net_id, source, target, regions=None):
-                    return None
+                    raise NotImplementedError
 
     def test_core_router_does_not_import_maze(self):
         """The old router -> maze cycle-guard import must stay gone."""

@@ -228,7 +228,6 @@ class TestClearNetRoundTrip:
     @settings(max_examples=20, deadline=None)
     def test_commit_clear_restores_grid(self, seed):
         import random as _random
-        import numpy as np
         from repro.core.router import commit_points
         from repro.geometry import Point
 
@@ -237,8 +236,7 @@ class TestClearNetRoundTrip:
         # Pre-existing foreign wiring that must survive untouched.
         g.occupy_h(2, 0, 5, net_id=7)
         g.occupy_v(9, 3, 8, net_id=7)
-        before_h = g._h_owner.copy()
-        before_v = g._v_owner.copy()
+        before = g.snapshot()
         # Commit a random staircase for net 3 in the free region.
         x = rng.randrange(3, 8) * 10
         y = rng.randrange(4, 8) * 10
@@ -264,5 +262,4 @@ class TestClearNetRoundTrip:
         except ValueError:
             return  # collided with the foreign wiring; nothing to test
         g.clear_net(3)
-        assert np.array_equal(g._h_owner, before_h)
-        assert np.array_equal(g._v_owner, before_v)
+        assert g.matches(before)

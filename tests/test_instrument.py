@@ -32,12 +32,11 @@ def make_tiny_design():
 
 class TestSpans:
     def test_nesting_builds_a_tree(self):
-        with instrument.collecting() as col:
-            with instrument.span("a"):
-                with instrument.span("b"):
-                    pass
-                with instrument.span("c"):
-                    pass
+        with instrument.collecting() as col, instrument.span("a"):
+            with instrument.span("b"):
+                pass
+            with instrument.span("c"):
+                pass
         a = col.root.find("a")
         assert a is not None and a.calls == 1
         assert set(a.children) == {"b", "c"}
@@ -52,19 +51,23 @@ class TestSpans:
         assert len(col.root.children) == 1
 
     def test_reentrant_same_name_nests_as_child(self):
-        with instrument.collecting() as col:
-            with instrument.span("x"):
-                with instrument.span("x"):
-                    pass
+        with (
+            instrument.collecting() as col,
+            instrument.span("x"),
+            instrument.span("x"),
+        ):
+            pass
         outer = col.root.find("x")
         assert outer.calls == 1
         assert outer.find("x").calls == 1
 
     def test_parent_time_covers_children(self):
-        with instrument.collecting() as col:
-            with instrument.span("outer"):
-                with instrument.span("inner"):
-                    sum(range(1000))
+        with (
+            instrument.collecting() as col,
+            instrument.span("outer"),
+            instrument.span("inner"),
+        ):
+            sum(range(1000))
         outer = col.root.find("outer")
         inner = outer.find("inner")
         assert outer.total_s >= inner.total_s > 0.0
@@ -182,9 +185,8 @@ class TestChannelCounters:
         )
 
         problem = ChannelProblem(top=[1, 2], bottom=[2, 1])
-        with instrument.collecting() as col:
-            with pytest.raises(ChannelRoutingError):
-                LeftEdgeRouter().route(problem)
+        with instrument.collecting() as col, pytest.raises(ChannelRoutingError):
+            LeftEdgeRouter().route(problem)
         assert col.counters[names.VCG_CYCLES] == 1
         assert col.events[0]["event"] == names.EVT_CHANNEL_CYCLIC
 
