@@ -77,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
 
     doc = {"format": "repro-bench-profile", "flow": args.flow, "runs": runs}
     with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=2)
+        json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"bench profile written to {args.out}")
     return 0

@@ -1,0 +1,79 @@
+"""Parallel dispatch scaling: serial vs 2- and 4-worker level B runs.
+
+Measures wall time of the over-cell flow on the largest suite design
+with speculative net-level parallelism off, then at 2 and 4 workers
+(docs/PARALLELISM.md), asserting the determinism contract held on
+every run and exporting ``benchmarks/artifacts/BENCH_parallel.json``.
+
+The speedup assertion is gated on machines with at least 4 CPUs: on
+starved runners (CI containers often expose 1 core) the experiment
+still runs and exports, but only parity is enforced — speculation can
+never change the answer, whatever the core count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench_suite import SUITES
+from repro.flow import FlowParams, overcell_flow
+
+from conftest import print_experiment
+
+ARTIFACTS = os.path.join(os.path.dirname(__file__), "artifacts")
+
+# ex3 has the most level B nets of the three suites - the largest
+# speculative workload.
+DESIGN = "ex3"
+WORKER_COUNTS = (2, 4)
+MIN_SPEEDUP_AT_4 = 1.3
+
+
+def timed_flow(parallel: int) -> tuple[float, object]:
+    design = SUITES[DESIGN]()
+    params = FlowParams(parallel=parallel)
+    started = time.perf_counter()
+    result = overcell_flow(design, params)
+    return time.perf_counter() - started, result
+
+
+def test_parallel_scaling():
+    serial_s, serial = timed_flow(0)
+    runs = {"serial": {"workers": 0, "wall_s": round(serial_s, 4)}}
+    lines = [f"serial: {serial_s:6.2f}s  wl={serial.wire_length:,}"]
+    for workers in WORKER_COUNTS:
+        wall_s, result = timed_flow(workers)
+        # The determinism contract: speculation never changes the answer.
+        assert result.wire_length == serial.wire_length
+        assert result.via_count == serial.via_count
+        assert result.completion == serial.completion
+        speedup = serial_s / wall_s if wall_s else 0.0
+        runs[f"workers{workers}"] = {
+            "workers": workers,
+            "wall_s": round(wall_s, 4),
+            "speedup": round(speedup, 3),
+        }
+        lines.append(f"{workers} workers: {wall_s:6.2f}s  speedup {speedup:.2f}x")
+
+    cpus = os.cpu_count() or 1
+    doc = {
+        "format": "repro-bench-parallel",
+        "design": DESIGN,
+        "cpus": cpus,
+        "runs": runs,
+    }
+    os.makedirs(ARTIFACTS, exist_ok=True)
+    out = os.path.join(ARTIFACTS, "BENCH_parallel.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    lines.append(f"({cpus} CPUs; exported {out})")
+    print_experiment(f"Parallel dispatch scaling - {DESIGN}", "\n".join(lines))
+
+    if cpus >= 4:
+        assert runs["workers4"]["speedup"] >= MIN_SPEEDUP_AT_4, (
+            f"expected >= {MIN_SPEEDUP_AT_4}x at 4 workers on {cpus} CPUs, "
+            f"got {runs['workers4']['speedup']}x"
+        )

@@ -13,8 +13,10 @@ statistics exercises identical code paths; see DESIGN.md section 2.
 from repro.bench_suite.generator import (
     SuiteProfile,
     ami33_like,
+    design_seed,
     ex3_like,
     make_design,
+    random_corpus,
     random_design,
     xerox_like,
 )
@@ -27,7 +29,9 @@ SUITES = {
 
 __all__ = [
     "SuiteProfile",
+    "design_seed",
     "make_design",
+    "random_corpus",
     "random_design",
     "ami33_like",
     "xerox_like",

@@ -7,6 +7,7 @@ The subcommands cover the common library entry points::
     python -m repro tables  --suite ami33
     python -m repro profile --suite ami33 --flow overcell --out profile.json
     python -m repro check   --suite ami33 --flow overcell
+    python -m repro dispatch --jobs 4 --check
 
 ``flow`` accepts either ``--suite <name>`` (a built-in synthetic
 benchmark) or ``--design <file.json>`` (a design written by
@@ -17,6 +18,9 @@ exports the span tree / counters / events (see docs/OBSERVABILITY.md).
 ``check`` runs a flow and then the independent verification engine
 (``repro.check``) over its output, printing every violation and
 exiting nonzero when any is found (see docs/VERIFICATION.md).
+``dispatch`` fans a batch of suite x flow jobs across a worker pool
+(``repro.dispatch``; see docs/PARALLELISM.md) and exits zero only when
+every job completes.
 """
 
 from __future__ import annotations
@@ -147,6 +151,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    """Fan suite x flow jobs across a worker pool (repro.dispatch)."""
+    from repro.dispatch import run_suite_batch
+
+    report = run_suite_batch(
+        args.suites or sorted(SUITES),
+        args.flows or ["overcell"],
+        workers=args.jobs,
+        mode="serial" if args.serial else args.mode,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        check=args.check,
+        parallel=args.parallel_levelb,
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"batch report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     design = _load_design_arg(args)
     baseline = two_layer_flow(design)
@@ -220,6 +246,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero on warnings too, not just errors",
     )
     p_check.set_defaults(func=_cmd_check)
+
+    p_disp = sub.add_parser(
+        "dispatch",
+        help="route a batch of suite x flow jobs across a worker pool",
+    )
+    p_disp.add_argument(
+        "--suites",
+        nargs="+",
+        choices=sorted(SUITES),
+        help="suites to route (default: all built-in suites)",
+    )
+    p_disp.add_argument(
+        "--flows",
+        nargs="+",
+        choices=sorted(_FLOWS),
+        help="flows to run per suite (default: overcell)",
+    )
+    p_disp.add_argument(
+        "--jobs", type=int, default=2, help="worker pool size (default 2)"
+    )
+    p_disp.add_argument(
+        "--mode",
+        choices=("process", "thread"),
+        default="process",
+        help="pool kind (process falls back to threads when unavailable)",
+    )
+    p_disp.add_argument(
+        "--serial",
+        action="store_true",
+        help="run jobs in-line instead of on a pool",
+    )
+    p_disp.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall limit (s)"
+    )
+    p_disp.add_argument(
+        "--retries", type=int, default=1, help="retries per crashed job"
+    )
+    p_disp.add_argument(
+        "--check",
+        action="store_true",
+        help="verify each flow's output with repro.check",
+    )
+    p_disp.add_argument(
+        "--parallel-levelb",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also parallelise level B routing inside each job (workers)",
+    )
+    p_disp.add_argument("--json", help="write the batch report as JSON")
+    p_disp.set_defaults(func=_cmd_dispatch)
 
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument("--suite", choices=sorted(SUITES))

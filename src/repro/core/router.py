@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Protocol
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro import instrument
 from repro.instrument.names import (
@@ -62,6 +63,9 @@ from repro.core.engine import (
 from repro.core.ordering import NetOrdering, order_nets
 from repro.core.steiner import SteinerTreeBuilder, dedupe_terminals
 from repro.core.tig import GridTerminal, TrackIntersectionGraph
+
+if TYPE_CHECKING:
+    from repro.grid import RoutingGrid
 
 
 @dataclass(frozen=True)
@@ -215,6 +219,98 @@ class LevelBResult:
             raise KeyError(f"net {name!r} was not routed at level B") from None
 
 
+class NetSpeculator(Protocol):
+    """What :meth:`LevelBRouter.route` needs from a parallel speculator.
+
+    Implemented by :class:`repro.dispatch.WaveSpeculator`.  The router
+    stays in charge of net order, rip-up and refinement; the speculator
+    merely gets the first shot at each net as it reaches the head of
+    the queue.  Returning ``None`` from :meth:`take` means "no valid
+    speculation — route this net serially", which is always safe.
+    """
+
+    def begin(self, ordered: Sequence[Net]) -> None:
+        """Called once with the canonical routing order."""
+
+    def take(self, net: Net) -> RoutedNet | None:
+        """A committed result for ``net``, or ``None`` to route serially."""
+
+
+def coupling_terms(
+    net_id: int, sensitive_ids: frozenset[int], config: LevelBConfig
+) -> tuple:
+    """Cost-function extension terms for one net's connections.
+
+    A sensitive net keeps clear of *all* foreign wiring; every other
+    net keeps clear of the sensitive nets.  A free function so the
+    speculative workers of :mod:`repro.dispatch` build the exact terms
+    the serial router would.
+    """
+    if not sensitive_ids or config.parallel_run_weight <= 0:
+        return ()
+    from repro.core.coupling import ParallelRunPenalty
+
+    if net_id in sensitive_ids:
+        targets = None  # avoid everyone
+    else:
+        targets = sensitive_ids - {net_id}
+    return (
+        ParallelRunPenalty(
+            targets,
+            weight=config.parallel_run_weight,
+            separation=config.parallel_run_separation,
+            exclude=net_id,
+        ),
+    )
+
+
+def route_net_terminals(
+    grid: "RoutingGrid",
+    net_id: int,
+    terminals: Sequence[GridTerminal],
+    connect: Callable[[GridTerminal, GridTerminal], RoutedConnection | None],
+) -> tuple[list[RoutedConnection], int]:
+    """Decompose one net into two-terminal connections and route them.
+
+    The net-level logic shared by the serial router and the speculative
+    workers of :mod:`repro.dispatch` — terminal de-duplication, the
+    two-terminal fast path and the Steiner-Prim loop live here once, so
+    a worker's decomposition is the serial decomposition by
+    construction.  ``connect`` routes a single connection (engine choice
+    and rescue policy stay with the caller).  Returns the committed
+    connections and the count of terminals left unreached.
+    """
+    for t in terminals:
+        grid.mark_terminal_routed(t.v_idx, t.h_idx)
+    connections: list[RoutedConnection] = []
+    failed = 0
+    unique = dedupe_terminals(terminals)
+    if len(unique) < 2:
+        return connections, failed  # all pins coincide; nothing to wire
+    if len(unique) == 2:
+        conn = connect(unique[0], unique[1])
+        if conn is None:
+            failed += 1
+        else:
+            connections.append(conn)
+        return connections, failed
+    builder = SteinerTreeBuilder(grid, net_id, unique)
+    while not builder.done:
+        source = builder.next_source()
+        conn = None
+        for target in builder.attach_candidates(source):
+            conn = connect(source, target)
+            if conn is not None:
+                break
+        if conn is None:
+            builder.fail(source)
+            failed += 1
+        else:
+            builder.commit(source, conn.path.waypoints())
+            connections.append(conn)
+    return connections, failed
+
+
 class LevelBRouter:
     """Routes a set of nets over the whole layout area.
 
@@ -321,41 +417,32 @@ class LevelBRouter:
         )
 
     def _extra_terms_for(self, net_id: int) -> tuple:
-        """Cost-function extension terms for one net's connections.
-
-        A sensitive net keeps clear of *all* foreign wiring; every
-        other net keeps clear of the sensitive nets.
-        """
-        cfg = self.config
-        if not self._sensitive_ids or cfg.parallel_run_weight <= 0:
-            return ()
-        from repro.core.coupling import ParallelRunPenalty
-
-        if net_id in self._sensitive_ids:
-            targets = None  # avoid everyone
-        else:
-            targets = self._sensitive_ids - {net_id}
-        return (
-            ParallelRunPenalty(
-                targets,
-                weight=cfg.parallel_run_weight,
-                separation=cfg.parallel_run_separation,
-                exclude=net_id,
-            ),
-        )
+        return coupling_terms(net_id, self._sensitive_ids, self.config)
 
     # ------------------------------------------------------------------
     def net_id(self, net: Net) -> int:
         return self._net_ids[net]
 
-    def route(self) -> LevelBResult:
-        """Route every net serially in the configured order.
+    @property
+    def sensitive_ids(self) -> frozenset[int]:
+        """Ids of nets marked ``is_sensitive`` (cross-talk extension)."""
+        return self._sensitive_ids
+
+    def route(self, *, speculator: NetSpeculator | None = None) -> LevelBResult:
+        """Route every net in the configured order.
 
         Nets that fail outright trigger the bounded rip-up loop: the
         blockers crowding the failed terminals are unrouted, the failed
         net retries first, and the victims re-route after it.  The work
         queue is a deque with per-net generation counters, so pops,
         victim removals and requeues are all O(1).
+
+        ``speculator`` (:class:`NetSpeculator`, see ``repro.dispatch``)
+        gets the first shot at each net as it reaches the head of the
+        queue; when it declines (returns ``None`` — stale speculation,
+        window conflict, requeued net) the net routes serially right
+        here, so every order-dependent decision is made exactly as in a
+        serial run.
 
         The whole run executes inside a ``levelb.route`` instrumentation
         span; ``elapsed_s`` is the span's wall time (measured whether or
@@ -380,6 +467,8 @@ class LevelBRouter:
                 TXN_UNDO_CELLS,
             )
             ordered = order_nets(self.nets, self.config.ordering)
+            if speculator is not None:
+                speculator.begin(ordered)
             # Work queue: (net, generation) entries plus a live-generation
             # map.  Requeueing bumps a net's generation, so stale deque
             # entries are skipped on pop instead of removed in O(n).
@@ -394,8 +483,10 @@ class LevelBRouter:
                 if live.get(net) != generation:
                     continue  # superseded by a rip-up requeue
                 del live[net]
-                with instrument.span(SPAN_LEVELB_NET):
-                    outcome = self._route_net(net)
+                outcome = speculator.take(net) if speculator is not None else None
+                if outcome is None:
+                    with instrument.span(SPAN_LEVELB_NET):
+                        outcome = self._route_net(net)
                 results[net] = outcome
                 if self.config.checked:
                     self._sanitize(outcome, ambient_txn)
@@ -561,37 +652,18 @@ class LevelBRouter:
     # ------------------------------------------------------------------
     def _route_net(self, net: Net) -> RoutedNet:
         net_id = self._net_ids[net]
-        grid = self.tig.grid
-        terminals = self.tig.terminals_of(net_id)
-        # The net's own terminals stop repelling corners once it routes.
-        for t in terminals:
-            grid.mark_terminal_routed(t.v_idx, t.h_idx)
-        result = RoutedNet(net=net, net_id=net_id)
-        unique = dedupe_terminals(terminals)
-        if len(unique) < 2:
-            return result  # all pins coincide; nothing to wire
-        if len(unique) == 2:
-            conn = self._route_connection(net_id, unique[0], unique[1])
-            if conn is None:
-                result.failed_terminals += 1
-            else:
-                result.connections.append(conn)
-            return result
-        builder = SteinerTreeBuilder(grid, net_id, unique)
-        while not builder.done:
-            source = builder.next_source()
-            conn = None
-            for target in builder.attach_candidates(source):
-                conn = self._route_connection(net_id, source, target)
-                if conn is not None:
-                    break
-            if conn is None:
-                builder.fail(source)
-                result.failed_terminals += 1
-            else:
-                builder.commit(source, conn.path.waypoints())
-                result.connections.append(conn)
-        return result
+        connections, failed = route_net_terminals(
+            self.tig.grid,
+            net_id,
+            self.tig.terminals_of(net_id),
+            lambda source, target: self._route_connection(net_id, source, target),
+        )
+        return RoutedNet(
+            net=net,
+            net_id=net_id,
+            connections=connections,
+            failed_terminals=failed,
+        )
 
     def _route_connection(
         self, net_id: int, source: GridTerminal, target: GridTerminal

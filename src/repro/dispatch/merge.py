@@ -1,0 +1,266 @@
+"""The deterministic merger: validate, replay and commit speculations.
+
+:class:`WaveSpeculator` plugs into :meth:`LevelBRouter.route` through
+the :class:`~repro.core.router.NetSpeculator` protocol.  The router
+keeps full authority over net order, rip-up and refinement; as each net
+reaches the head of the queue the speculator either hands back a
+validated, already-committed result or declines, in which case the
+router routes the net serially on the spot.
+
+Determinism contract (docs/PARALLELISM.md)
+------------------------------------------
+A speculative result is applied only when **all** of the following
+hold, in this order:
+
+1. the worker completed the net inside its bounded regions;
+2. the live grid is byte-identical to the worker's window snapshot
+   over the window (:meth:`RoutingGrid.window_matches`) — which proves
+   every cell the worker's search *could have read* still holds the
+   value it saw, and therefore that the serial router, running right
+   now, would compute the same path;
+3. replaying the path through :meth:`RoutingGrid.commit_path` inside a
+   grid transaction raises no conflict (belt and braces: the journal
+   rolls the replay back if it ever does).
+
+Any failure simply declines the net: the router routes it serially in
+canonical order, which is trivially identical to serial routing.  So
+the committed geometry is bit-identical to a serial run *by
+construction*, regardless of planner quality, scheduling jitter or
+worker failures.
+
+Waves are planned lazily over the not-yet-consumed routing order:
+windows are snapshotted before the wave's first net commits, and wave
+members have pairwise-disjoint windows, so applying one member never
+dirties another member's window.  Serial fallbacks and rip-ups *do*
+write outside the plan — the window check catches exactly those nets,
+and only those, which then requeue onto the serial path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro import instrument
+from repro.instrument.names import (
+    DISPATCH_APPLIED,
+    DISPATCH_CONFLICTS,
+    DISPATCH_FALLBACKS,
+    DISPATCH_SPECULATED,
+    DISPATCH_WAVES,
+    EVT_SPEC_CONFLICT,
+    EVT_WAVE_PLANNED,
+    SPAN_DISPATCH_APPLY,
+    SPAN_DISPATCH_PLAN,
+)
+from repro.core.engine import RoutedConnection
+from repro.core.router import LevelBRouter, RoutedNet
+from repro.core.tig import GridTerminal
+from repro.geometry import Path
+from repro.grid.occupancy import WindowSnapshot
+from repro.netlist import Net
+from repro.dispatch.plan import DispatchConfig, NetPlan, net_window, plan_wave
+from repro.dispatch.workers import (
+    NetTask,
+    SpecFuture,
+    SpecResult,
+    WorkerPool,
+    speculative_config,
+)
+
+__all__ = ["WaveSpeculator"]
+
+
+class WaveSpeculator:
+    """Speculative wave executor for one :class:`LevelBRouter` run."""
+
+    def __init__(self, router: LevelBRouter, config: DispatchConfig | None = None) -> None:
+        self.router = router
+        self.config = config or DispatchConfig()
+        self._spec_config = speculative_config(
+            router.config, self.config.speculate_expansions
+        )
+        self._pool: WorkerPool | None = None
+        self._pending: deque[Net] = deque()
+        self._consumed: set[int] = set()
+        # net_id -> (future, snapshot) for submitted, not-yet-taken nets.
+        self._inflight: dict[int, tuple[SpecFuture, WindowSnapshot]] = {}
+        self.waves_planned = 0
+        self.nets_applied = 0
+
+    # ------------------------------------------------------------------
+    # NetSpeculator protocol
+    # ------------------------------------------------------------------
+    def begin(self, ordered: Sequence[Net]) -> None:
+        self._pending = deque(ordered)
+        instrument.active().declare(
+            DISPATCH_APPLIED,
+            DISPATCH_CONFLICTS,
+            DISPATCH_FALLBACKS,
+            DISPATCH_SPECULATED,
+            DISPATCH_WAVES,
+        )
+
+    def take(self, net: Net) -> RoutedNet | None:
+        net_id = self.router.net_id(net)
+        if net_id in self._consumed:
+            # A rip-up requeue: the speculation (if any) predates the
+            # rip and is stale by definition.  Serial path.
+            return None
+        self._consumed.add(net_id)
+        self._drop_pending(net)
+        if net_id not in self._inflight:
+            self._plan_and_submit(net)
+        entry = self._inflight.pop(net_id, None)
+        if entry is None:
+            instrument.count(DISPATCH_FALLBACKS)
+            return None
+        future, snapshot = entry
+        try:
+            result: SpecResult = future.result()
+        except Exception:
+            # Worker crashed or the pool broke: stop speculating, keep
+            # routing (serially).  Outstanding futures fail the same way.
+            if self._pool is not None:
+                self._pool.mark_dead()
+            instrument.count(DISPATCH_FALLBACKS)
+            return None
+        if not result.complete:
+            instrument.count(DISPATCH_FALLBACKS)
+            return None
+        grid = self.router.tig.grid
+        if not grid.window_matches(snapshot):
+            instrument.count(DISPATCH_CONFLICTS)
+            instrument.event(EVT_SPEC_CONFLICT, net=net.name, net_id=net_id)
+            return None
+        return self._apply(net, net_id, result)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_pending(self, net: Net) -> None:
+        # The consumed net is at (or near) the head of the pending
+        # order; remove its first occurrence.
+        try:
+            self._pending.remove(net)
+        except ValueError:
+            pass
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.config.workers, self.config.mode)
+        return self._pool
+
+    def _plan_for(self, net: Net) -> NetPlan | None:
+        router = self.router
+        net_id = router.net_id(net)
+        terminals = router.tig.terminals_of(net_id)
+        if not terminals:
+            return None
+        plan = net_window(
+            router.tig.grid,
+            net_id,
+            terminals,
+            router.config,
+            self.config.speculate_expansions,
+        )
+        grid = router.tig.grid
+        if plan.cells > self.config.max_window_fraction * grid.num_intersections:
+            return None  # window ~ whole grid: speculation buys nothing
+        return plan
+
+    def _plan_and_submit(self, head: Net) -> None:
+        """Plan a wave starting at ``head`` and submit its tasks."""
+        cfg = self.config
+        if cfg.workers <= 0:
+            return
+        pool = self._ensure_pool()
+        if not pool.alive:
+            return
+        with instrument.span(SPAN_DISPATCH_PLAN):
+            head_plan = self._plan_for(head)
+            if head_plan is None:
+                return
+            candidates: list[NetPlan] = [head_plan]
+            by_id: dict[int, Net] = {head_plan.net_id: head}
+            scanned = 0
+            for follower in self._pending:
+                if scanned >= cfg.scan_ahead:
+                    break
+                scanned += 1
+                fid = self.router.net_id(follower)
+                if fid in self._consumed or fid in self._inflight:
+                    continue
+                fplan = self._plan_for(follower)
+                if fplan is None:
+                    continue
+                candidates.append(fplan)
+                by_id[fid] = follower
+            wave = plan_wave(candidates, limit=cfg.max_wave)
+        grid = self.router.tig.grid
+        for plan in wave:
+            snapshot = grid.window_snapshot(plan.v_iv, plan.h_iv)
+            terminals = tuple(
+                GridTerminal(t.v_idx - plan.v_iv.lo, t.h_idx - plan.h_iv.lo)
+                for t in self.router.tig.terminals_of(plan.net_id)
+            )
+            task = NetTask(
+                net_id=plan.net_id,
+                terminals=terminals,
+                window=snapshot,
+                config=self._spec_config,
+                sensitive_ids=self.router.sensitive_ids,
+            )
+            self._inflight[plan.net_id] = (pool.submit(task), snapshot)
+        self.waves_planned += 1
+        instrument.count(DISPATCH_WAVES)
+        instrument.count(DISPATCH_SPECULATED, len(wave))
+        instrument.event(
+            EVT_WAVE_PLANNED,
+            size=len(wave),
+            nets=[by_id[p.net_id].name for p in wave],
+        )
+
+    def _apply(self, net: Net, net_id: int, result: SpecResult) -> RoutedNet | None:
+        """Replay a validated speculation on the authoritative grid."""
+        grid = self.router.tig.grid
+        with instrument.span(SPAN_DISPATCH_APPLY):
+            try:
+                with grid.transaction():
+                    for term in self.router.tig.terminals_of(net_id):
+                        grid.mark_terminal_routed(term.v_idx, term.h_idx)
+                    for sc in result.connections:
+                        grid.commit_path(net_id, list(sc.points), sc.corners)
+            except ValueError:
+                # A conflict the window check could not see (should be
+                # impossible by construction; the journal rolled every
+                # cell back).  Decline: the serial path handles it.
+                instrument.count(DISPATCH_CONFLICTS)
+                instrument.event(EVT_SPEC_CONFLICT, net=net.name, net_id=net_id)
+                return None
+        connections = [
+            RoutedConnection(
+                source=sc.source,
+                target=sc.target,
+                path=Path.from_points(list(sc.points)),
+                corners=list(sc.corners),
+                cost=sc.cost,
+                expansions_used=sc.expansions_used,
+            )
+            for sc in result.connections
+        ]
+        self.nets_applied += 1
+        instrument.count(DISPATCH_APPLIED)
+        return RoutedNet(
+            net=net,
+            net_id=net_id,
+            connections=connections,
+            failed_terminals=0,
+        )

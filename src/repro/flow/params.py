@@ -43,6 +43,14 @@ class FlowParams:
         check_flow`) after the flow and attach the report to
         ``FlowResult.check_report``; also turns on the level B
         router's per-commit checked mode.  Off by default.
+    parallel:
+        Speculative level B worker count (``repro.dispatch``).  ``0``
+        (default) routes serially; ``N >= 1`` routes level B nets in
+        waves of ``N`` workers with results guaranteed bit-identical
+        to the serial run (docs/PARALLELISM.md).
+    parallel_mode:
+        Dispatch executor kind: ``"process"`` (default), ``"thread"``
+        or ``"serial"`` (in-line, for debugging).
     """
 
     technology: Technology = field(default_factory=Technology.four_layer)
@@ -55,6 +63,8 @@ class FlowParams:
     obstacles: tuple[Obstacle, ...] = ()
     channel_area_factor: float = 0.5
     checked: bool = False
+    parallel: int = 0
+    parallel_mode: str = "process"
 
     @property
     def channel_pitch(self) -> int:

@@ -145,6 +145,25 @@ def _maybe_check(result: FlowResult, params: FlowParams) -> FlowResult:
     return result
 
 
+def _route_levelb(router: LevelBRouter, params: FlowParams):
+    """Route level B serially or through the dispatch layer.
+
+    ``repro.dispatch`` is imported lazily (same idiom as
+    :func:`_maybe_check`): dispatch sits *above* the flow layer in the
+    dependency order — its job runner calls back into the flows — so a
+    module-level import here would be a cycle.  The dispatched result
+    is bit-identical to ``router.route()`` (docs/PARALLELISM.md).
+    """
+    if params.parallel <= 0:
+        return router.route()
+    from repro.dispatch import DispatchConfig, route_levelb
+
+    return route_levelb(
+        router,
+        DispatchConfig(workers=params.parallel, mode=params.parallel_mode),
+    )
+
+
 def _attach_profile(result: FlowResult) -> FlowResult:
     """Snapshot the active collector into ``result.profile`` if enabled.
 
@@ -236,7 +255,7 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
         obstacles=params.obstacles,
         config=levelb_config,
     )
-    levelb = levelb_router.route()
+    levelb = _route_levelb(levelb_router, params)
     result = FlowResult(
         flow="overcell-4layer",
         design=design.name,

@@ -16,6 +16,9 @@ package provides:
     The transactional state layer: a journal of undo records covering
     every grid mutation, giving rollback and per-net rip-up in
     O(cells touched), plus immutable snapshots for exactness checks.
+:class:`WindowSnapshot`
+    A rectangular sub-window copy of the grid state, the unit of work
+    shipped to speculative routing workers (``repro.dispatch``).
 """
 
 from repro.grid.tracks import TrackSet
@@ -25,6 +28,7 @@ from repro.grid.occupancy import (
     GridSnapshot,
     GridTransaction,
     RoutingGrid,
+    WindowSnapshot,
 )
 
 __all__ = [
@@ -34,4 +38,5 @@ __all__ = [
     "OBSTACLE",
     "GridSnapshot",
     "GridTransaction",
+    "WindowSnapshot",
 ]

@@ -91,6 +91,62 @@ class GridSnapshot:
     unrouted_terms: np.ndarray
 
 
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """A copy of the grid's state over one rectangular index window.
+
+    The export format behind speculative parallel routing
+    (:mod:`repro.dispatch`): a worker receives only the window a net's
+    bounded search can read, rebuilds an isolated sub-grid from it with
+    :meth:`to_grid`, and routes on that.  At merge time
+    :meth:`RoutingGrid.window_matches` proves the live grid still equals
+    the snapshot over the window, which is what makes replaying the
+    speculative path equivalent to having routed serially.
+
+    Track coordinates are carried verbatim (true geometric values), so
+    geometry produced on the sub-grid is already in global coordinates;
+    only track *indices* shift by ``v_lo`` / ``h_lo``.  Arrays keep the
+    global net ids and are read-only copies.
+    """
+
+    v_lo: int
+    h_lo: int
+    vcoords: tuple[int, ...]
+    hcoords: tuple[int, ...]
+    h_owner: np.ndarray
+    v_owner: np.ndarray
+    unrouted_terms: np.ndarray
+    #: Track counts of the grid the window was cut from.  A worker uses
+    #: them to tell a window edge that *is* the grid edge (where
+    #: clipping a search region is exactly what serial routing does)
+    #: from a mid-grid window edge (where clipping would diverge from
+    #: serial and the speculation must be abandoned).
+    global_vtracks: int = 0
+    global_htracks: int = 0
+
+    @property
+    def num_vtracks(self) -> int:
+        return len(self.vcoords)
+
+    @property
+    def num_htracks(self) -> int:
+        return len(self.hcoords)
+
+    def to_grid(self) -> "RoutingGrid":
+        """An isolated :class:`RoutingGrid` loaded with this window.
+
+        The sub-grid's arrays are fresh writable copies; mutating it
+        never touches the grid the snapshot came from.  Per-net ledgers
+        start empty: the sub-grid exists to *search*, and speculative
+        paths are re-committed on the authoritative grid by the merger.
+        """
+        grid = RoutingGrid(TrackSet(self.vcoords), TrackSet(self.hcoords))
+        grid._h_owner[:] = self.h_owner
+        grid._v_owner[:] = self.v_owner
+        grid._unrouted_terms[:] = self.unrouted_terms
+        return grid
+
+
 class GridTransaction:
     """A savepoint over the grid's undo journal.
 
@@ -320,6 +376,53 @@ class RoutingGrid:
             np.array_equal(self._h_owner, snap.h_owner)
             and np.array_equal(self._v_owner, snap.v_owner)
             and np.array_equal(self._unrouted_terms, snap.unrouted_terms)
+        )
+
+    def window_snapshot(self, v_iv: Interval, h_iv: Interval) -> WindowSnapshot:
+        """Copy the state of the index window ``v_iv`` x ``h_iv``.
+
+        Intervals are clamped to the grid, so callers may pass padded
+        boxes that run past an edge — clipping at the window boundary
+        then coincides with clipping at the grid boundary, which is what
+        keeps windowed cost-model reads exact near edges.
+        """
+        v_iv = self.vtracks.clip_indices(v_iv)
+        h_iv = self.htracks.clip_indices(h_iv)
+        hs = slice(h_iv.lo, h_iv.hi + 1)
+        vs = slice(v_iv.lo, v_iv.hi + 1)
+        arrays = (
+            self._h_owner[hs, vs].copy(),
+            self._v_owner[vs, hs].copy(),
+            self._unrouted_terms[hs, vs].copy(),
+        )
+        for arr in arrays:
+            arr.setflags(write=False)
+        return WindowSnapshot(
+            v_lo=v_iv.lo,
+            h_lo=h_iv.lo,
+            vcoords=tuple(self.vtracks.coords[vs]),
+            hcoords=tuple(self.htracks.coords[hs]),
+            h_owner=arrays[0],
+            v_owner=arrays[1],
+            unrouted_terms=arrays[2],
+            global_vtracks=self.num_vtracks,
+            global_htracks=self.num_htracks,
+        )
+
+    def window_matches(self, snap: WindowSnapshot) -> bool:
+        """Is the grid byte-identical to ``snap`` over its window?
+
+        The speculation-validity test: equality proves every cell a
+        speculative search could have read still holds the value it saw,
+        so the speculative result equals what a serial search would
+        produce right now.
+        """
+        hs = slice(snap.h_lo, snap.h_lo + snap.num_htracks)
+        vs = slice(snap.v_lo, snap.v_lo + snap.num_vtracks)
+        return bool(
+            np.array_equal(self._h_owner[hs, vs], snap.h_owner)
+            and np.array_equal(self._v_owner[vs, hs], snap.v_owner)
+            and np.array_equal(self._unrouted_terms[hs, vs], snap.unrouted_terms)
         )
 
     # ------------------------------------------------------------------

@@ -61,7 +61,8 @@ def profile_from_dict(data: dict[str, Any]) -> Collector:
 
 
 def to_json(collector: Collector | None = None, *, indent: int = 2) -> str:
-    return json.dumps(snapshot(collector), indent=indent)
+    # sort_keys so exported profiles diff cleanly run-to-run.
+    return json.dumps(snapshot(collector), indent=indent, sort_keys=True)
 
 
 def write_json(path: str, collector: Collector | None = None) -> None:

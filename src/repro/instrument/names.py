@@ -27,6 +27,11 @@ SPAN_FLOW_PROBE = "flow.probe"
 SPAN_CHECK = "check"
 SPAN_CHECK_COMMIT = "check.commit"
 
+SPAN_DISPATCH_PLAN = "dispatch.plan"
+SPAN_DISPATCH_APPLY = "dispatch.apply"
+SPAN_DISPATCH_BATCH = "dispatch.batch"
+SPAN_DISPATCH_JOB = "dispatch.job"
+
 # -- counters ----------------------------------------------------------
 MBFS_SEARCHES = "mbfs.searches"
 MBFS_NODES_EXPANDED = "mbfs.nodes_expanded"
@@ -50,6 +55,16 @@ LEFT_EDGE_FALLBACKS = "left_edge.fallbacks"
 CHANNELS_ROUTED = "channels.routed"
 GREEDY_COLUMNS = "greedy.columns_swept"
 GREEDY_TRACKS_ADDED = "greedy.tracks_added"
+DISPATCH_WAVES = "dispatch.waves"
+DISPATCH_SPECULATED = "dispatch.nets_speculated"
+DISPATCH_APPLIED = "dispatch.nets_applied"
+DISPATCH_CONFLICTS = "dispatch.conflicts"
+DISPATCH_FALLBACKS = "dispatch.serial_fallbacks"
+DISPATCH_JOBS_SUBMITTED = "dispatch.jobs_submitted"
+DISPATCH_JOBS_COMPLETED = "dispatch.jobs_completed"
+DISPATCH_JOBS_FAILED = "dispatch.jobs_failed"
+DISPATCH_JOBS_RETRIED = "dispatch.jobs_retried"
+DISPATCH_JOBS_TIMED_OUT = "dispatch.jobs_timed_out"
 CHECKS_RUN = "check.runs"
 CHECK_RULES_EVALUATED = "check.rules_evaluated"
 CHECK_VIOLATIONS = "check.violations"
@@ -64,3 +79,6 @@ EVT_MAZE_FALLBACK = "maze.fallback"
 EVT_RIPUP = "ripup"
 EVT_CHANNEL_CYCLIC = "channel.cyclic"
 EVT_CHECK_VIOLATION = "check.violation"
+EVT_WAVE_PLANNED = "dispatch.wave_planned"
+EVT_SPEC_CONFLICT = "dispatch.conflict"
+EVT_JOB_FINISHED = "dispatch.job_finished"

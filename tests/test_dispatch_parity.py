@@ -1,0 +1,79 @@
+"""The dispatch determinism contract, end to end (property-style).
+
+For every bench-suite design, routing with speculative parallelism
+enabled must produce **bit-identical** results to serial routing —
+identical per-net geometry, identical wirelength — and the parallel
+run's output must pass the independent checker CLEAN.  This is the
+acceptance property of docs/PARALLELISM.md: speculation may only ever
+change how fast the answer arrives, never the answer.
+
+``mode="serial"`` exercises the full plan/speculate/validate/merge
+machinery deterministically in-process; one suite additionally runs on
+a real thread pool to cover cross-thread scheduling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_suite import SUITES, random_corpus
+from repro.check import check_flow
+from repro.flow import FlowParams, overcell_flow
+
+
+def net_geometry(result):
+    """Canonical committed-geometry fingerprint of a flow result."""
+    return sorted(
+        (
+            routed.net.name,
+            routed.failed_terminals,
+            tuple(
+                (
+                    tuple(c.path.waypoints()),
+                    tuple(c.corners),
+                    c.cost,
+                    c.expansions_used,
+                )
+                for c in routed.connections
+            ),
+        )
+        for routed in result.levelb.routed
+    )
+
+
+@pytest.mark.parametrize("suite", sorted(SUITES))
+def test_parallel_routing_is_bit_identical(suite):
+    serial = overcell_flow(SUITES[suite](), FlowParams())
+    parallel = overcell_flow(
+        SUITES[suite](), FlowParams(parallel=2, parallel_mode="serial")
+    )
+    assert net_geometry(parallel) == net_geometry(serial)
+    assert parallel.wire_length == serial.wire_length
+    assert parallel.via_count == serial.via_count
+    assert parallel.completion == serial.completion
+    report = check_flow(parallel)
+    assert report.ok, report.render(limit=5)
+
+
+def test_parallel_routing_thread_pool_parity():
+    """A real concurrent pool must not change the answer either."""
+    serial = overcell_flow(SUITES["ami33"](), FlowParams())
+    threaded = overcell_flow(
+        SUITES["ami33"](), FlowParams(parallel=4, parallel_mode="thread")
+    )
+    assert net_geometry(threaded) == net_geometry(serial)
+    assert threaded.wire_length == serial.wire_length
+
+
+def test_parallel_parity_random_corpus():
+    """The contract holds across generated designs, not just the suites."""
+    for design_serial, design_par in zip(
+        random_corpus(3, corpus_seed=42, num_cells=8, num_nets=24),
+        random_corpus(3, corpus_seed=42, num_cells=8, num_nets=24),
+    ):
+        serial = overcell_flow(design_serial, FlowParams())
+        parallel = overcell_flow(
+            design_par, FlowParams(parallel=2, parallel_mode="serial")
+        )
+        assert net_geometry(parallel) == net_geometry(serial)
+        assert parallel.wire_length == serial.wire_length

@@ -148,3 +148,74 @@ class TestProfilesAndWidths:
         for spec in gr.specs:
             route = GreedyChannelRouter().route(spec.problem)
             route.check(spec.problem)
+
+
+class TestHelpers:
+    def test_column_x_is_core_relative(self):
+        from repro.channels import ChannelProblem
+        from repro.globalroute.router import ChannelSpec
+
+        spec = ChannelSpec(
+            index=0, problem=ChannelProblem(top=[0], bottom=[0]), base_col=4
+        )
+        assert spec.column_x(4, 8) == 0
+        assert spec.column_x(7, 8) == 24
+        assert spec.column_x(0, 8) == -32  # exit columns land outside
+
+    def test_rows_crossed_empty_for_same_channel(self):
+        from repro.globalroute.router import NetSideUse
+
+        use = NetSideUse(net_id=1, side="L", min_ch=2, max_ch=2)
+        assert list(use.rows_crossed) == []
+
+    def test_crossing_profile_filters_side_and_range(self):
+        from repro.globalroute.router import GlobalRoute, NetSideUse
+
+        gr = GlobalRoute(
+            specs=[],
+            side_uses={
+                1: NetSideUse(net_id=1, side="L", min_ch=0, max_ch=2),
+                2: NetSideUse(net_id=2, side="R", min_ch=0, max_ch=5),
+            },
+            pitch=8,
+        )
+        assert gr.crossing_profile("L", 2) == [1, 1]
+        # Out-of-range rows of the oversized R use are dropped.
+        assert gr.crossing_profile("R", 2) == [1, 1]
+
+    def test_side_widths_zero_without_uses(self):
+        from repro.globalroute.router import GlobalRoute
+
+        gr = GlobalRoute(specs=[], side_uses={}, pitch=8)
+        assert gr.side_widths(3) == (0, 0)
+
+    def test_side_wire_length_adjacent_channels(self):
+        from repro.globalroute.router import GlobalRoute, NetSideUse
+
+        gr = GlobalRoute(
+            specs=[],
+            side_uses={1: NetSideUse(net_id=1, side="L", min_ch=1, max_ch=2)},
+            pitch=8,
+        )
+        # Passes exactly one row, no interior channels.
+        assert gr.side_wire_length([48, 40, 56], [8, 8, 8, 8]) == 40
+
+
+class TestMultiPinNets:
+    def test_three_channel_net_exits_every_touched_channel(self):
+        d, pl = make_rowed_design()
+        rows = {name: r for name, r in pl.row_of_cell.items()}
+        c0 = next(n for n, r in rows.items() if r == 0)
+        c1 = next(n for n, r in rows.items() if r == 1)
+        c2 = next(n for n, r in rows.items() if r == 2)
+        net = d.add_net("n1")
+        net.add_pin(d.add_pin(c0, "a", Edge.BOTTOM, 16))  # channel 0
+        net.add_pin(d.add_pin(c1, "b", Edge.TOP, 16))  # channel 2
+        net.add_pin(d.add_pin(c2, "c", Edge.TOP, 16))  # channel 3
+        gr = GlobalRouter(pl).route([net], {net: 1})
+        use = gr.side_uses[1]
+        assert (use.min_ch, use.max_ch) == (0, 3)
+        assert sorted(ch for ch, _ in use.exits) == [0, 2, 3]
+        # Every touched channel's problem gained an exit pin.
+        for ch, _col in use.exits:
+            assert gr.specs[ch].problem.pin_count(1) >= 2

@@ -57,3 +57,43 @@ class TestStrategies:
         nets = [make_net(f"n{i}") for i in range(5)]
         _, set_b = partition_nets(nets)
         assert [n.name for n in set_b] == [n.name for n in nets]
+
+
+class TestLongToBBoundaries:
+    def test_threshold_is_strict(self):
+        # half_perimeter == threshold stays in A ("longer than").
+        net = make_net("edge", length=64)
+        hp = net.half_perimeter
+        set_a, set_b = partition_nets(
+            [net], PartitionStrategy.LONG_TO_B, length_threshold=hp
+        )
+        assert [n.name for n in set_a] == ["edge"] and not set_b
+        set_a, set_b = partition_nets(
+            [net], PartitionStrategy.LONG_TO_B, length_threshold=hp - 1
+        )
+        assert not set_a and [n.name for n in set_b] == ["edge"]
+
+    def test_criticality_ignored(self):
+        nets = [
+            make_net("crit_long", critical=True, length=160),
+            make_net("crit_short", critical=True, length=16),
+        ]
+        set_a, set_b = partition_nets(
+            nets, PartitionStrategy.LONG_TO_B, length_threshold=50
+        )
+        assert [n.name for n in set_a] == ["crit_short"]
+        assert [n.name for n in set_b] == ["crit_long"]
+
+
+class TestInputShapes:
+    def test_accepts_any_iterable(self):
+        gen = (make_net(f"n{i}") for i in range(3))
+        set_a, set_b = partition_nets(gen, PartitionStrategy.ALL_B)
+        assert not set_a and len(set_b) == 3
+
+    def test_empty_input(self):
+        for strategy in PartitionStrategy:
+            set_a, set_b = partition_nets(
+                [], strategy, length_threshold=1
+            )
+            assert set_a == [] and set_b == []
