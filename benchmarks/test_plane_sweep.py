@@ -1,0 +1,83 @@
+"""Plane-count sweep: the over-cell flow at 1 and 2 routing planes.
+
+Runs every bundled suite through ``overcell_flow`` at ``planes=1`` and
+``planes=2`` (docs/LAYERS.md), records wire length, via count, level B
+completion and wall time per configuration, and exports
+``benchmarks/artifacts/BENCH_layers.json`` so the cost of altitude —
+more via levels per terminal stack, less congestion per plane — is on
+record for every revision.
+
+Assertions are portability-safe: both configurations must complete
+fully, and the two-plane run must actually use the second plane on
+every suite.  Runtime is exported but not asserted (CI wall time is
+too noisy to gate on).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench_suite import SUITES
+from repro.flow import FlowParams, overcell_flow
+
+from conftest import SUITE_NAMES, print_experiment
+
+ARTIFACTS = os.path.join(os.path.dirname(__file__), "artifacts")
+
+PLANE_COUNTS = (1, 2)
+
+
+def timed_flow(suite: str, planes: int):
+    design = SUITES[suite]()
+    started = time.perf_counter()
+    result = overcell_flow(design, FlowParams(planes=planes))
+    return time.perf_counter() - started, result
+
+
+def test_plane_sweep():
+    sweeps = {}
+    lines = []
+    for suite in SUITE_NAMES:
+        per_suite = {}
+        for planes in PLANE_COUNTS:
+            wall_s, result = timed_flow(suite, planes)
+            levelb = result.levelb
+            assert levelb is not None
+            assert levelb.num_planes == planes
+            assert result.completion == 1.0
+            planes_used = sorted({r.plane for r in levelb.routed})
+            if planes == 2:
+                # The sweep is only informative if the second plane
+                # actually carries nets on every suite.
+                assert planes_used == [0, 1]
+            per_suite[f"planes{planes}"] = {
+                "planes": planes,
+                "flow": result.flow,
+                "wire_length": result.wire_length,
+                "vias": result.via_count,
+                "completion": result.completion,
+                "wall_s": round(wall_s, 4),
+                "nets_per_plane": [
+                    len(levelb.nets_on_plane(p)) for p in range(planes)
+                ],
+            }
+            lines.append(
+                f"{suite:6s} planes={planes}: wl={result.wire_length:>7,} "
+                f"vias={result.via_count:>5,} {wall_s:6.2f}s"
+            )
+        sweeps[suite] = per_suite
+
+    doc = {
+        "format": "repro-bench-layers",
+        "plane_counts": list(PLANE_COUNTS),
+        "suites": sweeps,
+    }
+    os.makedirs(ARTIFACTS, exist_ok=True)
+    out = os.path.join(ARTIFACTS, "BENCH_layers.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    lines.append(f"(exported {out})")
+    print_experiment("Plane-count sweep - over-cell flow", "\n".join(lines))

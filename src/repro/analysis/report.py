@@ -4,8 +4,19 @@ from __future__ import annotations
 
 
 from repro.analysis.congestion import congestion_map
-from repro.technology import Technology
+from repro.technology import Technology, ensure_overcell_planes
 from repro.timing import DriverModel, levelb_net_delays
+
+
+def _plane_labels(tech: Technology, num_planes: int) -> list[str]:
+    """Layer-pair labels for the first ``num_planes`` over-cell planes.
+
+    Derived from the technology's layer names (extrapolating upward
+    when the stack is shorter than the result's plane count), never
+    hard-coded.
+    """
+    stack = ensure_overcell_planes(tech, num_planes).layer_stack()
+    return stack.labels()[:num_planes]
 
 
 def routing_report(
@@ -46,18 +57,27 @@ def routing_report(
         )
     levelb = result.levelb
     if levelb is not None:
+        num_planes = getattr(levelb, "num_planes", 1)
+        labels = _plane_labels(tech, num_planes)
         lines.append("")
-        lines.append("Level B (over-cell, metal3/metal4)")
-        lines.append("-" * 34)
+        header = f"Level B (over-cell, {', '.join(labels)})"
+        lines.append(header)
+        lines.append("-" * len(header))
         grid = levelb.tig.grid
         lines.append(
             f"grid    : {grid.num_vtracks} x {grid.num_htracks} tracks, "
-            f"{grid.utilization():.1%} of slots used"
+            f"{levelb.tig.planes.utilization():.1%} of slots used"
         )
         lines.append(
             f"nets    : {levelb.nets_completed}/{levelb.nets_attempted} complete, "
             f"{levelb.total_corners} corner vias, {levelb.ripups} rip-ups"
         )
+        if num_planes > 1:
+            per_plane = ", ".join(
+                f"{label}: {len(levelb.nets_on_plane(p))}"
+                for p, label in enumerate(labels)
+            )
+            lines.append(f"planes  : {per_plane}")
         cmap = congestion_map(grid)
         lines.append(
             f"congestion: mean {cmap.mean:.1%}, peak {cmap.peak:.1%}"

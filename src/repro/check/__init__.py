@@ -6,7 +6,8 @@ realised wiring without consulting the routers' own bookkeeping, and
 checks it three ways:
 
 * **DRC** - geometric legality: per-layer shorts, track legality,
-  corner/via placement, obstacle violations (:mod:`repro.check.drc`);
+  corner/via placement, obstacle violations and cross-plane via-stack
+  legality (:mod:`repro.check.drc`);
 * **LVS-lite** - connectivity: the extracted net graph vs the netlist,
   reporting opens, merged nets and dangling metal
   (:mod:`repro.check.lvs`);
@@ -35,6 +36,7 @@ from repro.check.drc import (
     check_corners,
     check_obstacles,
     check_shorts,
+    check_stacks,
     check_tracks,
 )
 from repro.check.extract import (
@@ -44,6 +46,8 @@ from repro.check.extract import (
     Via,
     Wire,
     extract_levelb,
+    layer_is_horizontal,
+    plane_layers,
     wires_of_path,
 )
 from repro.check.lvs import check_connectivity
@@ -61,6 +65,7 @@ from repro.check.rules import (
     RULE_OBSTACLE,
     RULE_OPEN,
     RULE_SHORT,
+    RULE_STACK,
     RULE_TRACK,
 )
 from repro.check.sanitize import (
@@ -92,6 +97,7 @@ __all__ = [
     "RULE_OBSTACLE",
     "RULE_OPEN",
     "RULE_SHORT",
+    "RULE_STACK",
     "RULE_TRACK",
     "HORIZONTAL_LAYER",
     "VERTICAL_LAYER",
@@ -113,8 +119,11 @@ __all__ = [
     "check_levelb",
     "check_obstacles",
     "check_shorts",
+    "check_stacks",
     "check_tracks",
     "extract_levelb",
+    "layer_is_horizontal",
+    "plane_layers",
     "sanitize_commit",
     "wires_of_path",
 ]

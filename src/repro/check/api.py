@@ -28,6 +28,7 @@ from repro.check.drc import (
     check_corners,
     check_obstacles,
     check_shorts,
+    check_stacks,
     check_tracks,
 )
 from repro.check.extract import extract_levelb
@@ -45,6 +46,7 @@ from repro.check.rules import (
     RULE_OBSTACLE,
     RULE_OPEN,
     RULE_SHORT,
+    RULE_STACK,
     RULE_TRACK,
 )
 from repro.check.sanitize import (
@@ -67,6 +69,7 @@ LEVELB_RULES: tuple[str, ...] = (
     RULE_TRACK,
     RULE_CORNER,
     RULE_OBSTACLE,
+    RULE_STACK,
     RULE_OPEN,
     RULE_MERGED,
     RULE_DANGLING,
@@ -105,12 +108,15 @@ def _levelb_violations(
     violations.extend(check_tracks(design, grid, result.bounds))
     violations.extend(check_corners(result))
     violations.extend(check_obstacles(design, result.obstacles, grid))
+    violations.extend(check_stacks(design, result.num_planes))
     violations.extend(check_connectivity(design))
     violations.extend(check_invariants(result))
     if set_b is not None:
         rules = rules + (RULE_LAYER,)
         violations.extend(check_layer_assignment(result, set_a or (), set_b))
-    violations.extend(audit_grid(grid))
+    # Every plane keeps its own ledgers and journal; audit them all.
+    for plane_grid in result.tig.planes:
+        violations.extend(audit_grid(plane_grid))
     return rules, violations
 
 

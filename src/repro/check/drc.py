@@ -1,13 +1,15 @@
 """Geometry design-rule checks over extracted wiring.
 
-Four rules, all operating on the :class:`~repro.check.extract.ExtractedDesign`
+Five rules, all operating on the :class:`~repro.check.extract.ExtractedDesign`
 (never on occupancy state):
 
 ``drc.short``
     Same-layer overlap of two nets' wires (a single shared grid cell is
     a short - each intersection has one slot per direction), and via or
-    terminal-stack conflicts: a via occupies both slots, so foreign
-    wiring through its point on either layer shorts.
+    terminal-stack conflicts: a via occupies both slots of every plane
+    it spans, so foreign wiring through its point on any spanned layer
+    shorts.  Vias of different nets at the same point only conflict
+    when their layer spans overlap - stacked planes are independent.
 ``drc.track``
     Wiring geometry must lie on defined routing tracks and inside the
     layout bounds.
@@ -16,6 +18,10 @@ Four rules, all operating on the :class:`~repro.check.extract.ExtractedDesign`
     at a direction change of its own connection's path.
 ``drc.obstacle``
     No wiring through over-cell areas excluded for its direction.
+``drc.stack``
+    Cross-plane via-stack legality: every via's layer span must be
+    well-formed and inside the technology's layer stack, and wiring
+    must sit on a plane the result actually routes.
 """
 
 from __future__ import annotations
@@ -24,12 +30,23 @@ from typing import TYPE_CHECKING
 
 from repro.check.extract import (
     HORIZONTAL_LAYER,
+    TERMINAL_BASE_LAYER,
     VERTICAL_LAYER,
+    VIA_CORNER,
+    VIA_JUNCTION,
     ExtractedDesign,
     Via,
     Wire,
+    layer_is_horizontal,
+    plane_layers,
 )
-from repro.check.rules import RULE_CORNER, RULE_OBSTACLE, RULE_SHORT, RULE_TRACK
+from repro.check.rules import (
+    RULE_CORNER,
+    RULE_OBSTACLE,
+    RULE_SHORT,
+    RULE_STACK,
+    RULE_TRACK,
+)
 from repro.check.violations import Violation
 from repro.geometry import Point, Rect
 
@@ -55,7 +72,7 @@ def check_shorts(design: ExtractedDesign) -> list[Violation]:
             ):
                 at = (
                     (w.lo, track)
-                    if layer == HORIZONTAL_LAYER
+                    if layer_is_horizontal(layer)
                     else (track, w.lo)
                 )
                 violations.append(
@@ -71,13 +88,22 @@ def check_shorts(design: ExtractedDesign) -> list[Violation]:
                 )
             if max_hi is None or w.hi > max_hi:
                 max_hi, holder = w.hi, w
-    # Via conflicts: point collisions and foreign wiring through a via.
+    # Via conflicts: point collisions (overlapping layer spans only -
+    # vias on disjoint planes stack legally) and foreign wiring through
+    # a via on a layer the via spans.
+    layers = sorted({layer for layer, _track in by_track})
     by_point: dict[Point, list[Via]] = {}
     for via in design.vias:
         by_point.setdefault(via.point, []).append(via)
     for point, vias in by_point.items():
-        nets = sorted({v.net for v in vias})
-        if len(nets) > 1:
+        colliding: set[str] = set()
+        for i, a in enumerate(vias):
+            for b in vias[i + 1 :]:
+                if a.net != b.net and a.overlaps(b):
+                    colliding.add(a.net)
+                    colliding.add(b.net)
+        if colliding:
+            nets = sorted(colliding)
             violations.append(
                 Violation(
                     RULE_SHORT,
@@ -87,10 +113,20 @@ def check_shorts(design: ExtractedDesign) -> list[Violation]:
                 )
             )
     for point, vias in by_point.items():
-        via_nets = {v.net for v in vias}
-        for wire in _wires_through(by_track, point):
-            if wire.net not in via_nets:
-                other = sorted(via_nets)[0]
+        for wire in _wires_through(by_track, point, layers):
+            if any(
+                v.net == wire.net and v.spans(wire.layer) for v in vias
+            ):
+                continue  # the wire's own via/junction sits here
+            blockers = sorted(
+                {
+                    v.net
+                    for v in vias
+                    if v.net != wire.net and v.spans(wire.layer)
+                }
+            )
+            if blockers:
+                other = blockers[0]
                 violations.append(
                     Violation(
                         RULE_SHORT,
@@ -105,16 +141,20 @@ def check_shorts(design: ExtractedDesign) -> list[Violation]:
 
 
 def _wires_through(
-    by_track: dict[tuple[int, int], list[Wire]], point: Point
+    by_track: dict[tuple[int, int], list[Wire]],
+    point: Point,
+    layers: "list[int]",
 ) -> list[Wire]:
     """All wires whose metal passes through geometric ``point``."""
     hits = []
-    for wire in by_track.get((HORIZONTAL_LAYER, point.y), ()):
-        if wire.lo <= point.x <= wire.hi:
-            hits.append(wire)
-    for wire in by_track.get((VERTICAL_LAYER, point.x), ()):
-        if wire.lo <= point.y <= wire.hi:
-            hits.append(wire)
+    for layer in layers:
+        if layer_is_horizontal(layer):
+            track, varying = point.y, point.x
+        else:
+            track, varying = point.x, point.y
+        for wire in by_track.get((layer, track), ()):
+            if wire.lo <= varying <= wire.hi:
+                hits.append(wire)
     return hits
 
 
@@ -275,4 +315,88 @@ def check_obstacles(
                             location=(via.x, via.y),
                         )
                     )
+    return violations
+
+
+def check_stacks(
+    design: ExtractedDesign, num_planes: int = 1
+) -> list[Violation]:
+    """Cross-plane via-stack legality over the extracted geometry.
+
+    With stacked over-cell planes, every piece of metal and every via
+    span must fit the reserved-layer stack the result claims to use:
+
+    * a wire's layer must belong to one of the ``num_planes`` planes;
+    * a corner or junction via must span exactly its plane's layer
+      pair (it connects one vertical layer to its partner above);
+    * a terminal stack must start at the cell pin
+      (:data:`~repro.check.extract.TERMINAL_BASE_LAYER`) and top out at
+      the horizontal layer of a routed plane.
+    """
+    violations = []
+    _, top_layer = plane_layers(num_planes - 1)
+    for w in design.wires:
+        if not VERTICAL_LAYER <= w.layer <= top_layer:
+            violations.append(
+                Violation(
+                    RULE_STACK,
+                    f"wire of net {w.net} sits on m{w.layer}, outside "
+                    f"the {num_planes}-plane over-cell stack "
+                    f"(m{VERTICAL_LAYER}-m{top_layer})",
+                    nets=(w.net,),
+                    location=(
+                        (w.lo, w.track) if w.is_horizontal else (w.track, w.lo)
+                    ),
+                    layer=w.layer,
+                )
+            )
+    for via in design.vias:
+        span = f"m{via.lo_layer}-m{via.hi_layer}"
+        if via.lo_layer > via.hi_layer:
+            violations.append(
+                Violation(
+                    RULE_STACK,
+                    f"{via.kind} via of net {via.net} at {via.point} has "
+                    f"an inverted layer span {span}",
+                    nets=(via.net,),
+                    location=(via.x, via.y),
+                )
+            )
+            continue
+        if via.kind in (VIA_CORNER, VIA_JUNCTION):
+            legal = (
+                via.hi_layer == via.lo_layer + 1
+                and not layer_is_horizontal(via.lo_layer)
+                and VERTICAL_LAYER <= via.lo_layer
+                and via.hi_layer <= top_layer
+            )
+            if not legal:
+                violations.append(
+                    Violation(
+                        RULE_STACK,
+                        f"{via.kind} via of net {via.net} at {via.point} "
+                        f"spans {span}, not one plane's layer pair of "
+                        f"the {num_planes}-plane stack",
+                        nets=(via.net,),
+                        location=(via.x, via.y),
+                    )
+                )
+        else:  # terminal stack
+            legal = (
+                via.lo_layer == TERMINAL_BASE_LAYER
+                and layer_is_horizontal(via.hi_layer)
+                and HORIZONTAL_LAYER <= via.hi_layer <= top_layer
+            )
+            if not legal:
+                violations.append(
+                    Violation(
+                        RULE_STACK,
+                        f"terminal stack of net {via.net} at {via.point} "
+                        f"spans {span}; expected m{TERMINAL_BASE_LAYER} up "
+                        "to a routed plane's horizontal layer "
+                        f"(at most m{top_layer})",
+                        nets=(via.net,),
+                        location=(via.x, via.y),
+                    )
+                )
     return violations

@@ -5,11 +5,14 @@ arrays (the router's own bookkeeping).  Instead this module re-derives
 the realised wiring from first principles:
 
 * every committed connection's :class:`~repro.geometry.Path` becomes
-  per-layer :class:`Wire` records (metal4 horizontal, metal3 vertical
-  under the reserved-layer model);
-* every claimed corner becomes an m3-m4 :class:`Via`;
+  per-layer :class:`Wire` records on its net's plane (even layers
+  horizontal, odd layers vertical under the reserved-layer model -
+  metal4/metal3 for plane 0);
+* every claimed corner becomes a :class:`Via` spanning its plane's
+  layer pair;
 * every net pin position (straight from the netlist) becomes a
-  terminal via stack, which the paper lets connect any layer.
+  terminal via stack reaching from metal1 up to the net's plane, which
+  the paper lets connect any layer it passes through.
 
 The DRC sweep, the LVS-lite connectivity rebuild and several invariant
 checks all consume the resulting :class:`ExtractedDesign`.  The only
@@ -27,9 +30,24 @@ from repro.geometry import Point
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.router import LevelBResult
 
-#: Reserved-layer model: metal3 carries vertical wiring, metal4 horizontal.
+#: Reserved-layer model, plane 0: metal3 carries vertical wiring,
+#: metal4 horizontal.  Plane ``p`` uses layers ``3 + 2p`` / ``4 + 2p``
+#: (see :func:`plane_layers`); odd layers are vertical, even horizontal.
 VERTICAL_LAYER = 3
 HORIZONTAL_LAYER = 4
+
+#: The lowest layer a terminal stack reaches (the cell pin's metal1).
+TERMINAL_BASE_LAYER = 1
+
+
+def plane_layers(plane: int) -> tuple[int, int]:
+    """``(vertical, horizontal)`` metal layers of over-cell plane ``plane``."""
+    return VERTICAL_LAYER + 2 * plane, HORIZONTAL_LAYER + 2 * plane
+
+
+def layer_is_horizontal(layer: int) -> bool:
+    """Reserved-layer direction: even layers horizontal, odd vertical."""
+    return layer % 2 == 0
 
 #: Via kinds.
 VIA_CORNER = "corner"
@@ -41,9 +59,9 @@ VIA_JUNCTION = "junction"
 class Wire:
     """One extracted wire piece on one layer.
 
-    ``track`` is the fixed coordinate (y for horizontal wires on
-    metal4, x for vertical wires on metal3); ``lo``/``hi`` bound the
-    varying coordinate, ``lo <= hi``.
+    ``track`` is the fixed coordinate (y for horizontal wires on even
+    layers, x for vertical wires on odd layers); ``lo``/``hi`` bound
+    the varying coordinate, ``lo <= hi``.
     """
 
     net: str
@@ -54,7 +72,12 @@ class Wire:
 
     @property
     def is_horizontal(self) -> bool:
-        return self.layer == HORIZONTAL_LAYER
+        return layer_is_horizontal(self.layer)
+
+    @property
+    def plane(self) -> int:
+        """The over-cell plane this wire's layer belongs to."""
+        return (self.layer - VERTICAL_LAYER) // 2
 
     def contains(self, x: int, y: int) -> bool:
         """Does the wire pass through geometric point ``(x, y)``?"""
@@ -70,25 +93,44 @@ class Wire:
 
 @dataclass(frozen=True)
 class Via:
-    """A layer connection at a point: an m3-m4 corner or a terminal stack.
+    """A layer connection at a point: a corner via or a terminal stack.
 
-    A terminal stack reaches from the cell pin up through every routing
-    layer (paper section 2), so it makes metal on *any* layer at its
-    point electrically one node; a corner via connects m3 and m4.  Both
-    occupy the full intersection for ownership purposes.
+    ``lo_layer``/``hi_layer`` bound the metal layers the via passes
+    through (inclusive).  A corner via spans its plane's pair (m3-m4
+    on plane 0, the defaults); a terminal stack reaches from the cell
+    pin (metal1) up through every layer of its net's plane (paper
+    section 2), making metal on any spanned layer at its point
+    electrically one node.  A via occupies the full intersection of
+    every plane it crosses for ownership purposes.
     """
 
     net: str
     x: int
     y: int
     kind: str
+    lo_layer: int = VERTICAL_LAYER
+    hi_layer: int = HORIZONTAL_LAYER
 
     @property
     def point(self) -> Point:
         return Point(self.x, self.y)
 
+    def spans(self, layer: int) -> bool:
+        """Does the via pass through metal ``layer``?"""
+        return self.lo_layer <= layer <= self.hi_layer
+
+    def overlaps(self, other: "Via") -> bool:
+        """Do the two vias share at least one metal layer?"""
+        return (
+            self.lo_layer <= other.hi_layer
+            and other.lo_layer <= self.hi_layer
+        )
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.net}:{self.kind}@({self.x},{self.y})"
+        return (
+            f"{self.net}:{self.kind}@({self.x},{self.y})"
+            f"m{self.lo_layer}-m{self.hi_layer}"
+        )
 
 
 @dataclass
@@ -112,34 +154,36 @@ class ExtractedDesign:
         return groups
 
 
-def wires_of_path(net: str, path) -> list[Wire]:
+def wires_of_path(net: str, path, plane: int = 0) -> list[Wire]:
     """The non-degenerate wire pieces of one connection path."""
+    v_layer, h_layer = plane_layers(plane)
     wires = []
     for seg in path.segments:
         if seg.is_point:
             continue
         if seg.is_horizontal:
             lo, hi = sorted((seg.a.x, seg.b.x))
-            wires.append(Wire(net, HORIZONTAL_LAYER, seg.a.y, lo, hi))
+            wires.append(Wire(net, h_layer, seg.a.y, lo, hi))
         else:
             lo, hi = sorted((seg.a.y, seg.b.y))
-            wires.append(Wire(net, VERTICAL_LAYER, seg.a.x, lo, hi))
+            wires.append(Wire(net, v_layer, seg.a.x, lo, hi))
     return wires
 
 
-def _end_layers(path) -> list[tuple[Point, int]]:
+def _end_layers(path, plane: int = 0) -> list[tuple[Point, int]]:
     """Path endpoints with the layer of their adjacent wire piece.
 
     Walks inward past degenerate segments; a path with no real segment
     yields nothing.
     """
+    v_layer, h_layer = plane_layers(plane)
     real = [s for s in path.segments if not s.is_point]
     if not real:
         return []
     first, last = real[0], real[-1]
     return [
-        (first.a, HORIZONTAL_LAYER if first.is_horizontal else VERTICAL_LAYER),
-        (last.b, HORIZONTAL_LAYER if last.is_horizontal else VERTICAL_LAYER),
+        (first.a, h_layer if first.is_horizontal else v_layer),
+        (last.b, h_layer if last.is_horizontal else v_layer),
     ]
 
 
@@ -169,14 +213,23 @@ def _junction_vias(
                 continue  # a terminal stack already connects all layers
             if (net, point.x, point.y) in emitted:
                 continue
-            other = (
-                VERTICAL_LAYER if layer == HORIZONTAL_LAYER else HORIZONTAL_LAYER
-            )
-            track = point.x if other == VERTICAL_LAYER else point.y
-            varying = point.y if other == VERTICAL_LAYER else point.x
+            # The same-plane partner layer: odd (vertical) pairs with
+            # the even (horizontal) layer above it and vice versa.
+            other = layer - 1 if layer_is_horizontal(layer) else layer + 1
+            track = point.y if layer_is_horizontal(other) else point.x
+            varying = point.x if layer_is_horizontal(other) else point.y
             for lo, hi in spans.get((net, other, track), ()):
                 if lo <= varying <= hi:
-                    vias.append(Via(net, point.x, point.y, VIA_JUNCTION))
+                    vias.append(
+                        Via(
+                            net,
+                            point.x,
+                            point.y,
+                            VIA_JUNCTION,
+                            lo_layer=min(layer, other),
+                            hi_layer=max(layer, other),
+                        )
+                    )
                     emitted.add((net, point.x, point.y))
                     break
     return vias
@@ -195,6 +248,8 @@ def extract_levelb(result: "LevelBResult") -> ExtractedDesign:
     endpoints: dict[str, list[tuple[Point, int]]] = {}
     for routed in result.routed:
         name = routed.net.name
+        plane = getattr(routed, "plane", 0)
+        v_layer, h_layer = plane_layers(plane)
         design.complete[name] = routed.complete
         seen: set[Point] = set()
         points = []
@@ -204,13 +259,33 @@ def extract_levelb(result: "LevelBResult") -> ExtractedDesign:
                 points.append(p)
         design.terminals[name] = points
         for p in points:
-            design.vias.append(Via(name, p.x, p.y, VIA_TERMINAL))
+            design.vias.append(
+                Via(
+                    name,
+                    p.x,
+                    p.y,
+                    VIA_TERMINAL,
+                    lo_layer=TERMINAL_BASE_LAYER,
+                    hi_layer=h_layer,
+                )
+            )
         for conn in routed.connections:
-            design.wires.extend(wires_of_path(name, conn.path))
-            endpoints.setdefault(name, []).extend(_end_layers(conn.path))
+            design.wires.extend(wires_of_path(name, conn.path, plane))
+            endpoints.setdefault(name, []).extend(
+                _end_layers(conn.path, plane)
+            )
             for v_idx, h_idx in conn.corners:
                 if 0 <= v_idx < nv and 0 <= h_idx < nh:
                     x, y = grid.coord_of(v_idx, h_idx)
-                    design.vias.append(Via(name, x, y, VIA_CORNER))
+                    design.vias.append(
+                        Via(
+                            name,
+                            x,
+                            y,
+                            VIA_CORNER,
+                            lo_layer=v_layer,
+                            hi_layer=h_layer,
+                        )
+                    )
     design.vias.extend(_junction_vias(design, endpoints))
     return design

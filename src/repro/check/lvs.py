@@ -6,8 +6,11 @@ electrical components using only geometric adjacency:
 
 * two wires on the same ``(layer, track)`` connect when their closed
   spans overlap or share an endpoint (one shared cell is contact);
-* a via connects every wire passing through its point, on both layers
-  (terminal stacks reach all layers, corner vias join m3 and m4);
+* a via connects every wire passing through its point on a layer the
+  via spans (terminal stacks reach from the cell pin to their net's
+  plane, corner vias join one plane's layer pair);
+* two vias at the same point connect only when their layer spans
+  overlap - vias on disjoint planes stack without touching;
 * crossing wires on *different* layers never connect without a via.
 
 Comparing components against the netlist yields three rules:
@@ -19,10 +22,9 @@ and ``lvs.dangling`` (metal with no terminal at all).
 from __future__ import annotations
 
 from repro.check.extract import (
-    HORIZONTAL_LAYER,
-    VERTICAL_LAYER,
     VIA_TERMINAL,
     ExtractedDesign,
+    layer_is_horizontal,
 )
 from repro.check.rules import RULE_DANGLING, RULE_MERGED, RULE_OPEN
 from repro.check.violations import Severity, Violation
@@ -67,21 +69,26 @@ def check_connectivity(design: ExtractedDesign) -> list[Violation]:
             if max_hi is None or w.hi > max_hi:
                 max_hi, max_idx = w.hi, i
 
-    # Vias: join both layers at their point, and each other.
-    at_point: dict[tuple[int, int], int] = {}
+    # Vias: join every spanned layer at their point, and each other
+    # when (and only when) their layer spans overlap.
+    layers = sorted({layer for layer, _track in groups})
+    at_point: dict[tuple[int, int], list[int]] = {}
     for j, via in enumerate(vias):
         node = n_wires + j
-        key = (via.x, via.y)
-        if key in at_point:
-            dsu.union(at_point[key], node)
-        else:
-            at_point[key] = node
-        for i in groups.get((HORIZONTAL_LAYER, via.y), ()):
-            if wires[i].lo <= via.x <= wires[i].hi:
-                dsu.union(node, i)
-        for i in groups.get((VERTICAL_LAYER, via.x), ()):
-            if wires[i].lo <= via.y <= wires[i].hi:
-                dsu.union(node, i)
+        for other in at_point.setdefault((via.x, via.y), []):
+            if via.overlaps(vias[other]):
+                dsu.union(n_wires + other, node)
+        at_point[(via.x, via.y)].append(j)
+        for layer in layers:
+            if not via.spans(layer):
+                continue
+            if layer_is_horizontal(layer):
+                track, varying = via.y, via.x
+            else:
+                track, varying = via.x, via.y
+            for i in groups.get((layer, track), ()):
+                if wires[i].lo <= varying <= wires[i].hi:
+                    dsu.union(node, i)
 
     # Components: who is in each, which nets, any terminal?
     comp_nets: dict[int, set[str]] = {}

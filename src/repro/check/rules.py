@@ -39,6 +39,12 @@ direction change of its connection's path."""
 RULE_OBSTACLE = "drc.obstacle"
 """Wiring crosses an over-cell area excluded for its direction."""
 
+RULE_STACK = "drc.stack"
+"""Cross-plane via-stack legality: a wire on a layer outside the
+routed over-cell stack, a corner/junction via not spanning exactly one
+plane's layer pair, or a terminal stack not reaching from the cell pin
+to a routed plane."""
+
 # -- LVS: connectivity --------------------------------------------------
 RULE_OPEN = "lvs.open"
 """A net the router reported complete whose extracted geometry does not
@@ -62,7 +68,8 @@ does not match the geometric corners of its committed path."""
 
 RULE_LAYER = "inv.layer"
 """Layer-assignment violation: a set A net routed over the cells on
-metal3/metal4, or a set B net missing from the level B result."""
+the reserved over-cell layers, or a set B net missing from the level B
+result."""
 
 # -- grid: occupancy-state audits --------------------------------------
 RULE_LEDGER = "grid.ledger"
@@ -84,6 +91,7 @@ ALL_RULES: tuple[str, ...] = (
     RULE_TRACK,
     RULE_CORNER,
     RULE_OBSTACLE,
+    RULE_STACK,
     RULE_OPEN,
     RULE_MERGED,
     RULE_DANGLING,

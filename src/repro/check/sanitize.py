@@ -15,7 +15,7 @@ search guarantees from committed paths alone:
     as a multiset, the geometric direction changes of its path.
 ``inv.layer``
     Reserved-layer partitioning: exactly the set B nets appear in the
-    level B (m3/m4) result.
+    level B (over-cell plane) result.
 
 ``audit_grid`` cross-checks the grid's redundant bookkeeping:
 
@@ -148,7 +148,8 @@ def check_layer_assignment(
         violations.append(
             Violation(
                 RULE_LAYER,
-                f"set A net {name} was routed over the cells on m3/m4",
+                f"set A net {name} was routed over the cells on the "
+                "reserved over-cell layers",
                 nets=(name,),
             )
         )

@@ -4,15 +4,20 @@ The subcommands cover the common library entry points::
 
     python -m repro suite   --name ami33 --out ami33.json
     python -m repro flow    --suite ami33 --flow overcell --svg out.svg
+    python -m repro route   --suite ami33 --planes 2 --svg out.svg
     python -m repro tables  --suite ami33
     python -m repro profile --suite ami33 --flow overcell --out profile.json
-    python -m repro check   --suite ami33 --flow overcell
+    python -m repro check   --suite ami33 --flow overcell --planes 2
     python -m repro dispatch --jobs 4 --check
 
 ``flow`` accepts either ``--suite <name>`` (a built-in synthetic
 benchmark) or ``--design <file.json>`` (a design written by
 ``repro.io.save_design``), runs the requested flow, prints the summary
 line, and optionally writes an SVG plot and/or a JSON result summary.
+``route`` is the over-cell flow with plane-labelled output: ``--planes
+N`` routes level B across N reserved-layer pairs (docs/LAYERS.md) and
+reports how the nets distributed over them; its SVG plot carries the
+per-plane legend.
 ``profile`` runs a flow inside an ``instrument.collecting()`` block and
 exports the span tree / counters / events (see docs/OBSERVABILITY.md).
 ``check`` runs a flow and then the independent verification engine
@@ -57,13 +62,16 @@ def _load_design_arg(args: argparse.Namespace):
 
 
 def _flow_params(args: argparse.Namespace):
-    """FlowParams honouring an optional ``--tech`` JSON file."""
+    """FlowParams honouring ``--tech`` and ``--planes`` arguments."""
     from repro.flow import FlowParams
     from repro.io import load_technology
 
+    kwargs = {}
     if getattr(args, "tech", None):
-        return FlowParams(technology=load_technology(args.tech))
-    return FlowParams()
+        kwargs["technology"] = load_technology(args.tech)
+    if getattr(args, "planes", None):
+        kwargs["planes"] = args.planes
+    return FlowParams(**kwargs)
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -80,6 +88,33 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     if args.svg:
         with open(args.svg, "w") as fh:
             fh.write(svg_flow_result(result))
+        print(f"layout plot written to {args.svg}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(flow_result_to_dict(result), fh, indent=2)
+        print(f"result summary written to {args.json}")
+    return 0 if result.completion == 1.0 else 1
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Over-cell flow with plane-labelled output (``--planes N``)."""
+    from repro.technology import plane_layer_indices
+
+    design = _load_design_arg(args)
+    result = overcell_flow(design, _flow_params(args))
+    print(result.summary())
+    levelb = result.levelb
+    if levelb is not None:
+        for p in range(levelb.num_planes):
+            v_idx, h_idx = plane_layer_indices(p)
+            nets = levelb.nets_on_plane(p)
+            print(
+                f"  plane {p} (metal{v_idx}/metal{h_idx}): "
+                f"{len(nets)} nets"
+            )
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(svg_flow_result(result, legend=True))
         print(f"layout plot written to {args.svg}")
     if args.json:
         with open(args.json, "w") as fh:
@@ -206,9 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--flow", choices=sorted(_FLOWS), default="overcell"
     )
     p_flow.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_flow.add_argument(
+        "--planes", type=int, default=1,
+        help="over-cell routing planes for level B (default 1)",
+    )
     p_flow.add_argument("--svg", help="write an SVG layout plot")
     p_flow.add_argument("--json", help="write a JSON result summary")
     p_flow.set_defaults(func=_cmd_flow)
+
+    p_route = sub.add_parser(
+        "route",
+        help="over-cell flow with per-plane output (see docs/LAYERS.md)",
+    )
+    p_route.add_argument("--suite", choices=sorted(SUITES))
+    p_route.add_argument("--design", help="design JSON (repro.io format)")
+    p_route.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_route.add_argument(
+        "--planes", type=int, default=1,
+        help="over-cell routing planes for level B (default 1)",
+    )
+    p_route.add_argument(
+        "--svg", help="write an SVG layout plot with the plane legend"
+    )
+    p_route.add_argument("--json", help="write a JSON result summary")
+    p_route.set_defaults(func=_cmd_route)
 
     p_prof = sub.add_parser(
         "profile",
@@ -218,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--design", help="design JSON (repro.io format)")
     p_prof.add_argument("--flow", choices=sorted(_FLOWS), default="overcell")
     p_prof.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_prof.add_argument(
+        "--planes", type=int, default=1,
+        help="over-cell routing planes for level B (default 1)",
+    )
     p_prof.add_argument(
         "--out", required=True, help="output profile JSON path"
     )
@@ -236,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--design", help="design JSON (repro.io format)")
     p_check.add_argument("--flow", choices=sorted(_FLOWS), default="overcell")
     p_check.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_check.add_argument(
+        "--planes", type=int, default=1,
+        help="over-cell routing planes for level B (default 1)",
+    )
     p_check.add_argument("--json", help="write the check report as JSON")
     p_check.add_argument(
         "--limit", type=int, default=50, help="violations to print"
@@ -310,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--design", help="design JSON (repro.io format)")
     p_report.add_argument("--flow", choices=sorted(_FLOWS), default="overcell")
     p_report.add_argument("--tech", help="technology JSON (repro.io format)")
+    p_report.add_argument(
+        "--planes", type=int, default=1,
+        help="over-cell routing planes for level B (default 1)",
+    )
     p_report.add_argument("--top", type=int, default=5,
                           help="slowest pins to list")
     p_report.add_argument("--html", help="also write a single-file HTML report")

@@ -1,7 +1,9 @@
 """The paper's primary contribution: the level B over-cell router.
 
 The router solves the two-dimensional routing problem over the whole
-layout (between-cell *and* over-cell areas) on the metal3/metal4 pair:
+layout (between-cell *and* over-cell areas) on the reserved over-cell
+planes — the paper's metal3/metal4 pair by default, or any number of
+stacked pairs via ``LevelBConfig.planes`` (docs/LAYERS.md):
 
 * :mod:`repro.core.tig` - the Track Intersection Graph solution-space
   representation (bipartite: vertical tracks vs. horizontal tracks,
@@ -17,6 +19,8 @@ layout (between-cell *and* over-cell areas) on the metal3/metal4 pair:
   multi-terminal nets into two-terminal connections.
 * :mod:`repro.core.ordering` - serial net ordering (longest distance
   first by default, user criteria supported).
+* :mod:`repro.core.assign` - the static plane-assignment pass that
+  distributes nets across over-cell planes by estimated congestion.
 * :mod:`repro.core.engine` - the :class:`ConnectionEngine` protocol
   (search -> candidates -> select -> commit) with a name registry; the
   MBFS/PST engine lives here, the Lee engine in :mod:`repro.maze.lee`.
@@ -26,6 +30,7 @@ layout (between-cell *and* over-cell areas) on the metal3/metal4 pair:
 """
 
 from repro.core.tig import GridTerminal, TrackIntersectionGraph
+from repro.core.assign import NetDemand, assign_planes
 from repro.core.cost import CostWeights
 from repro.core.search import MBFSearch, PSTNode, SearchResult
 from repro.core.select import select_best_path
@@ -44,6 +49,8 @@ from repro.core.router import LevelBConfig, LevelBResult, LevelBRouter, RoutedNe
 __all__ = [
     "GridTerminal",
     "TrackIntersectionGraph",
+    "NetDemand",
+    "assign_planes",
     "CostWeights",
     "MBFSearch",
     "PSTNode",

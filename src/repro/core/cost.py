@@ -74,6 +74,14 @@ class CornerCostEvaluator:
     constraints"), each a
     :class:`~repro.core.coupling.PathCostTerm` evaluated once per
     candidate path by the selector.
+
+    ``base_cost`` is a constant surcharge per connection: on an
+    over-cell plane above metal3/metal4 every connection pays for the
+    deeper inter-plane via stacks at its endpoints, which keeps path
+    costs comparable across planes (and keeps the plane-assignment
+    pass honest — the penalty it charged is the penalty the routed
+    connection reports).  It is ``0.0`` on plane 0, so single-plane
+    costs are unchanged.
     """
 
     def __init__(
@@ -81,10 +89,12 @@ class CornerCostEvaluator:
         grid: RoutingGrid,
         weights: CostWeights,
         extra_terms: tuple = (),
+        base_cost: float = 0.0,
     ) -> None:
         self.grid = grid
         self.weights = weights
         self.extra_terms = tuple(extra_terms)
+        self.base_cost = base_cost
         self._memo: dict[tuple[int, int], float] = {}
 
     def extra_cost(self, points, corners) -> float:
@@ -113,7 +123,7 @@ class CornerCostEvaluator:
 
     def path_cost(self, wire_length: int, corners: list[tuple[int, int]]) -> float:
         """Full cost ``C`` of a candidate path."""
-        total = self.weights.w1 * float(wire_length)
+        total = self.base_cost + self.weights.w1 * float(wire_length)
         for v_idx, h_idx in corners:
             total += self.corner_cost(v_idx, h_idx)
         return total

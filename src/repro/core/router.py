@@ -1,4 +1,9 @@
-"""The level B router: serial over-cell routing on metal3/metal4.
+"""The level B router: serial over-cell routing on the reserved planes.
+
+The paper routes level B on the single metal3/metal4 pair; the router
+generalizes that to N reserved-layer planes (``LevelBConfig.planes``,
+default 1 — see docs/LAYERS.md), assigning each net to one plane up
+front and then routing it entirely on that plane's grid.
 
 Ties the pieces together exactly as section 3 describes:
 
@@ -52,6 +57,7 @@ from repro.instrument.names import (
 from repro.geometry import Interval, Rect
 from repro.netlist import Net
 from repro.technology import Technology
+from repro.core.assign import NetDemand, assign_planes
 from repro.core.cost import CornerCostEvaluator, CostWeights
 from repro.core.engine import (
     ConnectionEngine,
@@ -131,6 +137,13 @@ class LevelBConfig:
     # the first violation.  Off by default - it adds a full ledger
     # replay per commit (see docs/VERIFICATION.md for measured cost).
     checked: bool = False
+    # Over-cell planes (generalized layer stack, docs/LAYERS.md).  The
+    # default of 1 is the paper's single metal3/metal4 plane; with more
+    # planes the assignment pass (repro.core.assign) distributes nets
+    # across them by estimated congestion, pricing the deeper terminal
+    # via stacks with ``plane_via_weight`` per extra via level.
+    planes: int = 1
+    plane_via_weight: float = 4.0
 
 
 @dataclass
@@ -141,6 +154,8 @@ class RoutedNet:
     net_id: int
     connections: list[RoutedConnection] = field(default_factory=list)
     failed_terminals: int = 0
+    #: The over-cell plane the net routes on (0 = metal3/metal4).
+    plane: int = 0
 
     @property
     def complete(self) -> bool:
@@ -191,12 +206,29 @@ class LevelBResult:
         return sum(r.corner_count for r in self.routed)
 
     @property
+    def num_planes(self) -> int:
+        """Over-cell planes the run routed on."""
+        return self.tig.planes.num_planes
+
+    @property
     def total_vias(self) -> int:
-        """m3-m4 corner vias plus one terminal via stack per connected pin."""
+        """Corner vias plus the terminal via stacks of connected pins.
+
+        A pin of a plane-0 net costs one stack via (m2 up to the
+        plane); every plane of extra altitude adds two more via levels
+        to each of the net's stacks, so a plane-``p`` pin contributes
+        ``1 + 2p``.  On a single-plane run this reduces to the paper's
+        count: corners + one stack per connected pin.
+        """
         stacks = sum(
-            r.net.degree - r.failed_terminals for r in self.routed
+            (r.net.degree - r.failed_terminals) * (1 + 2 * r.plane)
+            for r in self.routed
         )
         return self.total_corners + stacks
+
+    def nets_on_plane(self, plane: int) -> list[RoutedNet]:
+        """Routed nets assigned to one over-cell plane."""
+        return [r for r in self.routed if r.plane == plane]
 
     @property
     def nets_attempted(self) -> int:
@@ -322,7 +354,10 @@ class LevelBRouter:
         Set B nets; their pins must have placed positions.  Net names
         must be unique (results are indexed by name).
     technology:
-        Supplies the m3 (vertical) and m4 (horizontal) pitches.
+        Supplies the over-cell plane stack (pitches, layer names);
+        must carry at least ``config.planes`` reserved pairs above
+        metal1/metal2.  Defaults to the paper's four-layer stack, or
+        an extended preset when ``config.planes > 1``.
     obstacles:
         Over-cell exclusions (:class:`Obstacle` or bare :class:`Rect`).
     config:
@@ -340,10 +375,25 @@ class LevelBRouter:
     ) -> None:
         self.bounds = bounds
         self.config = config or LevelBConfig()
-        tech = technology or Technology.four_layer()
+        num_planes = self.config.planes
+        if num_planes < 1:
+            raise ValueError(f"config.planes must be >= 1, got {num_planes}")
+        tech = technology or (
+            Technology.four_layer()
+            if num_planes == 1
+            else Technology.with_overcell_planes(num_planes)
+        )
         if tech.num_layers < 4:
             raise ValueError("level B routing needs a 4-layer technology")
+        if tech.num_overcell_planes < num_planes:
+            raise ValueError(
+                f"level B routing on {num_planes} planes needs a "
+                f"{2 + 2 * num_planes}-layer technology, "
+                f"{tech.name} has {tech.num_layers}"
+            )
         self.technology = tech
+        #: The over-cell plane decomposition the run routes on.
+        self.stack = tech.layer_stack()
         self.nets = [n for n in nets if n.degree >= 2]
         seen_names = set()
         for net in self.nets:
@@ -357,11 +407,15 @@ class LevelBRouter:
         for p in terminal_points:
             if not bounds.contains_point(p):
                 raise ValueError(f"terminal {p} outside layout bounds {bounds}")
+        # All planes share the track lattice generated at plane 0's
+        # (metal3/metal4) pitch; upper planes' coarser physical pitch
+        # enters the area/delay models, not the grid (docs/LAYERS.md).
         self.tig = TrackIntersectionGraph.over_area(
             bounds,
-            v_pitch=tech.layer(3).pitch,
-            h_pitch=tech.layer(4).pitch,
+            v_pitch=self.stack.plane(0).v_pitch,
+            h_pitch=self.stack.plane(0).h_pitch,
             terminal_points=terminal_points,
+            num_planes=num_planes,
         )
         self.obstacles: list[Obstacle] = []
         for obs in obstacles:
@@ -374,21 +428,43 @@ class LevelBRouter:
         self._net_ids: dict[Net, int] = {
             net: i + 1 for i, net in enumerate(sorted(self.nets, key=lambda n: n.name))
         }
+        # Plane assignment is decided before any terminal is reserved:
+        # the pass sees only pin geometry, so it is independent of net
+        # registration order (and trivially all-plane-0 when planes=1).
+        self._plane_assignment = assign_planes(
+            [
+                NetDemand(net_id, tuple(net.pin_positions()))
+                for net, net_id in self._net_ids.items()
+            ],
+            bounds,
+            num_planes,
+            self.config.plane_via_weight,
+        )
         for net, net_id in self._net_ids.items():
-            self.tig.register_net(net_id, net.pin_positions())
+            self.tig.register_net(
+                net_id, net.pin_positions(), self._plane_assignment[net_id]
+            )
         self._nodes_created = 0
         self._sensitive_ids = frozenset(
             self._net_ids[n] for n in self.nets if n.is_sensitive
         )
         self._engine: ConnectionEngine = self._primary_engine()
         self._rescue: ConnectionEngine | None = None
-        self._ctx = EngineContext(
-            grid=self.tig.grid,
-            config=self.config,
-            evaluator=self._evaluator_for,
-            regions=self._regions,
-            add_nodes=self._add_nodes,
+        # One engine context per plane, each bound to that plane's
+        # occupancy grid; ``_ctx`` stays the plane-0 context because
+        # the single-plane stack (and repro.dispatch's workers) use it
+        # directly.
+        self._ctxs = tuple(
+            EngineContext(
+                grid=self.tig.planes[plane],
+                config=self.config,
+                evaluator=self._evaluator_for,
+                regions=self._regions,
+                add_nodes=self._add_nodes,
+            )
+            for plane in range(num_planes)
         )
+        self._ctx = self._ctxs[0]
 
     # ------------------------------------------------------------------
     # Engine wiring
@@ -409,12 +485,28 @@ class LevelBRouter:
         self._nodes_created += n
 
     def _evaluator_for(self, net_id: int) -> CornerCostEvaluator:
-        """A fresh cost evaluator carrying the net's extension terms."""
+        """A fresh cost evaluator carrying the net's extension terms.
+
+        Bound to the net's own plane grid; on an upper plane the
+        evaluator also carries the constant inter-plane via-stack
+        surcharge (``base_cost``), zero on plane 0.
+        """
+        plane = self.tig.plane_of(net_id)
+        base = (
+            self.config.plane_via_weight * self.stack.via_depth(plane)
+            if plane
+            else 0.0
+        )
         return CornerCostEvaluator(
-            self.tig.grid,
+            self.tig.grid_of(net_id),
             self.config.weights,
             extra_terms=self._extra_terms_for(net_id),
+            base_cost=base,
         )
+
+    def _ctx_for(self, net_id: int) -> EngineContext:
+        """The engine context of a net's plane."""
+        return self._ctxs[self.tig.plane_of(net_id)]
 
     def _extra_terms_for(self, net_id: int) -> tuple:
         return coupling_terms(net_id, self._sensitive_ids, self.config)
@@ -450,7 +542,7 @@ class LevelBRouter:
         """
         # Journal-balance audits must tolerate an outer transaction
         # (probe() wraps this whole method in one).
-        ambient_txn = self.tig.grid.in_transaction
+        ambient_txn = self.tig.planes.in_transaction
         with instrument.span(SPAN_LEVELB_ROUTE) as route_span:
             # Declare the level B catalogue so exported profiles carry
             # these keys (at 0) even on runs where they never fire.
@@ -534,7 +626,7 @@ class LevelBRouter:
             if inst.enabled:
                 inst.count(NETS_ROUTED, sum(1 for r in routed if r.complete))
                 inst.count(NETS_FAILED, sum(1 for r in routed if not r.complete))
-                inst.gauge(LEVELB_UTILIZATION, self.tig.grid.utilization())
+                inst.gauge(LEVELB_UTILIZATION, self.tig.planes.utilization())
         return LevelBResult(
             tig=self.tig,
             routed=routed,
@@ -556,8 +648,7 @@ class LevelBRouter:
         cells the probe touched.  The router can :meth:`route` for real
         afterwards.
         """
-        grid = self.tig.grid
-        txn = grid.begin()
+        txn = self.tig.planes.begin()
         try:
             result = self.route()
         finally:
@@ -577,12 +668,11 @@ class LevelBRouter:
         the journal - O(cells touched), with the old wiring restored
         byte-identically.
         """
-        grid = self.tig.grid
         for net in order_nets(list(results), self.config.ordering):
             old = results[net]
             if not old.connections and old.complete:
                 continue  # nothing wired (coincident pins)
-            txn = grid.begin()
+            txn = self.tig.grid_of(self._net_ids[net]).begin()
             self._unroute_net(net)
             new = self._route_net(net)
             if (new.failed_terminals, new.wire_length, new.corner_count) <= (
@@ -610,7 +700,7 @@ class LevelBRouter:
         from repro.check import CheckFailure, sanitize_commit
 
         violations = sanitize_commit(
-            self.tig.grid, outcome, in_ambient_txn=ambient_txn
+            self.tig.grid_of(outcome.net_id), outcome, in_ambient_txn=ambient_txn
         )
         if violations:
             raise CheckFailure(violations)
@@ -618,13 +708,20 @@ class LevelBRouter:
     def _pick_ripup_victims(
         self, net: Net, results: dict[Net, RoutedNet]
     ) -> list[Net]:
-        """Routed nets crowding the failed net's terminals (at most 3)."""
-        grid = self.tig.grid
+        """Routed nets crowding the failed net's terminals (at most 3).
+
+        Victims are drawn from the failed net's *own plane*: ripping a
+        net routed elsewhere cannot free the cells this net needs (an
+        upper-plane net's through-stack blockage is terminal-anchored
+        and survives its rip).
+        """
         net_id = self._net_ids[net]
+        plane = self.tig.plane_of(net_id)
+        grid = self.tig.planes[plane]
         counts: dict[int, int] = {}
         for term in self.tig.terminals_of(net_id):
             for owner in grid.owners_near(term.v_idx, term.h_idx, radius=2):
-                if owner != net_id:
+                if owner != net_id and self.tig.plane_of(owner) == plane:
                     counts[owner] = counts.get(owner, 0) + 1
         by_id = {self._net_ids[n]: n for n in self.nets}
         ranked = sorted(counts, key=lambda o: (-counts[o], o))
@@ -641,10 +738,12 @@ class LevelBRouter:
         """Rip a net's wiring off the grid and re-reserve its terminals.
 
         ``rip_net`` replays the net's mutation ledger, so the cost is
-        proportional to the cells the net actually occupied.
+        proportional to the cells the net actually occupied.  Only the
+        net's own plane is ripped: its through-stack blockage on lower
+        planes belongs to its terminals, which persist across rips.
         """
         net_id = self._net_ids[net]
-        grid = self.tig.grid
+        grid = self.tig.grid_of(net_id)
         grid.rip_net(net_id)
         for term in self.tig.terminals_of(net_id):
             grid.reserve_terminal(term.v_idx, term.h_idx, net_id)
@@ -653,7 +752,7 @@ class LevelBRouter:
     def _route_net(self, net: Net) -> RoutedNet:
         net_id = self._net_ids[net]
         connections, failed = route_net_terminals(
-            self.tig.grid,
+            self.tig.grid_of(net_id),
             net_id,
             self.tig.terminals_of(net_id),
             lambda source, target: self._route_connection(net_id, source, target),
@@ -663,13 +762,14 @@ class LevelBRouter:
             net_id=net_id,
             connections=connections,
             failed_terminals=failed,
+            plane=self.tig.plane_of(net_id),
         )
 
     def _route_connection(
         self, net_id: int, source: GridTerminal, target: GridTerminal
     ) -> RoutedConnection | None:
         """One connection through the primary engine, rescue as needed."""
-        conn = self._engine.route(self._ctx, net_id, source, target)
+        conn = self._engine.route(self._ctx_for(net_id), net_id, source, target)
         if (
             conn is None
             and self.config.maze_fallback
@@ -695,7 +795,7 @@ class LevelBRouter:
         instrument.count(MAZE_FALLBACKS)
         with instrument.span(SPAN_MAZE_RESCUE):
             conn = engine.route(
-                self._ctx, net_id, source, target, regions=(None,)
+                self._ctx_for(net_id), net_id, source, target, regions=(None,)
             )
         instrument.event(
             EVT_MAZE_FALLBACK, net_id=net_id, found=conn is not None

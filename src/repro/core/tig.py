@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.geometry import Point, Rect
-from repro.grid import FREE, RoutingGrid, TrackSet
+from repro.grid import FREE, PlaneSet, RoutingGrid, TrackSet
 
 
 @dataclass(frozen=True)
@@ -53,9 +53,17 @@ class TrackIntersectionGraph:
     top), both 1-based.
     """
 
-    def __init__(self, vtracks: TrackSet, htracks: TrackSet) -> None:
-        self.grid = RoutingGrid(vtracks, htracks)
+    def __init__(
+        self, vtracks: TrackSet, htracks: TrackSet, num_planes: int = 1
+    ) -> None:
+        #: One occupancy grid per over-cell plane, shared track sets.
+        self.planes = PlaneSet(vtracks, htracks, num_planes)
+        #: Plane 0's grid — the paper's metal3/metal4 array.  Kept as a
+        #: direct attribute because the single-plane stack (the default)
+        #: reads and mutates it everywhere.
+        self.grid: RoutingGrid = self.planes[0]
         self._terminals: dict[int, list[GridTerminal]] = {}
+        self._plane_of: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -66,13 +74,16 @@ class TrackIntersectionGraph:
         v_pitch: int,
         h_pitch: int,
         terminal_points: Iterable[Point] = (),
+        num_planes: int = 1,
     ) -> "TrackIntersectionGraph":
         """Build the grid over ``bounds``.
 
         A uniform lattice at the given pitches is laid down, then one
         vertical and one horizontal track is threaded through every
         terminal (the paper assigns "a pair of horizontal and vertical
-        tracks to each net terminal").
+        tracks to each net terminal").  With ``num_planes > 1`` every
+        over-cell plane shares this lattice (see
+        :class:`repro.grid.PlaneSet` for why).
         """
         pts = list(terminal_points)
         vtracks = TrackSet.uniform(
@@ -81,7 +92,7 @@ class TrackIntersectionGraph:
         htracks = TrackSet.uniform(
             bounds.y1, bounds.y2, h_pitch, extra=(p.y for p in pts)
         )
-        return TrackIntersectionGraph(vtracks, htracks)
+        return TrackIntersectionGraph(vtracks, htracks, num_planes)
 
     def terminal_at(self, point: Point) -> GridTerminal:
         """The TIG edge for a terminal at geometric ``point``.
@@ -94,28 +105,57 @@ class TrackIntersectionGraph:
             h_idx=self.grid.htracks.index_of(point.y),
         )
 
-    def register_terminal(self, net_id: int, terminal: GridTerminal) -> None:
-        """Reserve a terminal's intersection for ``net_id``."""
-        self.grid.reserve_terminal(terminal.v_idx, terminal.h_idx, net_id)
+    def register_terminal(
+        self, net_id: int, terminal: GridTerminal, plane: int = 0
+    ) -> None:
+        """Reserve a terminal's intersection for ``net_id`` on ``plane``.
+
+        The terminal's via stack climbs from the cell pins all the way
+        to its net's plane, so besides reserving the intersection on
+        the routing plane it *blocks* the same intersection on every
+        plane below: the through-stack physically occupies those
+        layers.  On plane 0 (the only plane of the default stack) no
+        blockage is issued and the call is exactly the historical one.
+        """
+        self.planes[plane].reserve_terminal(
+            terminal.v_idx, terminal.h_idx, net_id
+        )
+        for below in range(plane):
+            self.planes[below].occupy_corner(
+                terminal.v_idx, terminal.h_idx, net_id
+            )
         self._terminals.setdefault(net_id, []).append(terminal)
 
-    def register_net(self, net_id: int, points: Sequence[Point]) -> list[GridTerminal]:
+    def register_net(
+        self, net_id: int, points: Sequence[Point], plane: int = 0
+    ) -> list[GridTerminal]:
         """Register all terminals of a net by geometric position."""
+        self._plane_of[net_id] = plane
         terminals = [self.terminal_at(p) for p in points]
         for t in terminals:
-            self.register_terminal(net_id, t)
+            self.register_terminal(net_id, t, plane)
         return terminals
+
+    def plane_of(self, net_id: int) -> int:
+        """The over-cell plane a registered net routes on (default 0)."""
+        return self._plane_of.get(net_id, 0)
+
+    def grid_of(self, net_id: int) -> RoutingGrid:
+        """The occupancy grid of a registered net's plane."""
+        return self.planes[self.plane_of(net_id)]
 
     def add_obstacle(
         self, rect: Rect, *, block_h: bool = True, block_v: bool = True
     ) -> int:
         """Exclude an over-cell area from routing (see paper section 3).
 
-        Obstacles model pre-existing m3/m4 wiring inside macros (block
-        a single direction) or user-excluded areas over sensitive
-        circuits (block both).  Returns blocked intersection count.
+        Obstacles model pre-existing wiring inside macros (block a
+        single direction) or user-excluded areas over sensitive
+        circuits (block both).  Absent per-plane obstacle input the
+        exclusion is conservative and applies to *every* plane of the
+        stack.  Returns the blocked intersection count (per plane).
         """
-        return self.grid.add_obstacle(rect, block_h=block_h, block_v=block_v)
+        return self.planes.add_obstacle(rect, block_h=block_h, block_v=block_v)
 
     # ------------------------------------------------------------------
     # Graph-level queries (used by tests, figures and small instances)

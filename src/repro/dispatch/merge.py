@@ -128,7 +128,7 @@ class WaveSpeculator:
         if not result.complete:
             instrument.count(DISPATCH_FALLBACKS)
             return None
-        grid = self.router.tig.grid
+        grid = self.router.tig.grid_of(net_id)
         if not grid.window_matches(snapshot):
             instrument.count(DISPATCH_CONFLICTS)
             instrument.event(EVT_SPEC_CONFLICT, net=net.name, net_id=net_id)
@@ -164,14 +164,15 @@ class WaveSpeculator:
         terminals = router.tig.terminals_of(net_id)
         if not terminals:
             return None
+        grid = router.tig.grid_of(net_id)
         plan = net_window(
-            router.tig.grid,
+            grid,
             net_id,
             terminals,
             router.config,
             self.config.speculate_expansions,
+            plane=router.tig.plane_of(net_id),
         )
-        grid = router.tig.grid
         if plan.cells > self.config.max_window_fraction * grid.num_intersections:
             return None  # window ~ whole grid: speculation buys nothing
         return plan
@@ -204,8 +205,8 @@ class WaveSpeculator:
                 candidates.append(fplan)
                 by_id[fid] = follower
             wave = plan_wave(candidates, limit=cfg.max_wave)
-        grid = self.router.tig.grid
         for plan in wave:
+            grid = self.router.tig.grid_of(plan.net_id)
             snapshot = grid.window_snapshot(plan.v_iv, plan.h_iv)
             terminals = tuple(
                 GridTerminal(t.v_idx - plan.v_iv.lo, t.h_idx - plan.h_iv.lo)
@@ -230,7 +231,7 @@ class WaveSpeculator:
 
     def _apply(self, net: Net, net_id: int, result: SpecResult) -> RoutedNet | None:
         """Replay a validated speculation on the authoritative grid."""
-        grid = self.router.tig.grid
+        grid = self.router.tig.grid_of(net_id)
         with instrument.span(SPAN_DISPATCH_APPLY):
             try:
                 with grid.transaction():
@@ -263,4 +264,5 @@ class WaveSpeculator:
             net_id=net_id,
             connections=connections,
             failed_terminals=0,
+            plane=self.router.tig.plane_of(net_id),
         )

@@ -85,11 +85,17 @@ class DispatchConfig:
 
 @dataclass(frozen=True)
 class NetPlan:
-    """One net's planned read window, in global index space."""
+    """One net's planned read window, in global index space.
+
+    ``plane`` is the over-cell plane the net routes on: windows on
+    different planes touch disjoint occupancy state, so they never
+    conflict even when their index rectangles coincide.
+    """
 
     net_id: int
     v_iv: Interval
     h_iv: Interval
+    plane: int = 0
 
     @property
     def cells(self) -> int:
@@ -119,6 +125,7 @@ def net_window(
     terminals: Sequence,
     config,
     speculate_expansions: int,
+    plane: int = 0,
 ) -> NetPlan:
     """The padded, grid-clamped read window for one net."""
     v_lo = min(t.v_idx for t in terminals)
@@ -129,12 +136,20 @@ def net_window(
     halo = halo_tracks(config, speculate_expansions, unique)
     v_iv = grid.vtracks.clip_indices(Interval(v_lo, v_hi).expanded(halo))
     h_iv = grid.htracks.clip_indices(Interval(h_lo, h_hi).expanded(halo))
-    return NetPlan(net_id=net_id, v_iv=v_iv, h_iv=h_iv)
+    return NetPlan(net_id=net_id, v_iv=v_iv, h_iv=h_iv, plane=plane)
 
 
 def windows_overlap(a: NetPlan, b: NetPlan) -> bool:
-    """Do two planned windows share any grid cell?"""
-    return a.v_iv.overlaps(b.v_iv) and a.h_iv.overlaps(b.h_iv)
+    """Do two planned windows share any grid cell?
+
+    Windows on different planes read different grids, so they are
+    always disjoint regardless of their index rectangles.
+    """
+    return (
+        a.plane == b.plane
+        and a.v_iv.overlaps(b.v_iv)
+        and a.h_iv.overlaps(b.h_iv)
+    )
 
 
 def plan_wave(plans: Sequence[NetPlan], limit: int | None = None) -> list[NetPlan]:

@@ -17,8 +17,9 @@ class FlowParams:
     Attributes
     ----------
     technology:
-        The four-layer stack; the channel substrate uses metal1/metal2,
-        level B uses metal3/metal4.
+        The layer stack; the channel substrate uses metal1/metal2,
+        level B the reserved over-cell pairs above them (metal3/metal4
+        by default — see docs/LAYERS.md).
     margin:
         Clearance around the core in lambda.
     aspect:
@@ -51,6 +52,14 @@ class FlowParams:
     parallel_mode:
         Dispatch executor kind: ``"process"`` (default), ``"thread"``
         or ``"serial"`` (in-line, for debugging).
+    planes:
+        Over-cell routing planes for level B.  ``1`` (default) is the
+        paper's single metal3/metal4 pair and preserves historical
+        behavior exactly; ``N > 1`` distributes level B nets across N
+        reserved-layer pairs (extending ``technology`` with
+        extrapolated pairs when it is too short — see
+        :func:`repro.technology.ensure_overcell_planes`).  A value
+        above 1 overrides ``levelb.planes``.
     """
 
     technology: Technology = field(default_factory=Technology.four_layer)
@@ -65,6 +74,7 @@ class FlowParams:
     checked: bool = False
     parallel: int = 0
     parallel_mode: str = "process"
+    planes: int = 1
 
     @property
     def channel_pitch(self) -> int:

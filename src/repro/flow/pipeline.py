@@ -39,6 +39,7 @@ from repro.globalroute import GlobalRoute, GlobalRouter
 from repro.netlist import Design, Net
 from repro.partition import PartitionStrategy, partition_nets
 from repro.placement import RowPlacement
+from repro.technology import ensure_overcell_planes
 
 
 # ----------------------------------------------------------------------
@@ -248,16 +249,25 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
     levelb_config = params.levelb
     if params.checked and not levelb_config.checked:
         levelb_config = replace(levelb_config, checked=True)
+    # FlowParams.planes > 1 overrides the router config; a technology
+    # too short for the requested plane count is extended with
+    # extrapolated reserved pairs (docs/LAYERS.md).
+    planes = params.planes if params.planes > 1 else levelb_config.planes
+    if planes != levelb_config.planes:
+        levelb_config = replace(levelb_config, planes=planes)
+    technology = params.technology
+    if planes > 1:
+        technology = ensure_overcell_planes(technology, planes)
     levelb_router = LevelBRouter(
         bounds,
         set_b,
-        technology=params.technology,
+        technology=technology,
         obstacles=params.obstacles,
         config=levelb_config,
     )
     levelb = _route_levelb(levelb_router, params)
     result = FlowResult(
-        flow="overcell-4layer",
+        flow="overcell-4layer" if planes == 1 else f"overcell-{2 + 2 * planes}layer",
         design=design.name,
         bounds=bounds,
         wire_length=wire_a + levelb.total_wire_length,
@@ -350,16 +360,25 @@ def routability_probe(
             right_width=side_widths[1],
             margin=params.margin,
         )
+        probe_config = params.levelb
+        probe_planes = (
+            params.planes if params.planes > 1 else probe_config.planes
+        )
+        if probe_planes != probe_config.planes:
+            probe_config = replace(probe_config, planes=probe_planes)
+        probe_tech = params.technology
+        if probe_planes > 1:
+            probe_tech = ensure_overcell_planes(probe_tech, probe_planes)
         router = LevelBRouter(
             bounds,
             set_b,
-            technology=params.technology,
+            technology=probe_tech,
             obstacles=params.obstacles,
-            config=params.levelb,
+            config=probe_config,
         )
-        before = router.tig.grid.snapshot()
+        before = router.tig.planes.snapshot()
         levelb = router.probe()
-        restored = router.tig.grid.matches(before)
+        restored = router.tig.planes.matches(before)
     return RoutabilityProbe(
         design=design.name,
         level_a_nets=len(set_a),

@@ -19,6 +19,10 @@ package provides:
 :class:`WindowSnapshot`
     A rectangular sub-window copy of the grid state, the unit of work
     shipped to speculative routing workers (``repro.dispatch``).
+:class:`PlaneSet`
+    N routing grids (one per over-cell reserved-layer plane) sharing
+    the same track coordinate sets, with aggregate transactions and
+    snapshots.  Plane 0 is the paper's metal3/metal4 grid.
 """
 
 from repro.grid.tracks import TrackSet
@@ -30,6 +34,7 @@ from repro.grid.occupancy import (
     RoutingGrid,
     WindowSnapshot,
 )
+from repro.grid.planes import PlaneSet, PlaneSetTransaction
 
 __all__ = [
     "TrackSet",
@@ -38,5 +43,7 @@ __all__ = [
     "OBSTACLE",
     "GridSnapshot",
     "GridTransaction",
+    "PlaneSet",
+    "PlaneSetTransaction",
     "WindowSnapshot",
 ]

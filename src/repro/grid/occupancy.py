@@ -223,8 +223,26 @@ class RoutingGrid:
     def num_intersections(self) -> int:
         return self.num_vtracks * self.num_htracks
 
+    def _check_indices(self, v_idx: int, h_idx: int) -> None:
+        """Reject out-of-range (notably negative) track indices.
+
+        Both the ``TrackSet`` coordinate lists and the numpy ownership
+        arrays accept negative indices via Python wrap-around, which
+        silently turns an upstream off-by-one into a claim on the far
+        edge of the grid.  Index-taking accessors call this instead.
+        """
+        if not 0 <= v_idx < self.num_vtracks:
+            raise IndexError(
+                f"v-track index {v_idx} out of range [0, {self.num_vtracks - 1}]"
+            )
+        if not 0 <= h_idx < self.num_htracks:
+            raise IndexError(
+                f"h-track index {h_idx} out of range [0, {self.num_htracks - 1}]"
+            )
+
     def coord_of(self, v_idx: int, h_idx: int) -> tuple[int, int]:
         """Geometric ``(x, y)`` of intersection ``(v_idx, h_idx)``."""
+        self._check_indices(v_idx, h_idx)
         return self.vtracks[v_idx], self.htracks[h_idx]
 
     # ------------------------------------------------------------------
@@ -384,8 +402,22 @@ class RoutingGrid:
         Intervals are clamped to the grid, so callers may pass padded
         boxes that run past an edge — clipping at the window boundary
         then coincides with clipping at the grid boundary, which is what
-        keeps windowed cost-model reads exact near edges.
+        keeps windowed cost-model reads exact near edges.  A window
+        lying *entirely* off-grid is an upstream indexing bug and
+        raises ``IndexError`` instead of clamping to a sliver.
         """
+        if v_iv.hi < 0 or v_iv.lo >= self.num_vtracks:
+            bad = v_iv.hi if v_iv.hi < 0 else v_iv.lo
+            raise IndexError(
+                f"v-track window index {bad} out of range "
+                f"[0, {self.num_vtracks - 1}]"
+            )
+        if h_iv.hi < 0 or h_iv.lo >= self.num_htracks:
+            bad = h_iv.hi if h_iv.hi < 0 else h_iv.lo
+            raise IndexError(
+                f"h-track window index {bad} out of range "
+                f"[0, {self.num_htracks - 1}]"
+            )
         v_iv = self.vtracks.clip_indices(v_iv)
         h_iv = self.htracks.clip_indices(h_iv)
         hs = slice(h_iv.lo, h_iv.hi + 1)
@@ -467,6 +499,7 @@ class RoutingGrid:
         """
         if net_id < 1:
             raise ValueError("net ids must be >= 1")
+        self._check_indices(v_idx, h_idx)
         prior_h = int(self._h_owner[h_idx, v_idx])
         prior_v = int(self._v_owner[v_idx, h_idx])
         for current in (prior_h, prior_v):
@@ -485,6 +518,7 @@ class RoutingGrid:
 
     def mark_terminal_routed(self, v_idx: int, h_idx: int) -> None:
         """Drop one unrouted-terminal mark at an intersection."""
+        self._check_indices(v_idx, h_idx)
         if self._unrouted_terms[h_idx, v_idx] > 0:
             if self._txns:
                 self._journal.append(("m", v_idx, h_idx))
@@ -495,14 +529,17 @@ class RoutingGrid:
     # ------------------------------------------------------------------
     def corner_free(self, v_idx: int, h_idx: int, net_id: int) -> bool:
         """Can ``net_id`` place a corner/via at this intersection?"""
+        self._check_indices(v_idx, h_idx)
         h = self._h_owner[h_idx, v_idx]
         v = self._v_owner[v_idx, h_idx]
         return h in (FREE, net_id) and v in (FREE, net_id)
 
     def h_slot(self, v_idx: int, h_idx: int) -> int:
+        self._check_indices(v_idx, h_idx)
         return int(self._h_owner[h_idx, v_idx])
 
     def v_slot(self, v_idx: int, h_idx: int) -> int:
+        self._check_indices(v_idx, h_idx)
         return int(self._v_owner[v_idx, h_idx])
 
     def free_span_h(

@@ -79,6 +79,7 @@ EVT_MAZE_FALLBACK = "maze.fallback"
 EVT_RIPUP = "ripup"
 EVT_CHANNEL_CYCLIC = "channel.cyclic"
 EVT_CHECK_VIOLATION = "check.violation"
+EVT_PLANE_ASSIGNED = "levelb.plane_assigned"
 EVT_WAVE_PLANNED = "dispatch.wave_planned"
 EVT_SPEC_CONFLICT = "dispatch.conflict"
 EVT_JOB_FINISHED = "dispatch.job_finished"

@@ -9,7 +9,8 @@ def levelb_result_to_dict(result) -> dict[str, Any]:
     """Plain-data export of a :class:`~repro.core.router.LevelBResult`.
 
     Paths are waypoint lists (terminal, corners..., terminal); corner
-    vias are ``(x, y)`` coordinates; suitable for JSON.
+    vias are ``(x, y)`` coordinates; each net records the over-cell
+    plane it was routed on; suitable for JSON.
     """
     grid = result.tig.grid
     nets = []
@@ -30,6 +31,7 @@ def levelb_result_to_dict(result) -> dict[str, Any]:
             {
                 "net": routed.net.name,
                 "complete": routed.complete,
+                "plane": routed.plane,
                 "wire_length": routed.wire_length,
                 "corner_vias": routed.corner_count,
                 "connections": connections,
@@ -37,6 +39,7 @@ def levelb_result_to_dict(result) -> dict[str, Any]:
         )
     return {
         "format": "repro-levelb-result",
+        "planes": result.num_planes,
         "completion_rate": result.completion_rate,
         "total_wire_length": result.total_wire_length,
         "total_vias": result.total_vias,

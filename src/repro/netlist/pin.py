@@ -21,8 +21,9 @@ class Pin:
     absolute :attr:`position` is defined once its cell is placed.
 
     The paper assumes terminal geometry can absorb the via stack up to
-    metal4 (section 2), so a pin is a legal attachment point for both
-    level A (m1/m2) and level B (m3/m4) wiring.
+    its routing plane's horizontal layer (section 2), so a pin is a
+    legal attachment point for both level A (m1/m2) and level B
+    (over-cell plane) wiring.
     """
 
     name: str

@@ -5,6 +5,7 @@ from repro.reporting.tables import (
     format_table,
     table1_rows,
     table2_rows,
+    table3_headers,
     table3_rows,
 )
 from repro.reporting.html import html_report
@@ -14,6 +15,7 @@ __all__ = [
     "PaperComparison",
     "table1_rows",
     "table2_rows",
+    "table3_headers",
     "table3_rows",
     "html_report",
 ]

@@ -9,6 +9,16 @@ used throughout the reproduction.
 """
 
 from repro.technology.layers import Layer, RoutingDirection
-from repro.technology.rules import Technology, ViaRule
+from repro.technology.rules import Technology, ViaRule, ensure_overcell_planes
+from repro.technology.stack import LayerStack, RoutingPlane, plane_layer_indices
 
-__all__ = ["Layer", "RoutingDirection", "Technology", "ViaRule"]
+__all__ = [
+    "Layer",
+    "LayerStack",
+    "RoutingDirection",
+    "RoutingPlane",
+    "Technology",
+    "ViaRule",
+    "ensure_overcell_planes",
+    "plane_layer_indices",
+]

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.technology.layers import Layer, RoutingDirection
+from repro.technology.stack import LayerStack, plane_layer_indices
 
 
 @dataclass(frozen=True)
@@ -147,8 +148,113 @@ class Technology:
             ),
         )
 
+    @staticmethod
+    def six_layer() -> "Technology":
+        """Two over-cell planes: metal3/metal4 plus metal5/metal6."""
+        return Technology.with_overcell_planes(2)
+
+    @staticmethod
+    def with_overcell_planes(planes: int) -> "Technology":
+        """The channel pair plus ``planes`` reserved over-cell pairs.
+
+        Plane 0 reproduces :meth:`four_layer`'s metal3/metal4 exactly;
+        each further pair follows the same process trend the paper
+        leans on - coarser pitch, wider lines, thicker (lower sheet
+        resistance) metal, larger vias.
+        ``with_overcell_planes(1) == four_layer()`` up to the name.
+        """
+        if planes < 1:
+            raise ValueError("need at least one over-cell plane")
+        base = Technology.four_layer()
+        layers = list(base.layers)
+        vias = list(base.vias)
+        for p in range(1, planes):
+            v_idx, h_idx = plane_layer_indices(p)
+            pitch = 12 + 4 * p
+            width = pitch // 2
+            scale = 0.75**p
+            layers.append(
+                Layer(v_idx, f"metal{v_idx}", RoutingDirection.VERTICAL,
+                      pitch=pitch, width=width,
+                      sheet_resistance=0.04 * scale,
+                      cap_per_lambda=max(0.05, 0.19 - 0.01 * p)),
+            )
+            layers.append(
+                Layer(h_idx, f"metal{h_idx}", RoutingDirection.HORIZONTAL,
+                      pitch=pitch, width=width,
+                      sheet_resistance=0.03 * scale,
+                      cap_per_lambda=max(0.05, 0.18 - 0.01 * p)),
+            )
+            vias.append(ViaRule(v_idx - 1, v_idx, size=8 + 2 * (v_idx - 4)))
+            vias.append(ViaRule(v_idx, h_idx, size=8 + 2 * (v_idx - 3)))
+        return Technology(
+            name=f"generic-{2 + 2 * planes}L",
+            layers=tuple(layers),
+            vias=tuple(vias),
+        )
+
+    # ------------------------------------------------------------------
+    # The over-cell plane view
+    # ------------------------------------------------------------------
+    def layer_stack(self) -> LayerStack:
+        """This technology's reserved-layer plane decomposition."""
+        return LayerStack.from_technology(self)
+
+    @property
+    def num_overcell_planes(self) -> int:
+        """How many complete reserved pairs sit above the channel pair."""
+        return max(0, (self.num_layers - 2) // 2)
+
     def horizontal_layers(self) -> list[Layer]:
         return [l for l in self.layers if l.is_horizontal]
 
     def vertical_layers(self) -> list[Layer]:
         return [l for l in self.layers if l.is_vertical]
+
+
+def ensure_overcell_planes(tech: Technology, planes: int) -> Technology:
+    """``tech``, extended with extrapolated pairs if it is too short.
+
+    A flow asked for ``planes`` over-cell planes keeps the caller's
+    technology untouched when it already has them; otherwise the stack
+    is grown by extrapolating the process trend from the topmost
+    existing pair (pitch +4 lambda per pair, width = pitch/2, sheet
+    resistance x0.75, via size +2 per level).
+    """
+    have = tech.num_overcell_planes
+    if planes <= have:
+        return tech
+    layers = list(tech.layers)
+    vias = list(tech.vias)
+    # Drop a trailing unpaired layer from the pairing arithmetic: new
+    # pairs are appended after the last *complete* pair.
+    top = layers[2 + 2 * have - 1]
+    for p in range(have, planes):
+        v_idx, h_idx = plane_layer_indices(p)
+        if v_idx <= tech.num_layers:
+            raise ValueError(
+                f"{tech.name} has an unpaired metal{v_idx}; cannot extend"
+            )
+        pitch = top.pitch + 4 * (p - have + 1)
+        width = pitch // 2
+        scale = 0.75 ** (p - have + 1)
+        layers.append(
+            Layer(v_idx, f"metal{v_idx}", RoutingDirection.VERTICAL,
+                  pitch=pitch, width=width,
+                  sheet_resistance=top.sheet_resistance * scale,
+                  cap_per_lambda=top.cap_per_lambda),
+        )
+        layers.append(
+            Layer(h_idx, f"metal{h_idx}", RoutingDirection.HORIZONTAL,
+                  pitch=pitch, width=width,
+                  sheet_resistance=top.sheet_resistance * scale,
+                  cap_per_lambda=top.cap_per_lambda),
+        )
+        last_size = max(v.size for v in vias)
+        vias.append(ViaRule(v_idx - 1, v_idx, size=last_size + 2))
+        vias.append(ViaRule(v_idx, h_idx, size=last_size + 4))
+    return Technology(
+        name=f"{tech.name}+{planes - have}p",
+        layers=tuple(layers),
+        vias=tuple(vias),
+    )

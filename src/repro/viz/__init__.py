@@ -7,6 +7,7 @@ full level B routing plot of Figure 3 (as SVG and as terminal ASCII).
 
 from repro.viz.ascii_art import (
     render_channel,
+    levelb_legend,
     render_levelb_ascii,
     render_pst,
     render_tig,
@@ -15,6 +16,7 @@ from repro.viz.svg import svg_layout
 
 __all__ = [
     "render_channel",
+    "levelb_legend",
     "render_levelb_ascii",
     "render_pst",
     "render_tig",

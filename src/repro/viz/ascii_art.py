@@ -93,16 +93,50 @@ def render_pst(root: PSTNode, completed: Sequence[PSTNode] = ()) -> str:
     return "\n".join(lines)
 
 
+#: Per-plane wiring glyph pairs (horizontal, vertical), plane 0 first.
+#: Plane 0 keeps the historical ``-``/``|``; further planes cycle
+#: through visually distinct pairs.
+_PLANE_GLYPHS = (("-", "|"), ("=", "!"), ("~", ":"), ("_", ";"))
+
+
+def _plane_glyphs(plane: int) -> tuple[str, str]:
+    return _PLANE_GLYPHS[plane % len(_PLANE_GLYPHS)]
+
+
+def levelb_legend(result: "LevelBResult") -> str:
+    """A per-plane glyph legend with labels derived from the layer stack.
+
+    One line per routed plane: its layer-pair label (from
+    :func:`repro.technology.plane_layer_indices`, never hard-coded
+    strings) and the glyphs :func:`render_levelb_ascii` draws it with.
+    """
+    from repro.technology import plane_layer_indices
+
+    lines = []
+    for p in range(getattr(result, "num_planes", 1)):
+        v_idx, h_idx = plane_layer_indices(p)
+        h_glyph, v_glyph = _plane_glyphs(p)
+        lines.append(
+            f"plane {p} (metal{v_idx}/metal{h_idx}): "
+            f"{h_glyph} horizontal, {v_glyph} vertical"
+        )
+    return "\n".join(lines)
+
+
 def render_levelb_ascii(
     result: "LevelBResult",
     width: int = 100,
     cells: Sequence = (),
+    legend: bool = False,
 ) -> str:
     """A down-sampled character plot of a level B routing result.
 
-    ``-``/``|`` are metal4/metal3 wiring, ``+`` both, ``#`` cell area
-    (when ``cells`` - objects with ``.bounds`` - are supplied), ``o``
-    terminals.  Aspect-corrected for terminal character cells.
+    ``-``/``|`` are plane 0 (metal4/metal3) wiring, ``+`` both, ``#``
+    cell area (when ``cells`` - objects with ``.bounds`` - are
+    supplied), ``o`` terminals.  Results routed on more planes draw
+    each plane with its own glyph pair (see :func:`levelb_legend`);
+    ``legend`` appends the per-plane key below the plot.
+    Aspect-corrected for terminal character cells.
     """
     grid = result.tig.grid
     span_x = grid.vtracks.span
@@ -125,7 +159,11 @@ def render_levelb_ascii(
         for cy in range(min(y1, y2), max(y1, y2) + 1):
             for cx in range(x1, x2 + 1):
                 canvas[cy][cx] = "."
+    wire_glyphs = {
+        g for pair in _PLANE_GLYPHS for g in pair
+    }
     for routed in result.routed:
+        h_glyph, v_glyph = _plane_glyphs(getattr(routed, "plane", 0))
         for conn in routed.connections:
             for seg in conn.path:
                 if seg.is_point:
@@ -133,24 +171,29 @@ def render_levelb_ascii(
                 (x1, y1), (x2, y2) = (seg.a.x, seg.a.y), (seg.b.x, seg.b.y)
                 c1 = to_cell(x1, y1)
                 c2 = to_cell(x2, y2)
-                glyph = "-" if seg.is_horizontal else "|"
+                glyph = h_glyph if seg.is_horizontal else v_glyph
                 if seg.is_horizontal:
                     for cx in range(min(c1[0], c2[0]), max(c1[0], c2[0]) + 1):
-                        _blend(canvas, cx, c1[1], glyph)
+                        _blend(canvas, cx, c1[1], glyph, wire_glyphs)
                 else:
                     for cy in range(min(c1[1], c2[1]), max(c1[1], c2[1]) + 1):
-                        _blend(canvas, c1[0], cy, glyph)
+                        _blend(canvas, c1[0], cy, glyph, wire_glyphs)
     for net_id, terms in result.tig.all_terminals().items():
         for t in terms:
             x, y = grid.coord_of(t.v_idx, t.h_idx)
             cx, cy = to_cell(x, y)
             canvas[cy][cx] = "o"
-    return "\n".join("".join(row) for row in canvas)
+    plot = "\n".join("".join(row) for row in canvas)
+    if legend:
+        plot += "\n" + levelb_legend(result)
+    return plot
 
 
-def _blend(canvas: list[list[str]], x: int, y: int, glyph: str) -> None:
+def _blend(
+    canvas: list[list[str]], x: int, y: int, glyph: str, wire_glyphs: set[str]
+) -> None:
     current = canvas[y][x]
     if current in (" ", "."):
         canvas[y][x] = glyph
-    elif current != glyph and current in "-|":
+    elif current != glyph and current in wire_glyphs:
         canvas[y][x] = "+"

@@ -21,6 +21,37 @@ def _net_color(net_id: int) -> str:
     return _PALETTE[(net_id - 1) % len(_PALETTE)]
 
 
+def _plane_dash(plane: int) -> str:
+    """SVG ``stroke-dasharray`` attribute for an over-cell plane.
+
+    Plane 0 stays solid (the historical rendering); higher planes get
+    progressively longer dashes so stacked pairs read at a glance.
+    """
+    if plane <= 0:
+        return ""
+    return f' stroke-dasharray="{2 + 2 * plane} 2"'
+
+
+def _plane_legend(levelb: "LevelBResult", x: float, y: float) -> list[str]:
+    """A per-plane legend group, labels derived from the layer stack."""
+    from repro.technology import plane_layer_indices
+
+    parts = ['<g font-size="10" fill="#333">']
+    for p in range(getattr(levelb, "num_planes", 1)):
+        v_idx, h_idx = plane_layer_indices(p)
+        ly = y + 14 * p
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{ly:.1f}" x2="{x + 24:.1f}" '
+            f'y2="{ly:.1f}" stroke="#333" stroke-width="2"{_plane_dash(p)}/>'
+        )
+        parts.append(
+            f'<text x="{x + 30:.1f}" y="{ly + 3:.1f}">'
+            f"plane {p}: metal{v_idx}/metal{h_idx}</text>"
+        )
+    parts.append("</g>")
+    return parts
+
+
 def svg_layout(
     bounds: Rect,
     *,
@@ -29,12 +60,16 @@ def svg_layout(
     obstacles: Sequence[Rect] = (),
     scale: float = 0.5,
     title: str = "",
+    legend: bool = False,
 ) -> str:
     """An SVG document: cells, obstacles and level B wiring.
 
-    Horizontal (metal4) segments draw thicker than vertical (metal3)
-    ones so the layer pair reads at a glance; corner vias are dots.
-    The y axis is flipped so the layout origin sits bottom-left.
+    Horizontal segments draw thicker than vertical ones so each plane's
+    layer pair reads at a glance; corner vias are dots.  Results routed
+    on several over-cell planes draw higher planes dashed
+    (:func:`_plane_dash`); ``legend`` adds a per-plane key whose layer
+    labels come from the technology's layer numbering, never hard-coded
+    names.  The y axis is flipped so the layout origin sits bottom-left.
     """
     w = bounds.width * scale
     h = bounds.height * scale
@@ -75,6 +110,7 @@ def svg_layout(
         grid = levelb.tig.grid
         for routed in levelb.routed:
             color = _net_color(routed.net_id)
+            dash = _plane_dash(getattr(routed, "plane", 0))
             for conn in routed.connections:
                 for seg in conn.path:
                     if seg.is_point:
@@ -83,7 +119,7 @@ def svg_layout(
                     parts.append(
                         f'<line x1="{sx(seg.a.x):.1f}" y1="{sy(seg.a.y):.1f}" '
                         f'x2="{sx(seg.b.x):.1f}" y2="{sy(seg.b.y):.1f}" '
-                        f'stroke="{color}" stroke-width="{width_px}"/>'
+                        f'stroke="{color}" stroke-width="{width_px}"{dash}/>'
                     )
                 for v_idx, h_idx in conn.corners:
                     x, y = grid.coord_of(v_idx, h_idx)
@@ -99,19 +135,25 @@ def svg_layout(
                     f'<rect x="{sx(x) - 2.5:.1f}" y="{sy(y) - 2.5:.1f}" '
                     f'width="5" height="5" fill="white" stroke="{color}"/>'
                 )
+        if legend:
+            parts.extend(_plane_legend(levelb, 8.0, 14.0))
     parts.append("</svg>")
     return "\n".join(parts)
 
 
 def svg_flow_result(
-    result: "FlowResult", scale: float = 0.5, show_level_a: bool = True
+    result: "FlowResult",
+    scale: float = 0.5,
+    show_level_a: bool = True,
+    legend: bool = False,
 ) -> str:
     """Render a flow result to SVG.
 
     Draws the placed cells, any level B (over-cell) wiring, and - when
     ``show_level_a`` is set and the flow kept its channel routes - the
     level A channel wiring inside the channel strips (grey trunks and
-    jogs, so the over-cell colours stay legible on top).
+    jogs, so the over-cell colours stay legible on top).  ``legend``
+    adds the per-plane layer key (:func:`_plane_legend`).
     """
     cells = []
     if result.placement is not None:
@@ -122,6 +164,7 @@ def svg_flow_result(
         levelb=result.levelb,
         scale=scale,
         title=f"{result.design} / {result.flow}",
+        legend=legend,
     )
     if not show_level_a or result.channel_routes is None:
         return doc

@@ -64,6 +64,45 @@ class TestFlowCommand:
             main(["flow", "--flow", "overcell"])
 
 
+class TestRouteCommand:
+    @pytest.fixture()
+    def design_file(self, tmp_path):
+        from repro.bench_suite import random_design
+        from repro.io import save_design
+
+        design = random_design("clirt", seed=11, num_cells=6, num_nets=14,
+                               num_critical=2)
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        return path
+
+    def test_route_two_planes(self, design_file, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        summary = tmp_path / "summary.json"
+        rc = main([
+            "route", "--design", str(design_file), "--planes", "2",
+            "--svg", str(svg), "--json", str(summary),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overcell-6layer" in out
+        assert "plane 0 (metal3/metal4):" in out
+        assert "plane 1 (metal5/metal6):" in out
+        # The SVG carries the per-plane legend.
+        assert "plane 1: metal5/metal6" in svg.read_text()
+        doc = json.loads(summary.read_text())
+        assert doc["levelb"]["planes"] == 2
+        assert all("plane" in net for net in doc["levelb"]["nets"])
+
+    def test_route_default_single_plane(self, design_file, capsys):
+        rc = main(["route", "--design", str(design_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overcell-4layer" in out
+        assert "plane 0 (metal3/metal4):" in out
+        assert "plane 1" not in out
+
+
 class TestCheckCommand:
     @pytest.fixture()
     def design_file(self, tmp_path):
@@ -102,6 +141,16 @@ class TestCheckCommand:
     def test_check_requires_input(self):
         with pytest.raises(SystemExit):
             main(["check", "--flow", "overcell"])
+
+    def test_check_two_planes_strict(self, design_file, capsys):
+        rc = main([
+            "check", "--design", str(design_file), "--flow", "overcell",
+            "--planes", "2", "--strict",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overcell-6layer" in out
+        assert "CLEAN" in out
 
 
 class TestTablesCommand:

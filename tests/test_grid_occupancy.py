@@ -263,3 +263,69 @@ class TestClearNetRoundTrip:
             return  # collided with the foreign wiring; nothing to test
         g.clear_net(3)
         assert g.matches(before)
+
+
+class TestIndexValidation:
+    """Index-taking accessors reject out-of-range (esp. negative) indices.
+
+    Python's negative indexing used to wrap around silently, returning
+    the wrong cell instead of failing; every point accessor now raises
+    ``IndexError`` naming the offending index.
+    """
+
+    def test_coord_of_negative_v(self):
+        g = make_grid()
+        with pytest.raises(IndexError, match="v-track index -1"):
+            g.coord_of(-1, 2)
+
+    def test_coord_of_negative_h(self):
+        g = make_grid()
+        with pytest.raises(IndexError, match="h-track index -3"):
+            g.coord_of(3, -3)
+
+    def test_coord_of_too_large(self):
+        g = make_grid(10, 8)
+        with pytest.raises(IndexError, match="v-track index 10"):
+            g.coord_of(10, 0)
+        with pytest.raises(IndexError, match="h-track index 8"):
+            g.coord_of(0, 8)
+
+    def test_slot_accessors_validate(self):
+        g = make_grid()
+        for call in (
+            lambda: g.h_slot(-1, 0),
+            lambda: g.v_slot(0, -2),
+            lambda: g.corner_free(-4, 0, 1),
+        ):
+            with pytest.raises(IndexError):
+                call()
+
+    def test_mutators_validate(self):
+        g = make_grid()
+        with pytest.raises(IndexError):
+            g.reserve_terminal(-1, 0, net_id=1)
+        with pytest.raises(IndexError):
+            g.occupy_corner(0, -1, net_id=1)
+        with pytest.raises(IndexError):
+            g.mark_terminal_routed(-2, -2)
+
+    def test_rejected_mutation_leaves_grid_clean(self):
+        g = make_grid()
+        before = g.snapshot()
+        with pytest.raises(IndexError):
+            g.reserve_terminal(-1, 3, net_id=5)
+        assert g.matches(before)
+
+    def test_window_snapshot_entirely_off_grid(self):
+        g = make_grid(10, 8)
+        with pytest.raises(IndexError):
+            g.window_snapshot(Interval(-5, -1), Interval(0, 3))
+        with pytest.raises(IndexError):
+            g.window_snapshot(Interval(0, 3), Interval(8, 11))
+
+    def test_window_snapshot_partial_overhang_still_clamps(self):
+        # Padded search windows legitimately poke past the edge; only a
+        # fully off-grid window is an error.
+        g = make_grid(10, 8)
+        snap = g.window_snapshot(Interval(-2, 4), Interval(5, 9))
+        assert g.window_matches(snap)

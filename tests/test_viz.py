@@ -1,12 +1,16 @@
 """Tests for the ASCII/SVG renderers."""
 
+import os
+from pathlib import Path
+
 from repro.bench_suite import random_design
 from repro.channels import ChannelProblem, GreedyChannelRouter
-from repro.core import LevelBRouter
+from repro.core import LevelBConfig, LevelBRouter
 from repro.core.search import MBFSearch
 from repro.flow import overcell_flow
 from repro.geometry import Rect
 from repro.viz import (
+    levelb_legend,
     render_channel,
     render_levelb_ascii,
     render_pst,
@@ -16,6 +20,8 @@ from repro.viz import (
 from repro.viz.svg import svg_flow_result
 
 from conftest import make_figure1_instance, make_toy_design
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
 
 
 class TestChannelRendering:
@@ -96,3 +102,64 @@ class TestLevelBRendering:
         doc = svg_flow_result(result)
         assert doc.startswith("<svg")
         assert design.name in doc
+
+
+def _golden_result():
+    """A small deterministic two-plane routing for snapshot tests."""
+    design = make_toy_design()
+    return LevelBRouter(
+        Rect(0, 0, 256, 256),
+        list(design.nets.values()),
+        config=LevelBConfig(planes=2),
+    ).route()
+
+
+def _check_golden(name: str, rendered: str) -> None:
+    """Compare against tests/golden/<name>; REGEN_GOLDEN=1 rewrites."""
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(rendered)
+    assert path.exists(), (
+        f"golden file {path} missing - run with REGEN_GOLDEN=1 to create"
+    )
+    assert rendered == path.read_text(), (
+        f"rendering drifted from {path}; if the change is intended, "
+        "regenerate with REGEN_GOLDEN=1"
+    )
+
+
+class TestGoldenRenderings:
+    """Snapshot tests: renderings of a routed two-plane design.
+
+    The routers are deterministic, so the rendered output is stable
+    byte-for-byte.  The golden files live in ``tests/golden/``;
+    re-create them with ``REGEN_GOLDEN=1 pytest tests/test_viz.py``
+    after an intended rendering change.
+    """
+
+    def test_ascii_snapshot_with_plane_legend(self):
+        result = _golden_result()
+        art = render_levelb_ascii(result, width=60, legend=True)
+        assert "plane 0 (metal3/metal4)" in art
+        assert "plane 1 (metal5/metal6)" in art
+        _check_golden("levelb_planes2.txt", art)
+
+    def test_svg_golden_with_plane_legend(self):
+        result = _golden_result()
+        doc = svg_layout(
+            Rect(0, 0, 256, 256),
+            levelb=result,
+            title="golden two-plane routing",
+            legend=True,
+        )
+        assert "plane 0: metal3/metal4" in doc
+        assert "plane 1: metal5/metal6" in doc
+        # Higher planes draw dashed so the stack reads at a glance.
+        assert "stroke-dasharray" in doc
+        _check_golden("levelb_planes2.svg", doc)
+
+    def test_legend_matches_plane_count(self):
+        result = _golden_result()
+        legend = levelb_legend(result)
+        assert len(legend.splitlines()) == result.num_planes == 2
