@@ -1,0 +1,67 @@
+"""CI smoke for routing-as-a-service (docs/SERVING.md).
+
+Boots a server, submits a bundled-suite job, streams its progress
+events live, verifies the result, resubmits the identical spec and
+requires a cache hit, then drains cleanly.  Exits non-zero on any
+deviation so the CI serve job gates on the full request lifecycle.
+
+Usage: PYTHONPATH=src python benchmarks/serve_smoke.py [suite]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.serve import RoutingServer, ServeClient
+
+
+def main() -> int:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "ami33"
+    server = RoutingServer(port=0, workers=2, cache_size=32).start()
+    print(f"serve smoke: server on {server.address}")
+    try:
+        client = ServeClient(server.host, server.port, timeout_s=300.0)
+        health = client.health()
+        assert health["ok"] and health["state"] == "serving", health
+
+        spec = {"design": suite, "flow": "overcell", "check": True}
+        record = client.submit(spec)
+        print(f"submitted {record['id']} ({suite}, checked)")
+
+        streamed = list(client.stream(record["id"]))
+        names = [e.get("event") for e in streamed]
+        assert names[-1] == "serve.stream_end", names[-10:]
+        assert "serve.job_state" in names
+        assert "net.routed" in names, "no live routing progress streamed"
+        print(f"streamed {len(streamed)} progress events")
+
+        final = client.wait(record["id"], timeout_s=300.0)
+        assert final["state"] == "done" and final["ok"], final
+        payload = client.result(record["id"])["payload"]
+        assert payload["completion"] == 1.0, payload
+        assert payload["check_clean"] is True, payload
+        print(
+            f"routed {suite}: completion {payload['completion']}, "
+            f"check CLEAN, wl={payload['wire_length']:,}"
+        )
+
+        duplicate = client.submit(spec)
+        assert duplicate["cache_hit"] is True, duplicate
+        assert duplicate["state"] == "done", duplicate
+        print(f"resubmission answered from cache ({duplicate['id']})")
+
+        stats = client.stats()
+        counters = stats["queue"]["counters"]
+        assert counters["cache_hits"] >= 1, counters
+        print(f"counters: {counters}")
+
+        client.shutdown(drain=True)
+        assert server.wait_stopped(timeout_s=60.0), "shutdown did not drain"
+        print("serve smoke: OK")
+        return 0
+    finally:
+        server.stop(drain=False)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Serve load test: concurrent clients against one routing server.
+
+Boots a :class:`repro.serve.RoutingServer` in-process, fires a burst of
+concurrent clients at it — a small pool of distinct designs, each
+requested many times, the realistic shape of a what-if serving
+workload — and measures per-request latency end to end (submit until
+the terminal record is in hand).  Duplicates must be answered from the
+content-addressed cache or coalesced onto an in-flight run, so the
+router executes once per distinct design no matter the request count.
+
+Exports ``benchmarks/artifacts/BENCH_serve.json`` with p50/p99 latency,
+throughput, and the cache hit-rate; asserts correctness (every request
+completes with full routing) and that the cache actually absorbed the
+duplicate load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+
+from repro.io import design_to_dict
+from repro.netlist import Design, Edge
+from repro.serve import RoutingServer, ServeClient
+
+from conftest import print_experiment
+
+ARTIFACTS = os.path.join(os.path.dirname(__file__), "artifacts")
+
+N_REQUESTS = 200
+N_CLIENTS = 20
+N_DISTINCT = 10
+MIN_HIT_RATE = 0.5  # 10 distinct designs over 200 requests -> ~0.95
+
+
+def make_small_design(seed: int) -> Design:
+    """A placed 4-cell design that routes in milliseconds."""
+    rng = random.Random(seed)
+    design = Design(f"load{seed}")
+    for i in range(4):
+        cell = design.add_cell(f"c{i}", 80, 64)
+        cell.place(16 + (i % 2) * 120, 16 + (i // 2) * 104)
+    pins = []
+    for i in range(4):
+        for j in range(6):
+            edge = Edge.TOP if j % 2 == 0 else Edge.BOTTOM
+            pins.append(design.add_pin(f"c{i}", f"p{j}", edge, 8 + j * 8))
+    rng.shuffle(pins)
+    idx = 0
+    for k, size in enumerate([2, 2, 3, 2, 4, 3]):
+        net = design.add_net(f"n{k}")
+        for pin in pins[idx : idx + size]:
+            net.add_pin(pin)
+        idx += size
+    return design
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(p * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def test_serve_load():
+    specs = [
+        {"design": design_to_dict(make_small_design(seed))}
+        for seed in range(N_DISTINCT)
+    ]
+    server = RoutingServer(
+        port=0, workers=2, cache_size=64, queue_size=N_REQUESTS + 16
+    ).start()
+
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+    assignments = [specs[i % N_DISTINCT] for i in range(N_REQUESTS)]
+    cursor = {"next": 0}
+
+    def client_loop() -> None:
+        client = ServeClient(server.host, server.port, timeout_s=120.0)
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= N_REQUESTS:
+                    return
+                cursor["next"] = i + 1
+            spec = assignments[i]
+            started = time.perf_counter()
+            try:
+                record = client.submit(spec)
+                if record["state"] not in ("done", "failed"):
+                    record = client.wait(record["id"], timeout_s=120.0)
+                elapsed = time.perf_counter() - started
+                if record["state"] != "done" or not record["ok"]:
+                    raise RuntimeError(
+                        f"job {record['id']} ended {record['state']}: "
+                        f"{record.get('error')}"
+                    )
+                with lock:
+                    latencies.append(elapsed)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                with lock:
+                    failures.append(f"request {i}: {exc}")
+                return
+
+    wall_started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_loop) for _ in range(N_CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600.0)
+    wall_s = time.perf_counter() - wall_started
+
+    stats = server.stats()
+    server.stop(drain=False)
+
+    assert not failures, failures[:5]
+    assert len(latencies) == N_REQUESTS
+
+    counters = stats["queue"]["counters"]
+    hits = counters["cache_hits"]
+    hit_rate = hits / N_REQUESTS
+    # the router ran once per distinct design; everything else was
+    # absorbed by the cache or coalesced onto an in-flight run
+    assert counters["cache_misses"] == N_DISTINCT
+    assert hit_rate >= MIN_HIT_RATE, f"hit rate {hit_rate:.2f} ({counters})"
+
+    latencies.sort()
+    p50 = percentile(latencies, 0.50)
+    p99 = percentile(latencies, 0.99)
+    doc = {
+        "format": "repro-bench-serve",
+        "requests": N_REQUESTS,
+        "clients": N_CLIENTS,
+        "distinct_designs": N_DISTINCT,
+        "workers": 2,
+        "cpus": os.cpu_count() or 1,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(N_REQUESTS / wall_s, 2),
+        "latency_s": {
+            "p50": round(p50, 5),
+            "p99": round(p99, 5),
+            "min": round(latencies[0], 5),
+            "max": round(latencies[-1], 5),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": counters["cache_misses"],
+            "coalesced": counters["coalesced"],
+            "hit_rate": round(hit_rate, 4),
+        },
+    }
+    os.makedirs(ARTIFACTS, exist_ok=True)
+    out = os.path.join(ARTIFACTS, "BENCH_serve.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print_experiment(
+        "Serve load - concurrent clients vs one server",
+        "\n".join(
+            [
+                f"{N_REQUESTS} requests / {N_CLIENTS} clients / "
+                f"{N_DISTINCT} distinct designs",
+                f"wall {wall_s:6.2f}s  throughput "
+                f"{doc['throughput_rps']:.1f} req/s",
+                f"latency p50 {p50 * 1000:7.1f}ms  p99 {p99 * 1000:7.1f}ms",
+                f"cache hit-rate {hit_rate:.1%} "
+                f"({hits} hits, {counters['coalesced']} coalesced)",
+                f"(exported {out})",
+            ]
+        ),
+    )

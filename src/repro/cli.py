@@ -208,6 +208,38 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent routing server (repro.serve)."""
+    from repro.serve import RoutingServer
+
+    server = RoutingServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        queue_size=args.queue_size,
+    )
+    server.start()
+    # flush immediately: supervisors and scripts read the bound address
+    # from the first line even when stdout is a pipe
+    print(f"serving on {server.address} ({args.workers} workers)", flush=True)
+    print(
+        "POST /jobs to submit, GET /stats for counters; "
+        "Ctrl-C to drain and stop",
+        flush=True,
+    )
+    try:
+        while not server.wait_stopped(timeout_s=1.0):
+            pass
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        server.stop(drain=True)
+    print("server stopped")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     design = _load_design_arg(args)
     baseline = two_layer_flow(design)
@@ -361,6 +393,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_disp.add_argument("--json", help="write the batch report as JSON")
     p_disp.set_defaults(func=_cmd_dispatch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent routing server (repro.serve)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8787, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="routing worker threads"
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="max entries in the content-addressed result cache",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (s)"
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, help="retries per failed job"
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="max queued jobs before submissions get 503",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument("--suite", choices=sorted(SUITES))

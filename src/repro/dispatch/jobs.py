@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from concurrent import futures
 from dataclasses import dataclass, field
+from collections.abc import Callable
 
 from repro import instrument
 from repro.instrument.names import (
@@ -70,9 +71,18 @@ class JobOutcome:
     summary: dict | None = None
 
     def to_dict(self) -> dict:
+        """JSON-safe snapshot; round-trips through :meth:`from_dict`.
+
+        Every value is a JSON scalar/dict/list and ``elapsed_s`` is
+        pre-rounded, so ``json.loads(json.dumps(d, sort_keys=True))``
+        equals ``d`` exactly — the serve protocol relies on this when
+        it relays outcomes to HTTP clients.
+        """
         return {
             "design": self.job.design,
             "flow": self.job.flow,
+            "check": self.job.check,
+            "parallel": self.job.parallel,
             "ok": self.ok,
             "attempts": self.attempts,
             "elapsed_s": round(self.elapsed_s, 6),
@@ -80,6 +90,24 @@ class JobOutcome:
             "error": self.error,
             "summary": self.summary,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobOutcome":
+        """Rebuild an outcome written by :meth:`to_dict`."""
+        return cls(
+            job=Job(
+                design=data["design"],
+                flow=data.get("flow", "overcell"),
+                check=bool(data.get("check", False)),
+                parallel=int(data.get("parallel", 0)),
+            ),
+            ok=bool(data["ok"]),
+            attempts=int(data["attempts"]),
+            elapsed_s=float(data["elapsed_s"]),
+            timed_out=bool(data.get("timed_out", False)),
+            error=data.get("error"),
+            summary=data.get("summary"),
+        )
 
 
 @dataclass
@@ -104,6 +132,7 @@ class BatchReport:
         return len(self.outcomes) - self.completed
 
     def to_dict(self) -> dict:
+        """JSON-safe snapshot; round-trips through :meth:`from_dict`."""
         return {
             "format": "repro-dispatch-batch",
             "ok": self.ok,
@@ -112,6 +141,18 @@ class BatchReport:
             "wall_s": round(self.wall_s, 6),
             "jobs": [o.to_dict() for o in self.outcomes],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchReport":
+        """Rebuild a report written by :meth:`to_dict`."""
+        if data.get("format") != "repro-dispatch-batch":
+            raise ValueError("not a repro dispatch batch document")
+        return cls(
+            outcomes=[JobOutcome.from_dict(j) for j in data["jobs"]],
+            wall_s=float(data["wall_s"]),
+            workers=int(data["workers"]),
+            mode=data["mode"],
+        )
 
     def render(self) -> str:
         lines = [
@@ -202,10 +243,21 @@ class JobRunner:
     ``workers``/``mode`` select the pool (``"process"`` with automatic
     thread fallback, ``"thread"``, or ``"serial"`` for in-line
     execution).  ``timeout_s`` bounds each job's wall time (pool modes
-    only; a timed-out job is recorded, never retried — its worker may
-    still be running, so the pool is rebuilt afterwards).  A job that
-    raises or dies with its worker process is retried up to
-    ``retries`` times.
+    only).  A job that raises or dies with its worker process is
+    retried up to ``retries`` times; a timed-out job is recorded and,
+    with ``retry_timeouts=True``, also retried — its old worker may
+    still be running, but the pool is rebuilt between rounds so the
+    retry always lands on a fresh executor.  ``repro.serve`` turns
+    timeout retries on so a transiently stuck routing job gets a
+    second chance before the client sees a failure.
+
+    ``job_body`` is the submission hook: the callable each job is
+    handed to (default :func:`_execute_job`, which loads and routes
+    the design named by the job).  Callers that need richer payloads —
+    serve injects a closure that routes an *inline* design under a
+    per-job collector — swap the body while keeping the runner's
+    queueing, timeout, retry and accounting behaviour.  Bodies must be
+    picklable for ``mode="process"``; closures require thread/serial.
     """
 
     def __init__(
@@ -215,6 +267,8 @@ class JobRunner:
         mode: str = "process",
         timeout_s: float | None = None,
         retries: int = 1,
+        retry_timeouts: bool = False,
+        job_body: Callable[[Job], dict] | None = None,
     ) -> None:
         if mode not in ("process", "thread", "serial"):
             raise ValueError(f"unknown job runner mode {mode!r}")
@@ -222,6 +276,8 @@ class JobRunner:
         self.mode = mode
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
+        self.retry_timeouts = retry_timeouts
+        self.job_body = job_body if job_body is not None else _execute_job
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[Job]) -> BatchReport:
@@ -264,7 +320,7 @@ class JobRunner:
             attempts += 1
             try:
                 with instrument.span(SPAN_DISPATCH_JOB):
-                    summary = _execute_job(job)
+                    summary = self.job_body(job)
             except Exception as exc:
                 if attempts <= self.retries:
                     instrument.count(DISPATCH_JOBS_RETRIED)
@@ -309,7 +365,7 @@ class JobRunner:
         while pending:
             executor, mode = self._new_executor()
             submitted = {
-                i: executor.submit(_execute_job, jobs[i]) for i in pending
+                i: executor.submit(self.job_body, jobs[i]) for i in pending
             }
             instrument.count(DISPATCH_JOBS_SUBMITTED, len(pending))
             requeue: list[int] = []
@@ -321,14 +377,18 @@ class JobRunner:
                 except futures.TimeoutError:
                     fut.cancel()
                     instrument.count(DISPATCH_JOBS_TIMED_OUT)
-                    outcomes[i] = JobOutcome(
-                        job=job,
-                        ok=False,
-                        attempts=attempts[i],
-                        elapsed_s=time.perf_counter() - started[i],
-                        timed_out=True,
-                        error=f"timed out after {self.timeout_s}s",
-                    )
+                    if self.retry_timeouts and attempts[i] <= self.retries:
+                        instrument.count(DISPATCH_JOBS_RETRIED)
+                        requeue.append(i)
+                    else:
+                        outcomes[i] = JobOutcome(
+                            job=job,
+                            ok=False,
+                            attempts=attempts[i],
+                            elapsed_s=time.perf_counter() - started[i],
+                            timed_out=True,
+                            error=f"timed out after {self.timeout_s}s",
+                        )
                 except Exception as exc:
                     # Worker crash (BrokenExecutor) or job exception:
                     # retry on a fresh pool until attempts run out.

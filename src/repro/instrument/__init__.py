@@ -42,6 +42,7 @@ from repro.instrument.collector import (
     get_collector,
     set_collector,
     span,
+    thread_collecting,
 )
 from repro.instrument.export import (
     PROFILE_FORMAT,
@@ -76,6 +77,7 @@ __all__ = [
     "snapshot",
     "span",
     "spans_to_csv",
+    "thread_collecting",
     "to_json",
     "tree_report",
     "write_json",

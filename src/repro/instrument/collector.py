@@ -24,15 +24,25 @@ collection is disabled, so callers (e.g. ``LevelBRouter.route``) can
 source their timing from the span unconditionally.
 
 The collector is not thread-safe; give each thread its own collector
-via :func:`set_collector` if routing ever goes parallel.
+via :func:`thread_collecting`, which overrides the global one for the
+calling thread only.  Long-lived multi-tenant processes (the
+``repro.serve`` job workers) run each job under its own thread-local
+collector so concurrent jobs never interleave spans or counters, while
+single-threaded callers keep the plain global swap.
+
+Collectors also expose a *subscription point*: listeners registered
+with :meth:`Collector.subscribe` see every structured event as it is
+recorded.  That is how serve streams live per-net progress to HTTP
+clients without polling the event list.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from typing import Any
 
 
@@ -138,6 +148,7 @@ class Collector:
         self.events: list[dict[str, Any]] = []
         self._stack: list[SpanNode] = [self.root]
         self._seq = 0
+        self._listeners: list[Callable[[dict[str, Any]], None]] = []
 
     # -- spans ----------------------------------------------------------
     def span(self, name: str) -> Span:
@@ -176,7 +187,31 @@ class Collector:
 
     def event(self, name: str, **fields: Any) -> None:
         self._seq += 1
-        self.events.append({"seq": self._seq, "event": name, **fields})
+        record = {"seq": self._seq, "event": name, **fields}
+        self.events.append(record)
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception:
+                # A broken subscriber must never take routing down.
+                pass
+
+    # -- event subscription --------------------------------------------
+    def subscribe(self, listener: Callable[[dict[str, Any]], None]) -> None:
+        """Call ``listener(record)`` for every event as it is recorded.
+
+        Listeners run synchronously on the recording thread; keep them
+        cheap (append to a buffer, notify a condition).  Exceptions are
+        swallowed — observability never fails the observed work.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[dict[str, Any]], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
 
 class NullCollector(Collector):
@@ -205,9 +240,21 @@ class NullCollector(Collector):
 _NULL = NullCollector()
 _active: Collector = _NULL
 
+# Per-thread overrides (``thread_collecting``).  ``_tls_users`` counts
+# live overrides so the hot-path helpers only pay the thread-local
+# lookup while at least one exists — zero-cost for the common
+# single-collector case.
+_tls = threading.local()
+_tls_lock = threading.Lock()
+_tls_users = 0
+
 
 def active() -> Collector:
-    """The currently installed collector (a NullCollector by default)."""
+    """The calling thread's collector (the global one by default)."""
+    if _tls_users:
+        col = getattr(_tls, "collector", None)
+        if col is not None:
+            return col  # type: ignore[no-any-return]
     return _active
 
 
@@ -234,29 +281,54 @@ def collecting(collector: Collector | None = None) -> Iterator[Collector]:
         _active = previous
 
 
+@contextmanager
+def thread_collecting(collector: Collector | None = None) -> Iterator[Collector]:
+    """Enable collection for this thread only; restores on exit.
+
+    Unlike :func:`collecting`, other threads keep whatever collector
+    they had — global or their own override.  This is the isolation
+    primitive for concurrent multi-tenant work: each ``repro.serve``
+    job thread wraps its flow run in ``thread_collecting(col)`` so
+    simultaneous jobs record into disjoint span trees and event logs.
+    Nesting works (the previous override is restored).
+    """
+    global _tls_users
+    previous = getattr(_tls, "collector", None)
+    col = collector if collector is not None else Collector()
+    with _tls_lock:
+        _tls_users += 1
+    _tls.collector = col
+    try:
+        yield col
+    finally:
+        _tls.collector = previous
+        with _tls_lock:
+            _tls_users -= 1
+
+
 def enabled() -> bool:
     """True when the active collector records (ultra-hot-path guard)."""
-    return _active.enabled
+    return active().enabled
 
 
 # -- module-level fast paths (the instrumentation call sites) ----------
 def span(name: str) -> Span:
-    return _active.span(name)
+    return active().span(name)
 
 
 def count(name: str, n: int = 1) -> None:
-    c = _active
+    c = active()
     if c.enabled:
         c.count(name, n)
 
 
 def gauge(name: str, value: float) -> None:
-    c = _active
+    c = active()
     if c.enabled:
         c.gauge(name, value)
 
 
 def event(name: str, **fields: Any) -> None:
-    c = _active
+    c = active()
     if c.enabled:
         c.event(name, **fields)

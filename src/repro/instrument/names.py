@@ -32,6 +32,9 @@ SPAN_DISPATCH_APPLY = "dispatch.apply"
 SPAN_DISPATCH_BATCH = "dispatch.batch"
 SPAN_DISPATCH_JOB = "dispatch.job"
 
+SPAN_SERVE_JOB = "serve.job"
+SPAN_SERVE_PROBE = "serve.probe"
+
 # -- counters ----------------------------------------------------------
 MBFS_SEARCHES = "mbfs.searches"
 MBFS_NODES_EXPANDED = "mbfs.nodes_expanded"
@@ -65,6 +68,14 @@ DISPATCH_JOBS_COMPLETED = "dispatch.jobs_completed"
 DISPATCH_JOBS_FAILED = "dispatch.jobs_failed"
 DISPATCH_JOBS_RETRIED = "dispatch.jobs_retried"
 DISPATCH_JOBS_TIMED_OUT = "dispatch.jobs_timed_out"
+SERVE_REQUESTS = "serve.requests"
+SERVE_JOBS_SUBMITTED = "serve.jobs_submitted"
+SERVE_JOBS_COMPLETED = "serve.jobs_completed"
+SERVE_JOBS_FAILED = "serve.jobs_failed"
+SERVE_CACHE_HITS = "serve.cache_hits"
+SERVE_CACHE_MISSES = "serve.cache_misses"
+SERVE_COALESCED = "serve.jobs_coalesced"
+SERVE_PROBES = "serve.probes"
 CHECKS_RUN = "check.runs"
 CHECK_RULES_EVALUATED = "check.rules_evaluated"
 CHECK_VIOLATIONS = "check.violations"
@@ -83,3 +94,4 @@ EVT_PLANE_ASSIGNED = "levelb.plane_assigned"
 EVT_WAVE_PLANNED = "dispatch.wave_planned"
 EVT_SPEC_CONFLICT = "dispatch.conflict"
 EVT_JOB_FINISHED = "dispatch.job_finished"
+EVT_SERVE_JOB_STATE = "serve.job_state"

@@ -5,6 +5,8 @@ results: :func:`design_to_dict` / :func:`design_from_dict` round-trip a
 complete :class:`~repro.netlist.Design` (including placement state and
 net attributes), and :func:`levelb_result_to_dict` /
 :func:`flow_result_to_dict` export routing outcomes as plain data.
+:func:`canonical_digest` hashes any JSON-representable document
+(sorted-key canonical form) for content-addressed result caching.
 """
 
 from repro.io.design_io import (
@@ -13,6 +15,7 @@ from repro.io.design_io import (
     load_design,
     save_design,
 )
+from repro.io.digest import canonical_digest, canonical_json
 from repro.io.result_io import flow_result_to_dict, levelb_result_to_dict
 from repro.io.tech_io import (
     load_technology,
@@ -22,6 +25,8 @@ from repro.io.tech_io import (
 )
 
 __all__ = [
+    "canonical_digest",
+    "canonical_json",
     "design_to_dict",
     "design_from_dict",
     "save_design",

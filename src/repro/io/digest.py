@@ -1,0 +1,42 @@
+"""Canonical JSON hashing for content-addressed caching.
+
+A *canonical digest* is the sha256 of an object's canonical JSON
+form: keys sorted at every nesting level, compact separators, no
+NaN/Infinity leakage.  Two dicts that compare equal produce the same
+digest regardless of insertion order, so the digest can key caches of
+expensive results — ``repro.serve`` uses it to answer repeated routing
+requests without re-routing (docs/SERVING.md).
+
+Only JSON-representable data digests: feed this the *serialised* form
+of a request (``design_to_dict`` / ``technology_to_dict`` output plus
+plain parameter dicts), never live objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_digest", "canonical_json"]
+
+
+def canonical_json(obj: Any) -> str:
+    """``obj`` as canonical JSON: sorted keys, compact, ASCII-safe.
+
+    Raises ``ValueError`` for data JSON cannot represent faithfully
+    (NaN/Infinity would otherwise serialise to non-JSON tokens and
+    break digest interoperability).
+    """
+    return json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_digest(obj: Any) -> str:
+    """Hex sha256 of :func:`canonical_json` — order-insensitive."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

@@ -1,0 +1,73 @@
+"""Content-addressed LRU result cache.
+
+Keys are canonical sha256 digests of the request (see
+:meth:`repro.serve.protocol.JobSpec.digest`); values are the JSON-safe
+result payloads the worker produced.  A bounded ``OrderedDict`` with
+move-to-front on hit gives O(1) get/put and strict LRU eviction, and
+every operation is lock-guarded — the cache is shared by all HTTP
+handler threads and job workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+
+class ResultCache:
+    """Thread-safe LRU mapping ``digest -> payload``."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, digest: str) -> dict[str, Any] | None:
+        """The cached payload, freshened to most-recently-used."""
+        with self._lock:
+            payload = self._entries.get(digest)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return payload
+
+    def peek(self, digest: str) -> bool:
+        """Membership without touching recency or hit/miss counters."""
+        with self._lock:
+            return digest in self._entries
+
+    def put(self, digest: str, payload: dict[str, Any]) -> None:
+        """Insert/refresh an entry, evicting the LRU tail if full."""
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+            self._entries[digest] = payload
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

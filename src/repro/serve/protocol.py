@@ -1,0 +1,267 @@
+"""The serve wire protocol: job specifications and their execution.
+
+A :class:`JobSpec` is everything a client sends to request a routing
+run: the design (a built-in suite name or an inline ``repro-design``
+document), the flow, an optional technology document, and the routing
+knobs that change the answer (``planes``) or how it is produced
+(``parallel``, ``check``).  Specs validate strictly on ingest so a
+malformed request fails at the HTTP boundary, not inside a worker.
+
+Every spec has a *canonical digest* — :func:`repro.io.canonical_digest`
+over its canonical document — which keys the server's result cache.
+``parallel`` is deliberately **excluded** from the digest: the dispatch
+determinism contract guarantees speculative routing is bit-identical
+to serial routing (docs/PARALLELISM.md), so requests differing only in
+worker count share one cache entry.  ``check`` *is* included because
+it changes the payload (the attached verification report).
+
+:func:`execute_spec` is the worker-side body: build the design and
+``FlowParams``, run the flow, and flatten the outcome into a JSON-safe
+payload whose top-level keys (``completion``, ``check_clean``) satisfy
+the dispatch runner's success predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.io import canonical_digest
+
+PROTOCOL_VERSION = 1
+
+FLOW_NAMES = ("two-layer", "overcell", "ml-channel")
+
+_SPEC_KEYS = frozenset(
+    {"design", "flow", "technology", "planes", "parallel", "check"}
+)
+
+
+class SpecError(ValueError):
+    """A client request that fails validation (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated routing request.
+
+    ``design`` is a built-in suite name (``repro.bench_suite.SUITES``)
+    or an inline ``repro-design`` document; ``technology`` an optional
+    ``repro-technology`` document.  Inline documents are kept as plain
+    dicts — they are rebuilt inside the worker, so a spec stays cheap
+    to hold in queues and caches.
+    """
+
+    design: str | dict[str, Any]
+    flow: str = "overcell"
+    technology: dict[str, Any] | None = None
+    planes: int = 1
+    parallel: int = 0
+    check: bool = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
+        """Validate and build a spec from a client JSON document."""
+        if not isinstance(data, dict):
+            raise SpecError("job spec must be a JSON object")
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise SpecError(f"unknown job spec keys: {sorted(unknown)}")
+        if "design" not in data:
+            raise SpecError("job spec requires a 'design'")
+        design = data["design"]
+        if isinstance(design, str):
+            from repro.bench_suite import SUITES
+
+            if design not in SUITES:
+                raise SpecError(
+                    f"unknown suite {design!r} (available: {sorted(SUITES)})"
+                )
+        elif isinstance(design, dict):
+            if design.get("format") != "repro-design":
+                raise SpecError(
+                    "inline design must be a 'repro-design' document"
+                )
+        else:
+            raise SpecError("'design' must be a suite name or design document")
+        flow = data.get("flow", "overcell")
+        if flow not in FLOW_NAMES:
+            raise SpecError(
+                f"unknown flow {flow!r} (available: {sorted(FLOW_NAMES)})"
+            )
+        technology = data.get("technology")
+        if technology is not None:
+            if (
+                not isinstance(technology, dict)
+                or technology.get("format") != "repro-technology"
+            ):
+                raise SpecError(
+                    "'technology' must be a 'repro-technology' document"
+                )
+        planes = data.get("planes", 1)
+        if not isinstance(planes, int) or planes < 1:
+            raise SpecError("'planes' must be an integer >= 1")
+        parallel = data.get("parallel", 0)
+        if not isinstance(parallel, int) or parallel < 0:
+            raise SpecError("'parallel' must be an integer >= 0")
+        check = data.get("check", False)
+        if not isinstance(check, bool):
+            raise SpecError("'check' must be a boolean")
+        return cls(
+            design=design,
+            flow=flow,
+            technology=technology,
+            planes=planes,
+            parallel=parallel,
+            check=check,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "design": self.design,
+            "flow": self.flow,
+            "technology": self.technology,
+            "planes": self.planes,
+            "parallel": self.parallel,
+            "check": self.check,
+        }
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> dict[str, Any]:
+        """The digest-relevant content (``parallel`` excluded)."""
+        return {
+            "kind": "job",
+            "version": PROTOCOL_VERSION,
+            "design": self.design,
+            "flow": self.flow,
+            "technology": self.technology,
+            "planes": self.planes,
+            "check": self.check,
+        }
+
+    def digest(self) -> str:
+        """Content digest keying the result cache."""
+        return canonical_digest(self.canonical())
+
+    @property
+    def design_name(self) -> str:
+        if isinstance(self.design, str):
+            return self.design
+        return str(self.design.get("name", "inline"))
+
+
+def probe_canonical(spec: JobSpec) -> dict[str, Any]:
+    """Digest document for the ``/probe`` endpoint.
+
+    Probes share the result cache with full jobs but live in their own
+    key namespace — a cached probe never answers a job or vice versa.
+    The flow is irrelevant: probes are always over-cell shaped.
+    """
+    doc = spec.canonical()
+    doc["kind"] = "probe"
+    doc.pop("flow", None)
+    doc.pop("check", None)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+def build_design(spec: JobSpec) -> Any:
+    """Materialise the spec's design (suite factory or inline doc)."""
+    if isinstance(spec.design, str):
+        from repro.bench_suite import SUITES
+
+        return SUITES[spec.design]()
+    from repro.io import design_from_dict
+
+    return design_from_dict(spec.design)
+
+
+def build_params(spec: JobSpec) -> Any:
+    """The :class:`~repro.flow.FlowParams` a spec translates to.
+
+    In-server parallel routing uses thread dispatch: the serving
+    process is already multi-threaded and fork-from-threads is the
+    kind of surprise a long-lived server cannot afford.
+    """
+    from repro.flow import FlowParams
+    from repro.io import technology_from_dict
+
+    kwargs: dict[str, Any] = {
+        "planes": spec.planes,
+        "parallel": spec.parallel,
+        "parallel_mode": "thread",
+        "checked": spec.check,
+    }
+    if spec.technology is not None:
+        kwargs["technology"] = technology_from_dict(spec.technology)
+    return FlowParams(**kwargs)
+
+
+def execute_spec(spec: JobSpec) -> dict[str, Any]:
+    """Route one spec and flatten the outcome into a JSON payload.
+
+    The top level carries the summary metrics the dispatch runner's
+    success predicate reads (``completion``, ``check_clean``); the
+    full :func:`~repro.io.flow_result_to_dict` export rides under
+    ``"result"`` for the ``/jobs/<id>/result`` endpoint.
+    """
+    from repro import instrument
+    from repro.flow import (
+        multilayer_channel_flow,
+        overcell_flow,
+        two_layer_flow,
+    )
+    from repro.instrument.names import SPAN_SERVE_JOB
+    from repro.io import flow_result_to_dict
+
+    flows = {
+        "two-layer": two_layer_flow,
+        "overcell": overcell_flow,
+        "ml-channel": multilayer_channel_flow,
+    }
+    design = build_design(spec)
+    params = build_params(spec)
+    with instrument.span(SPAN_SERVE_JOB):
+        result = flows[spec.flow](design, params)
+    payload: dict[str, Any] = {
+        "digest": spec.digest(),
+        "design": result.design,
+        "flow": result.flow,
+        "completion": result.completion,
+        "wire_length": result.wire_length,
+        "via_count": result.via_count,
+        "layout_area": result.layout_area,
+    }
+    if spec.check and result.check_report is not None:
+        payload["check_clean"] = not result.check_report.violations
+        payload["check_violations"] = len(result.check_report.violations)
+    payload["result"] = flow_result_to_dict(result)
+    return payload
+
+
+def execute_probe(spec: JobSpec) -> dict[str, Any]:
+    """Run the fast what-if routability assessment for a spec."""
+    from repro import instrument
+    from repro.flow import routability_probe
+    from repro.instrument.names import SPAN_SERVE_PROBE
+
+    design = build_design(spec)
+    params = build_params(spec)
+    with instrument.span(SPAN_SERVE_PROBE):
+        probe = routability_probe(design, params)
+    return {
+        "digest": canonical_digest(probe_canonical(spec)),
+        "design": probe.design,
+        "routable": probe.routable,
+        "completion": probe.completion,
+        "level_a_nets": probe.level_a_nets,
+        "level_b_nets": probe.level_b_nets,
+        "failed_nets": probe.failed_nets,
+        "level_b_wire": probe.level_b_wire,
+        "level_b_corners": probe.level_b_corners,
+        "ripups": probe.ripups,
+        "grid_restored": probe.grid_restored,
+    }

@@ -22,6 +22,7 @@ from repro.core.tig import GridTerminal
 from repro.dispatch import (
     DispatchConfig,
     Job,
+    JobOutcome,
     JobRunner,
     NetPlan,
     NetTask,
@@ -358,6 +359,169 @@ class TestJobRunner:
         assert doc["ok"] and len(doc["jobs"]) == 2
         text = report.render()
         assert "a/overcell" in text and "b/two-layer" in text
+
+    def test_empty_job_list(self):
+        # The serve queue can drain to empty between submissions; an
+        # empty batch must be a clean no-op in every mode.
+        for mode in ("serial", "thread", "process"):
+            report = JobRunner(2, mode=mode).run([])
+            assert report.ok
+            assert report.completed == 0 and report.failed == 0
+            assert report.outcomes == []
+            doc = report.to_dict()
+            assert doc["jobs"] == []
+            assert jobs_mod.BatchReport.from_dict(doc).to_dict() == doc
+
+    def test_timeout_then_retry_then_success(self):
+        calls = {"n": 0}
+
+        def slow_once(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                time.sleep(1.0)
+            return {"completion": 1.0}
+
+        runner = JobRunner(
+            2,
+            mode="thread",
+            timeout_s=0.1,
+            retries=2,
+            retry_timeouts=True,
+            job_body=slow_once,
+        )
+        report = runner.run([Job(design="x")])
+        assert report.ok
+        assert report.outcomes[0].attempts >= 2
+        assert not report.outcomes[0].timed_out
+
+    def test_timeout_retries_exhausted(self):
+        def always_slow(job):
+            time.sleep(1.0)
+            return {"completion": 1.0}
+
+        runner = JobRunner(
+            2,
+            mode="thread",
+            timeout_s=0.05,
+            retries=1,
+            retry_timeouts=True,
+            job_body=always_slow,
+        )
+        report = runner.run([Job(design="x")])
+        assert not report.ok
+        assert report.outcomes[0].timed_out
+        assert report.outcomes[0].attempts == 2
+
+    def test_worker_crash_recovers_on_fresh_executor(self, tmp_path):
+        import os
+
+        flag = tmp_path / "crashed-once"
+        job = Job(design=f"{flag}:{os.getpid()}")
+        runner = JobRunner(
+            2, mode="process", retries=1, job_body=_crash_once_body
+        )
+        report = runner.run([job])
+        if report.mode != "process":  # pragma: no cover - thread fallback
+            pytest.skip("no process pool available on this platform")
+        assert report.ok
+        assert report.outcomes[0].attempts == 2
+
+    def test_job_body_hook_in_serial_mode(self):
+        seen = []
+
+        def body(job):
+            seen.append(job.name)
+            return {"completion": 1.0, "extra": "payload"}
+
+        report = JobRunner(1, mode="serial", job_body=body).run(
+            [Job(design="d1"), Job(design="d2")]
+        )
+        assert report.ok and seen == ["d1/overcell", "d2/overcell"]
+        assert report.outcomes[1].summary["extra"] == "payload"
+
+
+class TestReportRoundTrip:
+    """to_dict output survives sorted-key JSON and from_dict losslessly."""
+
+    def _sample_report(self):
+        ok = JobOutcome(
+            job=Job(design="a", flow="overcell", check=True, parallel=2),
+            ok=True,
+            attempts=1,
+            elapsed_s=0.1234567,
+            summary={"completion": 1.0, "wire_length": 42, "check_clean": True},
+        )
+        failed = JobOutcome(
+            job=Job(design="b", flow="two-layer"),
+            ok=False,
+            attempts=3,
+            elapsed_s=2.5,
+            error="RuntimeError: boom",
+        )
+        timed_out = JobOutcome(
+            job=Job(design="c"),
+            ok=False,
+            attempts=1,
+            elapsed_s=5.0,
+            timed_out=True,
+            error="timed out after 5.0s",
+        )
+        return jobs_mod.BatchReport(
+            outcomes=[ok, failed, timed_out],
+            wall_s=7.654321987,
+            workers=2,
+            mode="thread",
+        )
+
+    def test_outcome_json_round_trip(self):
+        for outcome in self._sample_report().outcomes:
+            doc = outcome.to_dict()
+            assert json.loads(json.dumps(doc, sort_keys=True)) == doc
+            rebuilt = JobOutcome.from_dict(doc)
+            assert rebuilt.to_dict() == doc
+            assert rebuilt.job == outcome.job
+
+    def test_batch_json_round_trip(self):
+        report = self._sample_report()
+        doc = report.to_dict()
+        assert json.loads(json.dumps(doc, sort_keys=True)) == doc
+        rebuilt = jobs_mod.BatchReport.from_dict(doc)
+        assert rebuilt.to_dict() == doc
+        assert rebuilt.completed == report.completed
+        assert rebuilt.failed == report.failed
+
+    def test_dict_ordering_does_not_change_payload(self):
+        from repro.io import canonical_digest
+
+        doc = self._sample_report().to_dict()
+        reordered = {k: doc[k] for k in reversed(list(doc))}
+        assert canonical_digest(doc) == canonical_digest(reordered)
+
+    def test_from_dict_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            jobs_mod.BatchReport.from_dict({"format": "nope", "jobs": []})
+
+
+def _crash_once_body(job):
+    """Process-pool body that hard-kills its worker exactly once.
+
+    The flag file and submitter pid are smuggled through ``job.design``
+    (``<path>:<pid>``); the flag survives the dead process, so the
+    retry on the rebuilt executor succeeds.  If the runner fell back
+    to threads we would be running *inside* the submitter — raise
+    instead of taking the whole test process down.
+    """
+    import os
+    from pathlib import Path
+
+    path, _, parent_pid = job.design.rpartition(":")
+    flag = Path(path)
+    if not flag.exists():
+        flag.write_text("x")
+        if os.getpid() == int(parent_pid):  # pragma: no cover - fallback
+            raise RuntimeError("thread fallback: cannot simulate crash")
+        os._exit(13)
+    return {"completion": 1.0}
 
 
 # ----------------------------------------------------------------------

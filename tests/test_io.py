@@ -154,3 +154,56 @@ class TestTechnologyRoundTrip:
         doc["vias"] = doc["vias"][:-1]  # drop a via rule
         with _pytest.raises(ValueError):
             technology_from_dict(doc)
+
+
+class TestCanonicalDigest:
+    def test_digest_insensitive_to_dict_ordering(self):
+        from repro.io import canonical_digest
+
+        a = {"flow": "overcell", "planes": 2, "design": {"x": 1, "y": 2}}
+        b = {"design": {"y": 2, "x": 1}, "planes": 2, "flow": "overcell"}
+        assert canonical_digest(a) == canonical_digest(b)
+
+    def test_digest_sensitive_to_values(self):
+        from repro.io import canonical_digest
+
+        base = {"flow": "overcell", "planes": 1}
+        assert canonical_digest(base) != canonical_digest(
+            {"flow": "overcell", "planes": 2}
+        )
+        assert canonical_digest(base) != canonical_digest(
+            {"flow": "two-layer", "planes": 1}
+        )
+
+    def test_digest_pinned(self):
+        # The digest is part of the serve wire protocol: a cache entry
+        # written by one version must be addressable by the next, so
+        # the canonical form is pinned by value here.
+        from repro.io import canonical_digest, canonical_json
+
+        doc = {"b": [1, 2, {"z": None, "a": True}], "a": "x"}
+        assert canonical_json(doc) == '{"a":"x","b":[1,2,{"a":true,"z":null}]}'
+        assert canonical_digest(doc) == (
+            "dcfe2a3d2102de1d1e5f2a65d1feaf2f69b60bea4c08409297eb9df544f8bb5b"
+        )
+
+    def test_list_order_still_matters(self):
+        from repro.io import canonical_digest
+
+        assert canonical_digest([1, 2]) != canonical_digest([2, 1])
+
+    def test_nan_rejected(self):
+        from repro.io import canonical_digest
+
+        with pytest.raises(ValueError):
+            canonical_digest({"x": float("nan")})
+
+    def test_design_digest_stable_across_export_order(self):
+        from repro.io import canonical_digest, design_to_dict
+
+        doc = design_to_dict(make_toy_design())
+        shuffled = json.loads(json.dumps(doc))
+        shuffled["cells"] = [
+            dict(reversed(list(c.items()))) for c in shuffled["cells"]
+        ]
+        assert canonical_digest(doc) == canonical_digest(shuffled)
