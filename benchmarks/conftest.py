@@ -21,6 +21,18 @@ from repro.flow import (
 
 SUITE_NAMES = ("ami33", "xerox", "ex3")
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "time-budget mode: scale benchmarks run only the quick "
+            "tier (used by the CI scale job)"
+        ),
+    )
+
 _FLOWS = {
     "two-layer": two_layer_flow,
     "overcell": overcell_flow,

@@ -11,6 +11,7 @@ statistics exercises identical code paths; see DESIGN.md section 2.
 """
 
 from repro.bench_suite.generator import (
+    SCALE_TIERS,
     SuiteProfile,
     ami33_like,
     design_seed,
@@ -18,6 +19,8 @@ from repro.bench_suite.generator import (
     make_design,
     random_corpus,
     random_design,
+    scale_design,
+    scale_profile,
     xerox_like,
 )
 
@@ -37,4 +40,7 @@ __all__ = [
     "xerox_like",
     "ex3_like",
     "SUITES",
+    "SCALE_TIERS",
+    "scale_design",
+    "scale_profile",
 ]

@@ -71,6 +71,10 @@ def _flow_params(args: argparse.Namespace):
         kwargs["technology"] = load_technology(args.tech)
     if getattr(args, "planes", None):
         kwargs["planes"] = args.planes
+    if getattr(args, "backend", None):
+        kwargs["backend"] = args.backend
+    if getattr(args, "hierarchical", False):
+        kwargs["hierarchical"] = True
     return FlowParams(**kwargs)
 
 
@@ -254,6 +258,23 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_levelb_args(parser: argparse.ArgumentParser) -> None:
+    """Level B storage/strategy knobs shared by the flow-running commands."""
+    from repro.grid import available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="dense",
+        help="occupancy storage backend (docs/SCALING.md; default dense)",
+    )
+    parser.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="coarse-then-detailed level B routing (docs/SCALING.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -279,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_flow.add_argument("--svg", help="write an SVG layout plot")
     p_flow.add_argument("--json", help="write a JSON result summary")
+    _add_levelb_args(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
     p_route = sub.add_parser(
@@ -296,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--svg", help="write an SVG layout plot with the plane legend"
     )
     p_route.add_argument("--json", help="write a JSON result summary")
+    _add_levelb_args(p_route)
     p_route.set_defaults(func=_cmd_route)
 
     p_prof = sub.add_parser(
@@ -318,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write <prefix>.{counters,spans,events}.csv files",
         metavar="PREFIX",
     )
+    _add_levelb_args(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
     p_check = sub.add_parser(
@@ -341,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero on warnings too, not just errors",
     )
+    _add_levelb_args(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_disp = sub.add_parser(
@@ -440,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--top", type=int, default=5,
                           help="slowest pins to list")
     p_report.add_argument("--html", help="also write a single-file HTML report")
+    _add_levelb_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     return parser

@@ -41,6 +41,8 @@ from repro.instrument.names import (
     EVT_RIPUP,
     LEVELB_UTILIZATION,
     MAZE_FALLBACKS,
+    MEM_GRID_BYTES,
+    MEM_GRID_DENSE_EQUIV_BYTES,
     NETS_FAILED,
     NETS_ROUTED,
     OCC_CELLS_TOUCHED,
@@ -144,6 +146,12 @@ class LevelBConfig:
     # via stacks with ``plane_via_weight`` per extra via level.
     planes: int = 1
     plane_via_weight: float = 4.0
+    # Occupancy storage backend (repro.grid.backend registry).  The
+    # default dense arrays are fastest per access; "sparse" keeps
+    # memory proportional to committed geometry so scale-tier designs
+    # fit (docs/SCALING.md).  Backends are bit-identical by contract:
+    # the choice never changes routed geometry.
+    backend: str = "dense"
 
 
 @dataclass
@@ -416,6 +424,7 @@ class LevelBRouter:
             h_pitch=self.stack.plane(0).h_pitch,
             terminal_points=terminal_points,
             num_planes=num_planes,
+            backend=self.config.backend,
         )
         self.obstacles: list[Obstacle] = []
         for obs in obstacles:
@@ -627,6 +636,13 @@ class LevelBRouter:
                 inst.count(NETS_ROUTED, sum(1 for r in routed if r.complete))
                 inst.count(NETS_FAILED, sum(1 for r in routed if not r.complete))
                 inst.gauge(LEVELB_UTILIZATION, self.tig.planes.utilization())
+                inst.gauge(
+                    MEM_GRID_BYTES, float(self.tig.planes.memory_bytes())
+                )
+                inst.gauge(
+                    MEM_GRID_DENSE_EQUIV_BYTES,
+                    float(self.tig.planes.dense_equiv_bytes()),
+                )
         return LevelBResult(
             tig=self.tig,
             routed=routed,

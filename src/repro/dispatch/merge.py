@@ -46,8 +46,10 @@ from repro.instrument.names import (
     DISPATCH_APPLIED,
     DISPATCH_CONFLICTS,
     DISPATCH_FALLBACKS,
+    DISPATCH_HIER_WAVES,
     DISPATCH_SPECULATED,
     DISPATCH_WAVES,
+    EVT_REGIONS_BUILT,
     EVT_SPEC_CONFLICT,
     EVT_WAVE_PLANNED,
     SPAN_DISPATCH_APPLY,
@@ -59,6 +61,7 @@ from repro.core.tig import GridTerminal
 from repro.geometry import Path
 from repro.grid.occupancy import WindowSnapshot
 from repro.netlist import Net
+from repro.globalroute.regions import RegionModel
 from repro.dispatch.plan import DispatchConfig, NetPlan, net_window, plan_wave
 from repro.dispatch.workers import (
     NetTask,
@@ -85,6 +88,8 @@ class WaveSpeculator:
         self._consumed: set[int] = set()
         # net_id -> (future, snapshot) for submitted, not-yet-taken nets.
         self._inflight: dict[int, tuple[SpecFuture, WindowSnapshot]] = {}
+        #: The coarse region model (hierarchical mode only).
+        self._regions: RegionModel | None = None
         self.waves_planned = 0
         self.nets_applied = 0
 
@@ -100,6 +105,15 @@ class WaveSpeculator:
             DISPATCH_SPECULATED,
             DISPATCH_WAVES,
         )
+        if self.config.hierarchical:
+            self._regions = self._build_regions(ordered)
+            instrument.event(
+                EVT_REGIONS_BUILT,
+                regions=self._regions.num_regions,
+                occupied=len(self._regions.occupied_regions()),
+                overflowed=len(self._regions.overflowed_regions()),
+                peak_utilization=self._regions.peak_utilization(),
+            )
 
     def take(self, net: Net) -> RoutedNet | None:
         net_id = self.router.net_id(net)
@@ -177,6 +191,79 @@ class WaveSpeculator:
             return None  # window ~ whole grid: speculation buys nothing
         return plan
 
+    def _build_regions(self, ordered: Sequence[Net]) -> RegionModel:
+        """The coarse pass: every net's read window onto the region grid.
+
+        Windows use the same padded rectangles the wave planner reads
+        (:func:`~repro.dispatch.plan.net_window`); nets too large to
+        speculate still get assigned — their terminal bounding box
+        places them — so region statistics cover the whole netlist.
+        """
+        router = self.router
+        grid = router.tig.grid  # planes share track sets; plane 0 suffices
+        windows: dict[int, tuple[int, int, int, int]] = {}
+        for net in ordered:
+            net_id = router.net_id(net)
+            terminals = router.tig.terminals_of(net_id)
+            if not terminals:
+                continue
+            plan = self._plan_for(net)
+            if plan is not None:
+                windows[net_id] = (
+                    plan.v_iv.lo, plan.v_iv.hi, plan.h_iv.lo, plan.h_iv.hi
+                )
+            else:
+                windows[net_id] = (
+                    min(t.v_idx for t in terminals),
+                    max(t.v_idx for t in terminals),
+                    min(t.h_idx for t in terminals),
+                    max(t.h_idx for t in terminals),
+                )
+        return RegionModel.build(
+            grid.num_vtracks,
+            grid.num_htracks,
+            windows,
+            region_tracks=self.config.region_tracks,
+        )
+
+    def _region_ordered_pending(self, head_id: int) -> list[Net]:
+        """Pending nets re-ordered region-by-region for wave filling.
+
+        Canonical order buckets by assigned region, then the buckets
+        interleave round-robin starting *after* the head's region:
+        early candidates come from other regions — the ones whose
+        windows are most likely disjoint from the head's — so the
+        ``scan_ahead`` budget discovers wide waves instead of burning
+        itself on the head's congested neighbourhood.  Everything here
+        is derived from the canonical order and the deterministic
+        region assignment, so the schedule is reproducible; the merge
+        contract keeps the committed geometry bit-identical either
+        way.
+        """
+        assert self._regions is not None
+        buckets: dict[int, deque[Net]] = {}
+        order: list[int] = []
+        for net in self._pending:
+            rid = self._regions.region_of(self.router.net_id(net))
+            if rid not in buckets:
+                buckets[rid] = deque()
+                order.append(rid)
+            buckets[rid].append(net)
+        head_rid = self._regions.region_of(head_id)
+        if head_rid in buckets:
+            start = (order.index(head_rid) + 1) % len(order)
+            order = order[start:] + order[:start]
+        interleaved: list[Net] = []
+        while order:
+            next_round: list[int] = []
+            for rid in order:
+                bucket = buckets[rid]
+                interleaved.append(bucket.popleft())
+                if bucket:
+                    next_round.append(rid)
+            order = next_round
+        return interleaved
+
     def _plan_and_submit(self, head: Net) -> None:
         """Plan a wave starting at ``head`` and submit its tasks."""
         cfg = self.config
@@ -192,7 +279,12 @@ class WaveSpeculator:
             candidates: list[NetPlan] = [head_plan]
             by_id: dict[int, Net] = {head_plan.net_id: head}
             scanned = 0
-            for follower in self._pending:
+            followers: Sequence[Net] | deque[Net]
+            if self._regions is not None:
+                followers = self._region_ordered_pending(head_plan.net_id)
+            else:
+                followers = self._pending
+            for follower in followers:
                 if scanned >= cfg.scan_ahead:
                     break
                 scanned += 1
@@ -222,6 +314,8 @@ class WaveSpeculator:
             self._inflight[plan.net_id] = (pool.submit(task), snapshot)
         self.waves_planned += 1
         instrument.count(DISPATCH_WAVES)
+        if self._regions is not None:
+            instrument.count(DISPATCH_HIER_WAVES)
         instrument.count(DISPATCH_SPECULATED, len(wave))
         instrument.event(
             EVT_WAVE_PLANNED,

@@ -75,12 +75,23 @@ class DispatchConfig:
     #: Nets whose window covers more than this fraction of the grid are
     #: never speculated (the snapshot would cost more than the search).
     max_window_fraction: float = 0.85
+    #: Coarse-then-detailed planning: assign nets to regions of a
+    #: :class:`~repro.globalroute.regions.RegionModel` up front, then
+    #: fill waves by walking candidate nets region-by-region instead of
+    #: linearly down the canonical order.  Changes only *which*
+    #: disjoint work each wave discovers; committed geometry stays
+    #: bit-identical to the flat run (docs/SCALING.md).
+    hierarchical: bool = False
+    #: Region edge length (tracks) for hierarchical planning.
+    region_tracks: int = 32
 
     def __post_init__(self) -> None:
         if self.mode not in ("process", "thread", "serial"):
             raise ValueError(f"unknown dispatch mode {self.mode!r}")
         if self.speculate_expansions < 0:
             raise ValueError("speculate_expansions must be >= 0")
+        if self.region_tracks < 1:
+            raise ValueError("region_tracks must be >= 1")
 
 
 @dataclass(frozen=True)

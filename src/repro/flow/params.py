@@ -52,6 +52,19 @@ class FlowParams:
     parallel_mode:
         Dispatch executor kind: ``"process"`` (default), ``"thread"``
         or ``"serial"`` (in-line, for debugging).
+    backend:
+        Occupancy storage backend for the level B grid: ``"dense"``
+        (default; contiguous numpy arrays) or ``"sparse"`` (paged
+        first-touch chunks, memory proportional to committed geometry
+        — docs/SCALING.md).  Routing results are bit-identical across
+        backends; the knob only trades memory for per-access overhead.
+    hierarchical:
+        Route level B coarse-then-detailed: a region-graph pass
+        assigns nets to floorplan regions, then the dispatch wave
+        planner groups each wave by region instead of scanning the
+        canonical order linearly (docs/SCALING.md).  Results stay
+        bit-identical to the flat run; the knob only changes how
+        non-overlapping work is discovered.
     planes:
         Over-cell routing planes for level B.  ``1`` (default) is the
         paper's single metal3/metal4 pair and preserves historical
@@ -75,6 +88,8 @@ class FlowParams:
     parallel: int = 0
     parallel_mode: str = "process"
     planes: int = 1
+    backend: str = "dense"
+    hierarchical: bool = False
 
     @property
     def channel_pitch(self) -> int:

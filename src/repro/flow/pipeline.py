@@ -11,6 +11,7 @@ channel geometry per the paper's Table 3 assumptions.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field, replace
 from collections.abc import Sequence
 
@@ -18,6 +19,7 @@ from repro import instrument
 from repro.instrument.names import (
     CHANNELS_ROUTED,
     LEFT_EDGE_FALLBACKS,
+    MEM_PEAK_RSS_BYTES,
     SPAN_CHANNEL_ROUTING,
     SPAN_FLOW_ML_CHANNEL,
     SPAN_FLOW_OVERCELL,
@@ -155,14 +157,21 @@ def _route_levelb(router: LevelBRouter, params: FlowParams):
     module-level import here would be a cycle.  The dispatched result
     is bit-identical to ``router.route()`` (docs/PARALLELISM.md).
     """
-    if params.parallel <= 0:
+    if params.parallel <= 0 and not params.hierarchical:
         return router.route()
     from repro.dispatch import DispatchConfig, route_levelb
 
-    return route_levelb(
-        router,
-        DispatchConfig(workers=params.parallel, mode=params.parallel_mode),
-    )
+    if params.parallel <= 0:
+        # Hierarchical without parallelism: the coarse pass still
+        # drives wave planning, but waves execute in-line.
+        config = DispatchConfig(workers=1, mode="serial", hierarchical=True)
+    else:
+        config = DispatchConfig(
+            workers=params.parallel,
+            mode=params.parallel_mode,
+            hierarchical=params.hierarchical,
+        )
+    return route_levelb(router, config)
 
 
 def _attach_profile(result: FlowResult) -> FlowResult:
@@ -170,12 +179,31 @@ def _attach_profile(result: FlowResult) -> FlowResult:
 
     The snapshot reflects the collector's cumulative state at the time
     the flow finishes; with one flow per ``collecting()`` block that is
-    exactly the flow's own profile.
+    exactly the flow's own profile.  Peak RSS is sampled here — once,
+    at flow end — so every profiled flow carries the ``mem.*`` gauges
+    docs/SCALING.md describes.
     """
     inst = instrument.active()
     if inst.enabled:
+        inst.gauge(MEM_PEAK_RSS_BYTES, float(_peak_rss_bytes()))
         result.profile = instrument.snapshot(inst)
     return result
+
+
+def _peak_rss_bytes() -> int:
+    """Process peak resident set size in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise
+    to bytes.  Returns 0 on platforms without ``resource``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
 
 
 def two_layer_flow(design: Design, params: FlowParams | None = None) -> FlowResult:
@@ -249,6 +277,8 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
     levelb_config = params.levelb
     if params.checked and not levelb_config.checked:
         levelb_config = replace(levelb_config, checked=True)
+    if params.backend != levelb_config.backend:
+        levelb_config = replace(levelb_config, backend=params.backend)
     # FlowParams.planes > 1 overrides the router config; a technology
     # too short for the requested plane count is extended with
     # extrapolated reserved pairs (docs/LAYERS.md).
@@ -318,6 +348,15 @@ class RoutabilityProbe:
     level_b_corners: int = 0
     ripups: int = 0
     grid_restored: bool = True
+    #: Coarse region-model occupancy profile (arXiv 1810.12789; see
+    #: docs/SCALING.md).  ``regions`` counts tiles of the level B
+    #: grid; ``regions_overflowed`` those whose projected demand
+    #: exceeds geometric capacity — an early congestion signal that
+    #: needs no routing at all.
+    regions: int = 0
+    regions_occupied: int = 0
+    regions_overflowed: int = 0
+    peak_region_utilization: float = 0.0
 
     @property
     def routable(self) -> bool:
@@ -361,6 +400,8 @@ def routability_probe(
             margin=params.margin,
         )
         probe_config = params.levelb
+        if params.backend != probe_config.backend:
+            probe_config = replace(probe_config, backend=params.backend)
         probe_planes = (
             params.planes if params.planes > 1 else probe_config.planes
         )
@@ -379,6 +420,7 @@ def routability_probe(
         before = router.tig.planes.snapshot()
         levelb = router.probe()
         restored = router.tig.planes.matches(before)
+        region_model = _probe_regions(router)
     return RoutabilityProbe(
         design=design.name,
         level_a_nets=len(set_a),
@@ -389,6 +431,35 @@ def routability_probe(
         level_b_corners=levelb.total_corners,
         ripups=levelb.ripups,
         grid_restored=restored,
+        regions=region_model.num_regions,
+        regions_occupied=len(region_model.occupied_regions()),
+        regions_overflowed=len(region_model.overflowed_regions()),
+        peak_region_utilization=region_model.peak_utilization(),
+    )
+
+
+def _probe_regions(router: LevelBRouter):
+    """The coarse region model over a probe's level B instance.
+
+    Windows are the registered terminal bounding boxes — no search
+    halo, no routing: this is the floorplan-level demand projection of
+    arXiv 1810.12789, cheap enough to annotate every probe.
+    """
+    from repro.globalroute import RegionModel
+
+    tig = router.tig
+    windows = {}
+    for net_id, terminals in tig.all_terminals().items():
+        if not terminals:
+            continue
+        windows[net_id] = (
+            min(t.v_idx for t in terminals),
+            max(t.v_idx for t in terminals),
+            min(t.h_idx for t in terminals),
+            max(t.h_idx for t in terminals),
+        )
+    return RegionModel.build(
+        tig.grid.num_vtracks, tig.grid.num_htracks, windows
     )
 
 

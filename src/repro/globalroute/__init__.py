@@ -7,6 +7,11 @@ nets spanning several channels travel vertically through one of the two
 side channels, entering each touched channel through a dedicated *exit
 column* appended at the channel end.  Side-channel widths follow from
 the peak number of verticals passing any row.
+
+:mod:`repro.globalroute.regions` extends the package upward: a coarse
+capacity-annotated region model over the level B grid (after arXiv
+1810.12789) that the routability probe and the hierarchical dispatch
+mode consume (docs/SCALING.md).
 """
 
 from repro.globalroute.router import (
@@ -15,5 +20,18 @@ from repro.globalroute.router import (
     GlobalRouter,
     NetSideUse,
 )
+from repro.globalroute.regions import (
+    DEFAULT_REGION_TRACKS,
+    Region,
+    RegionModel,
+)
 
-__all__ = ["GlobalRouter", "GlobalRoute", "ChannelSpec", "NetSideUse"]
+__all__ = [
+    "GlobalRouter",
+    "GlobalRoute",
+    "ChannelSpec",
+    "NetSideUse",
+    "Region",
+    "RegionModel",
+    "DEFAULT_REGION_TRACKS",
+]

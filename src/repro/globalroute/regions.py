@@ -1,0 +1,225 @@
+"""The coarse region model for hierarchical level B routing.
+
+"Early Routability Assessment in VLSI Floorplans" (PAPERS.md, arXiv
+1810.12789) estimates routability before detailed routing by tiling
+the floorplan into regions, annotating each with its geometric routing
+*capacity*, and comparing that against the *demand* the netlist's
+bounding boxes project onto it.  This module is that model scaled down
+to the over-cell grid: the track index space is tiled into coarse
+square regions (``region_tracks`` tracks a side), every net is assigned
+to the region holding the centre of its padded read window, and each
+region carries a capacity/demand pair.
+
+Two consumers:
+
+:func:`repro.flow.routability_probe`
+    Reports the region occupancy profile — region count, peak
+    utilization, overflowed regions — as an early congestion signal
+    alongside the probe's completion figures.
+
+:class:`repro.dispatch.WaveSpeculator`
+    In hierarchical mode the wave planner walks candidate nets
+    region-by-region instead of linearly down the canonical order:
+    nets from *different* regions rarely have overlapping read
+    windows, so region-aware scanning finds large disjoint waves in
+    designs far too big for a linear ``scan_ahead`` prefix to cover.
+
+The model is purely advisory.  It never touches occupancy state and
+nothing about the routed geometry depends on it — the dispatch merge
+contract (byte-equality validation + canonical-order replay) is what
+keeps hierarchical results bit-identical to flat ones; the region
+model only changes *which* disjoint work is discovered first
+(docs/SCALING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+__all__ = ["Region", "RegionModel", "DEFAULT_REGION_TRACKS"]
+
+#: Default region edge length in tracks.  Coarse enough that a
+#: scale-tier grid has hundreds (not tens of thousands) of regions,
+#: fine enough that one region rarely spans more than a few cells of
+#: the floorplan.
+DEFAULT_REGION_TRACKS = 32
+
+
+@dataclass(frozen=True)
+class Region:
+    """One coarse tile of the track index space.
+
+    ``capacity`` counts the routing tracks threading the tile (its
+    horizontal plus its vertical tracks — the classic global-routing
+    edge-capacity measure); ``demand`` charges every net whose window
+    overlaps the tile one horizontal and one vertical track, the
+    minimum a route crossing the tile consumes.
+    """
+
+    row: int
+    col: int
+    v_lo: int
+    v_hi: int
+    h_lo: int
+    h_hi: int
+    capacity: int
+    demand: int = 0
+
+    @property
+    def utilization(self) -> float:
+        return self.demand / self.capacity if self.capacity else 0.0
+
+    @property
+    def overflowed(self) -> bool:
+        return self.demand > self.capacity
+
+
+class RegionModel:
+    """Region tiling + net assignment for one routing grid.
+
+    Build once per routing run with :meth:`build`; the model is
+    immutable afterwards.  Assignment is deterministic: a net belongs
+    to the region containing its window centre, ties broken by the
+    flooring integer division itself.
+    """
+
+    def __init__(
+        self,
+        num_vtracks: int,
+        num_htracks: int,
+        region_tracks: int = DEFAULT_REGION_TRACKS,
+    ) -> None:
+        if region_tracks < 1:
+            raise ValueError(f"region_tracks must be >= 1, got {region_tracks}")
+        self.num_vtracks = num_vtracks
+        self.num_htracks = num_htracks
+        self.region_tracks = region_tracks
+        self.cols = max(1, -(-num_vtracks // region_tracks))
+        self.rows = max(1, -(-num_htracks // region_tracks))
+        self._demand: dict[int, int] = {}
+        self._assignment: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        num_vtracks: int,
+        num_htracks: int,
+        windows: Mapping[int, tuple[int, int, int, int]],
+        region_tracks: int = DEFAULT_REGION_TRACKS,
+    ) -> "RegionModel":
+        """Assign every net window to a region and accumulate demand.
+
+        ``windows`` maps ``net_id`` to the net's padded read window as
+        ``(v_lo, v_hi, h_lo, h_hi)`` inclusive track indices (the same
+        rectangle :func:`repro.dispatch.net_window` computes).  Demand
+        lands on *every* region the window overlaps; assignment uses
+        the window centre only.
+        """
+        model = cls(num_vtracks, num_htracks, region_tracks)
+        for net_id in sorted(windows):
+            v_lo, v_hi, h_lo, h_hi = windows[net_id]
+            model._assignment[net_id] = model.region_at(
+                (v_lo + v_hi) // 2, (h_lo + h_hi) // 2
+            )
+            for rid in model.regions_touching(v_lo, v_hi, h_lo, h_hi):
+                # One horizontal + one vertical track per crossing net:
+                # the minimum a route through the tile consumes.
+                model._demand[rid] = model._demand.get(rid, 0) + 2
+        return model
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return self.rows * self.cols
+
+    def region_at(self, v_idx: int, h_idx: int) -> int:
+        """Region id of the tile containing track ``(v_idx, h_idx)``."""
+        col = min(v_idx // self.region_tracks, self.cols - 1)
+        row = min(h_idx // self.region_tracks, self.rows - 1)
+        return row * self.cols + col
+
+    def bounds_of(self, rid: int) -> tuple[int, int, int, int]:
+        """Inclusive track bounds ``(v_lo, v_hi, h_lo, h_hi)`` of a tile."""
+        row, col = divmod(rid, self.cols)
+        v_lo = col * self.region_tracks
+        h_lo = row * self.region_tracks
+        v_hi = min(v_lo + self.region_tracks, self.num_vtracks) - 1
+        h_hi = min(h_lo + self.region_tracks, self.num_htracks) - 1
+        return v_lo, v_hi, h_lo, h_hi
+
+    def regions_touching(
+        self, v_lo: int, v_hi: int, h_lo: int, h_hi: int
+    ) -> list[int]:
+        """All region ids a track rectangle overlaps, row-major order."""
+        c_lo = min(max(v_lo, 0) // self.region_tracks, self.cols - 1)
+        c_hi = min(max(v_hi, 0) // self.region_tracks, self.cols - 1)
+        r_lo = min(max(h_lo, 0) // self.region_tracks, self.rows - 1)
+        r_hi = min(max(h_hi, 0) // self.region_tracks, self.rows - 1)
+        return [
+            r * self.cols + c
+            for r in range(r_lo, r_hi + 1)
+            for c in range(c_lo, c_hi + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Assignment and occupancy profile
+    # ------------------------------------------------------------------
+    def region_of(self, net_id: int, default: int = -1) -> int:
+        """The region a net was assigned to (``default`` if unknown)."""
+        return self._assignment.get(net_id, default)
+
+    def assigned_nets(self, rid: int) -> list[int]:
+        """Net ids assigned to a region, ascending."""
+        return sorted(
+            n for n, r in self._assignment.items() if r == rid
+        )
+
+    def capacity(self, rid: int) -> int:
+        """Tracks threading a tile: its horizontal plus vertical tracks."""
+        v_lo, v_hi, h_lo, h_hi = self.bounds_of(rid)
+        return (v_hi - v_lo + 1) + (h_hi - h_lo + 1)
+
+    def demand(self, rid: int) -> int:
+        return self._demand.get(rid, 0)
+
+    def region(self, rid: int) -> Region:
+        """The full capacity/demand annotation of one tile."""
+        row, col = divmod(rid, self.cols)
+        v_lo, v_hi, h_lo, h_hi = self.bounds_of(rid)
+        return Region(
+            row=row,
+            col=col,
+            v_lo=v_lo,
+            v_hi=v_hi,
+            h_lo=h_lo,
+            h_hi=h_hi,
+            capacity=self.capacity(rid),
+            demand=self.demand(rid),
+        )
+
+    def occupied_regions(self) -> list[int]:
+        """Region ids with at least one assigned net, ascending."""
+        return sorted(set(self._assignment.values()))
+
+    def overflowed_regions(self) -> list[int]:
+        """Regions whose projected demand exceeds geometric capacity."""
+        return sorted(
+            rid for rid in self._demand if self.region(rid).overflowed
+        )
+
+    def peak_utilization(self) -> float:
+        """The busiest region's demand/capacity ratio."""
+        if not self._demand:
+            return 0.0
+        return max(self.region(rid).utilization for rid in self._demand)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegionModel({self.rows}x{self.cols} regions of "
+            f"{self.region_tracks} tracks, "
+            f"{len(self._assignment)} nets assigned)"
+        )

@@ -64,6 +64,7 @@ from repro.instrument.names import (
     TXN_UNDO_CELLS,
 )
 from repro.geometry import Interval, Rect
+from repro.grid.backend import OccupancyBackend, get_backend
 from repro.grid.tracks import TrackSet
 
 FREE: int = 0
@@ -139,8 +140,15 @@ class WindowSnapshot:
         never touches the grid the snapshot came from.  Per-net ledgers
         start empty: the sub-grid exists to *search*, and speculative
         paths are re-committed on the authoritative grid by the merger.
+
+        Sub-grids are always **dense** regardless of the backend the
+        snapshot was cut from: a window is small by construction, so
+        the dense representation is both the fastest to search and the
+        one whose footprint the wave planner already bounded.
         """
-        grid = RoutingGrid(TrackSet(self.vcoords), TrackSet(self.hcoords))
+        grid = RoutingGrid(
+            TrackSet(self.vcoords), TrackSet(self.hcoords), backend="dense"
+        )
         grid._h_owner[:] = self.h_owner
         grid._v_owner[:] = self.v_owner
         grid._unrouted_terms[:] = self.unrouted_terms
@@ -190,17 +198,37 @@ class RoutingGrid:
     :meth:`mark_terminal_routed` (or :meth:`commit_path`, which batches
     them), which is what lets the per-net ledger and the transaction
     journal stay exact.
+
+    Storage lives in a pluggable :class:`~repro.grid.backend.
+    OccupancyBackend` selected by name (``"dense"`` by default,
+    ``"sparse"`` for paged first-touch chunks — docs/SCALING.md); the
+    grid's logic is backend-agnostic and the backends are pinned
+    behaviourally identical by route-digest parity tests.
     """
 
-    def __init__(self, vtracks: TrackSet, htracks: TrackSet) -> None:
+    def __init__(
+        self,
+        vtracks: TrackSet,
+        htracks: TrackSet,
+        backend: str | OccupancyBackend = "dense",
+    ) -> None:
         self.vtracks = vtracks
         self.htracks = htracks
         nv, nh = len(vtracks), len(htracks)
-        self._h_owner = np.zeros((nh, nv), dtype=np.int32)
-        self._v_owner = np.zeros((nv, nh), dtype=np.int32)
+        if isinstance(backend, str):
+            backend = get_backend(backend)(nh, nv)
+        elif (backend.num_htracks, backend.num_vtracks) != (nh, nv):
+            raise ValueError(
+                f"backend shape ({backend.num_htracks}, {backend.num_vtracks})"
+                f" does not match grid ({nh}, {nv})"
+            )
+        #: The storage engine; all array state lives here.
+        self.backend = backend
+        self._h_owner = backend.h_owner
+        self._v_owner = backend.v_owner
         # Unrouted-terminal density map, read by the cost function's
         # ``dup`` term. Indexed [h][v] like _h_owner.
-        self._unrouted_terms = np.zeros((nh, nv), dtype=np.int16)
+        self._unrouted_terms = backend.unrouted_terms
         # Per-net mutation ledger: every span/cell a net claimed, in
         # commit order.  Rip-up replays it instead of scanning arrays.
         self._net_ledger: dict[int, list[tuple]] = {}
@@ -222,6 +250,19 @@ class RoutingGrid:
     @property
     def num_intersections(self) -> int:
         return self.num_vtracks * self.num_htracks
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the storage backend."""
+        return self.backend.name
+
+    def memory_bytes(self) -> int:
+        """Bytes the occupancy stores actually hold right now."""
+        return self.backend.memory_bytes()
+
+    def dense_equiv_bytes(self) -> int:
+        """What dense arrays of this grid's shape would always cost."""
+        return self.backend.dense_equiv_bytes()
 
     def _check_indices(self, v_idx: int, h_idx: int) -> None:
         """Reject out-of-range (notably negative) track indices.
@@ -378,12 +419,13 @@ class RoutingGrid:
     # Snapshots (cheap immutable copies for exactness checks)
     # ------------------------------------------------------------------
     def snapshot(self) -> GridSnapshot:
-        """An immutable copy of the full mutable state."""
-        arrays = (
-            self._h_owner.copy(),
-            self._v_owner.copy(),
-            self._unrouted_terms.copy(),
-        )
+        """An immutable copy of the full mutable state.
+
+        Always dense numpy arrays, whatever the backend — which is what
+        makes snapshots from different backends directly comparable
+        (the backend-parity property tests digest these).
+        """
+        arrays = self.backend.dense_arrays()
         for arr in arrays:
             arr.setflags(write=False)
         return GridSnapshot(*arrays)
@@ -391,9 +433,11 @@ class RoutingGrid:
     def matches(self, snap: GridSnapshot) -> bool:
         """Is the grid byte-identical to ``snap``?"""
         return bool(
-            np.array_equal(self._h_owner, snap.h_owner)
-            and np.array_equal(self._v_owner, snap.v_owner)
-            and np.array_equal(self._unrouted_terms, snap.unrouted_terms)
+            np.array_equal(np.asarray(self._h_owner), snap.h_owner)
+            and np.array_equal(np.asarray(self._v_owner), snap.v_owner)
+            and np.array_equal(
+                np.asarray(self._unrouted_terms), snap.unrouted_terms
+            )
         )
 
     def window_snapshot(self, v_iv: Interval, h_iv: Interval) -> WindowSnapshot:
@@ -422,10 +466,12 @@ class RoutingGrid:
         h_iv = self.htracks.clip_indices(h_iv)
         hs = slice(h_iv.lo, h_iv.hi + 1)
         vs = slice(v_iv.lo, v_iv.hi + 1)
+        # np.array (not .copy()) so the copy works whether the backend's
+        # slice read returned a dense view or an already-fresh gather.
         arrays = (
-            self._h_owner[hs, vs].copy(),
-            self._v_owner[vs, hs].copy(),
-            self._unrouted_terms[hs, vs].copy(),
+            np.array(self._h_owner[hs, vs]),
+            np.array(self._v_owner[vs, hs]),
+            np.array(self._unrouted_terms[hs, vs]),
         )
         for arr in arrays:
             arr.setflags(write=False)
@@ -448,7 +494,20 @@ class RoutingGrid:
         speculative search could have read still holds the value it saw,
         so the speculative result equals what a serial search would
         produce right now.
+
+        A snapshot whose window does not lie inside this grid (it was
+        cut from a different or larger grid) can never match and
+        returns ``False`` outright — previously this case leaned on
+        numpy's silent slice clamping to produce a shape mismatch,
+        which not every backend store reproduces.
         """
+        if (
+            snap.v_lo < 0
+            or snap.h_lo < 0
+            or snap.v_lo + snap.num_vtracks > self.num_vtracks
+            or snap.h_lo + snap.num_htracks > self.num_htracks
+        ):
+            return False
         hs = slice(snap.h_lo, snap.h_lo + snap.num_htracks)
         vs = slice(snap.v_lo, snap.v_lo + snap.num_vtracks)
         return bool(
@@ -475,19 +534,21 @@ class RoutingGrid:
         if len(vr) == 0 or len(hr) == 0:
             return 0
         blocked = 0
-        h_block = self._h_owner[hr.start : hr.stop, vr.start : vr.stop]
-        v_block = self._v_owner[vr.start : vr.stop, hr.start : hr.stop]
+        hs = slice(hr.start, hr.stop)
+        vs = slice(vr.start, vr.stop)
+        h_block = np.asarray(self._h_owner[hs, vs])
+        v_block = np.asarray(self._v_owner[vs, hs])
         if block_h:
             if (h_block > 0).any():
                 raise ValueError("obstacle overlaps routed wiring (h)")
             blocked += int((h_block != OBSTACLE).sum())
-            h_block[:] = OBSTACLE
+            self._h_owner[hs, vs] = OBSTACLE
         if block_v:
             if (v_block > 0).any():
                 raise ValueError("obstacle overlaps routed wiring (v)")
             if not block_h:
                 blocked += int((v_block != OBSTACLE).sum())
-            v_block[:] = OBSTACLE
+            self._v_owner[vs, hs] = OBSTACLE
         return blocked
 
     def reserve_terminal(self, v_idx: int, h_idx: int, net_id: int) -> None:
@@ -550,17 +611,35 @@ class RoutingGrid:
         A cell is usable when its horizontal slot is free or already
         owned by ``net_id``.  Returns ``None`` when the entry cell
         itself is unusable.  ``within`` clips the search window (the
-        paper bounds each search to a rectangle around the terminals).
+        paper bounds each search to a rectangle around the terminals) —
+        and is applied *before* the store is read, so a bounded search
+        on a sparse backend never materialises a full track row.
         """
-        row = self._h_owner[h_idx]
-        return _free_span(row, v_idx, net_id, within)
+        lo = 0 if within is None else max(0, within.lo)
+        hi = (
+            self.num_vtracks - 1
+            if within is None
+            else min(self.num_vtracks - 1, within.hi)
+        )
+        if not lo <= v_idx <= hi:
+            return None
+        win = self._h_owner[h_idx, lo : hi + 1]
+        return _free_span(win, v_idx - lo, net_id, lo)
 
     def free_span_v(
         self, v_idx: int, h_idx: int, net_id: int, within: Interval | None = None
     ) -> Interval | None:
         """Maximal h-index interval around ``h_idx`` usable on v-track."""
-        row = self._v_owner[v_idx]
-        return _free_span(row, h_idx, net_id, within)
+        lo = 0 if within is None else max(0, within.lo)
+        hi = (
+            self.num_htracks - 1
+            if within is None
+            else min(self.num_htracks - 1, within.hi)
+        )
+        if not lo <= h_idx <= hi:
+            return None
+        win = self._v_owner[v_idx, lo : hi + 1]
+        return _free_span(win, h_idx - lo, net_id, lo)
 
     def corner_candidates_on_v(
         self, v_idx: int, h_lo: int, h_hi: int, net_id: int
@@ -618,7 +697,7 @@ class RoutingGrid:
         """Claim the horizontal slots of a span for ``net_id``."""
         if v_lo > v_hi:
             v_lo, v_hi = v_hi, v_lo
-        row = self._h_owner[h_idx, v_lo : v_hi + 1]
+        row = np.asarray(self._h_owner[h_idx, v_lo : v_hi + 1])
         foreign = (row != FREE) & (row != net_id)
         if foreign.any():
             raise ValueError(
@@ -626,14 +705,14 @@ class RoutingGrid:
             )
         if self._txns:
             self._journal.append(("h", net_id, h_idx, v_lo, row.copy()))
-        row[:] = net_id
+        self._h_owner[h_idx, v_lo : v_hi + 1] = net_id
         self._ledger_push(net_id, (_LEDGER_H, h_idx, v_lo, v_hi))
 
     def occupy_v(self, v_idx: int, h_lo: int, h_hi: int, net_id: int) -> None:
         """Claim the vertical slots of a span for ``net_id``."""
         if h_lo > h_hi:
             h_lo, h_hi = h_hi, h_lo
-        row = self._v_owner[v_idx, h_lo : h_hi + 1]
+        row = np.asarray(self._v_owner[v_idx, h_lo : h_hi + 1])
         foreign = (row != FREE) & (row != net_id)
         if foreign.any():
             raise ValueError(
@@ -641,7 +720,7 @@ class RoutingGrid:
             )
         if self._txns:
             self._journal.append(("v", net_id, v_idx, h_lo, row.copy()))
-        row[:] = net_id
+        self._v_owner[v_idx, h_lo : h_hi + 1] = net_id
         self._ledger_push(net_id, (_LEDGER_V, v_idx, h_lo, h_hi))
 
     def occupy_corner(self, v_idx: int, h_idx: int, net_id: int) -> None:
@@ -717,16 +796,22 @@ class RoutingGrid:
             tag = entry[0]
             if tag == _LEDGER_H:
                 _, h_idx, v_lo, v_hi = entry
-                row = H[h_idx, v_lo : v_hi + 1]
+                row = np.array(H[h_idx, v_lo : v_hi + 1])
                 mask = row == net_id  # overlap-safe: count each slot once
-                freed += int(mask.sum())
-                row[mask] = FREE
+                hits = int(mask.sum())
+                if hits:
+                    freed += hits
+                    row[mask] = FREE
+                    H[h_idx, v_lo : v_hi + 1] = row
             elif tag == _LEDGER_V:
                 _, v_idx, h_lo, h_hi = entry
-                row = V[v_idx, h_lo : h_hi + 1]
+                row = np.array(V[v_idx, h_lo : h_hi + 1])
                 mask = row == net_id
-                freed += int(mask.sum())
-                row[mask] = FREE
+                hits = int(mask.sum())
+                if hits:
+                    freed += hits
+                    row[mask] = FREE
+                    V[v_idx, h_lo : h_hi + 1] = row
             else:
                 _, v_idx, h_idx = entry
                 if H[h_idx, v_idx] == net_id:
@@ -824,13 +909,11 @@ class RoutingGrid:
     # ------------------------------------------------------------------
     def utilization(self) -> float:
         """Fraction of all slots carrying routed wiring."""
-        used = int((self._h_owner > 0).sum()) + int((self._v_owner > 0).sum())
-        return used / float(2 * self.num_intersections)
+        return self.backend.used_slots() / float(2 * self.num_intersections)
 
     def owners(self) -> list[int]:
         """Sorted list of net ids present anywhere on the grid."""
-        ids = set(np.unique(self._h_owner)) | set(np.unique(self._v_owner))
-        return sorted(int(i) for i in ids if i > 0)
+        return sorted(self.backend.owner_ids())
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -840,21 +923,17 @@ class RoutingGrid:
 
 
 def _free_span(
-    row: np.ndarray, idx: int, net_id: int, within: Interval | None
+    window: np.ndarray, pos: int, net_id: int, offset: int
 ) -> Interval | None:
-    """Maximal usable index interval around ``idx`` in a slot row.
+    """Maximal usable index interval around position ``pos`` of a
+    pre-clipped slot window starting at global index ``offset``.
 
-    Implemented as an outward scan over ``tolist()`` of the clipped
-    window: search windows are small (a terminal bounding box plus
-    margin), so this beats numpy's per-op overhead on the hot path.
+    Implemented as an outward scan over ``tolist()``: search windows
+    are small (a terminal bounding box plus margin), so this beats
+    numpy's per-op overhead on the hot path.
     """
-    lo_bound = 0 if within is None else max(0, within.lo)
-    hi_bound = len(row) - 1 if within is None else min(len(row) - 1, within.hi)
-    if not lo_bound <= idx <= hi_bound:
-        return None
-    win = row[lo_bound : hi_bound + 1].tolist()
+    win = window.tolist()
     allowed = (FREE, net_id)
-    pos = idx - lo_bound
     if win[pos] not in allowed:
         return None
     lo = pos
@@ -864,4 +943,4 @@ def _free_span(
     last = len(win) - 1
     while hi < last and win[hi + 1] in allowed:
         hi += 1
-    return Interval(lo + lo_bound, hi + lo_bound)
+    return Interval(lo + offset, hi + offset)

@@ -59,6 +59,7 @@ CHANNELS_ROUTED = "channels.routed"
 GREEDY_COLUMNS = "greedy.columns_swept"
 GREEDY_TRACKS_ADDED = "greedy.tracks_added"
 DISPATCH_WAVES = "dispatch.waves"
+DISPATCH_HIER_WAVES = "dispatch.hier_waves"
 DISPATCH_SPECULATED = "dispatch.nets_speculated"
 DISPATCH_APPLIED = "dispatch.nets_applied"
 DISPATCH_CONFLICTS = "dispatch.conflicts"
@@ -82,6 +83,14 @@ CHECK_VIOLATIONS = "check.violations"
 
 # -- gauges ------------------------------------------------------------
 LEVELB_UTILIZATION = "levelb.grid_utilization"
+#: Bytes the occupancy backend actually holds (all planes summed).
+MEM_GRID_BYTES = "mem.grid_bytes"
+#: What dense arrays of the same grid shape would always cost — the
+#: denominator of the sparse backend's memory win (docs/SCALING.md).
+MEM_GRID_DENSE_EQUIV_BYTES = "mem.grid_dense_equiv_bytes"
+#: Process peak RSS (resource.getrusage, bytes) sampled when a flow
+#: finishes; recorded into FlowResult.profile by the flow layer.
+MEM_PEAK_RSS_BYTES = "mem.peak_rss_bytes"
 
 # -- events (append-only structured log) -------------------------------
 EVT_NET_ROUTED = "net.routed"
@@ -92,6 +101,7 @@ EVT_CHANNEL_CYCLIC = "channel.cyclic"
 EVT_CHECK_VIOLATION = "check.violation"
 EVT_PLANE_ASSIGNED = "levelb.plane_assigned"
 EVT_WAVE_PLANNED = "dispatch.wave_planned"
+EVT_REGIONS_BUILT = "dispatch.regions_built"
 EVT_SPEC_CONFLICT = "dispatch.conflict"
 EVT_JOB_FINISHED = "dispatch.job_finished"
 EVT_SERVE_JOB_STATE = "serve.job_state"

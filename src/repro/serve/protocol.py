@@ -9,11 +9,15 @@ malformed request fails at the HTTP boundary, not inside a worker.
 
 Every spec has a *canonical digest* — :func:`repro.io.canonical_digest`
 over its canonical document — which keys the server's result cache.
-``parallel`` is deliberately **excluded** from the digest: the dispatch
-determinism contract guarantees speculative routing is bit-identical
-to serial routing (docs/PARALLELISM.md), so requests differing only in
-worker count share one cache entry.  ``check`` *is* included because
-it changes the payload (the attached verification report).
+``parallel``, ``backend`` and ``hierarchical`` are deliberately
+**excluded** from the digest: the dispatch determinism contract
+guarantees speculative routing is bit-identical to serial routing
+(docs/PARALLELISM.md), the occupancy backends are storage engines with
+identical observable state, and hierarchical wave planning only changes
+how non-overlapping work is discovered (docs/SCALING.md) — so requests
+differing only in those knobs share one cache entry.  ``check`` *is*
+included because it changes the payload (the attached verification
+report).
 
 :func:`execute_spec` is the worker-side body: build the design and
 ``FlowParams``, run the flow, and flatten the outcome into a JSON-safe
@@ -33,7 +37,16 @@ PROTOCOL_VERSION = 1
 FLOW_NAMES = ("two-layer", "overcell", "ml-channel")
 
 _SPEC_KEYS = frozenset(
-    {"design", "flow", "technology", "planes", "parallel", "check"}
+    {
+        "design",
+        "flow",
+        "technology",
+        "planes",
+        "parallel",
+        "check",
+        "backend",
+        "hierarchical",
+    }
 )
 
 
@@ -58,6 +71,8 @@ class JobSpec:
     planes: int = 1
     parallel: int = 0
     check: bool = False
+    backend: str = "dense"
+    hierarchical: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -108,6 +123,19 @@ class JobSpec:
         check = data.get("check", False)
         if not isinstance(check, bool):
             raise SpecError("'check' must be a boolean")
+        backend = data.get("backend", "dense")
+        if not isinstance(backend, str):
+            raise SpecError("'backend' must be a string")
+        from repro.grid import available_backends
+
+        if backend not in available_backends():
+            raise SpecError(
+                f"unknown backend {backend!r} "
+                f"(available: {available_backends()})"
+            )
+        hierarchical = data.get("hierarchical", False)
+        if not isinstance(hierarchical, bool):
+            raise SpecError("'hierarchical' must be a boolean")
         return cls(
             design=design,
             flow=flow,
@@ -115,6 +143,8 @@ class JobSpec:
             planes=planes,
             parallel=parallel,
             check=check,
+            backend=backend,
+            hierarchical=hierarchical,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -125,11 +155,18 @@ class JobSpec:
             "planes": self.planes,
             "parallel": self.parallel,
             "check": self.check,
+            "backend": self.backend,
+            "hierarchical": self.hierarchical,
         }
 
     # ------------------------------------------------------------------
     def canonical(self) -> dict[str, Any]:
-        """The digest-relevant content (``parallel`` excluded)."""
+        """The digest-relevant content.
+
+        ``parallel``, ``backend`` and ``hierarchical`` are excluded:
+        all three are bit-identical-result knobs (see module
+        docstring), so they must not fragment the cache.
+        """
         return {
             "kind": "job",
             "version": PROTOCOL_VERSION,
@@ -194,6 +231,8 @@ def build_params(spec: JobSpec) -> Any:
         "parallel": spec.parallel,
         "parallel_mode": "thread",
         "checked": spec.check,
+        "backend": spec.backend,
+        "hierarchical": spec.hierarchical,
     }
     if spec.technology is not None:
         kwargs["technology"] = technology_from_dict(spec.technology)

@@ -73,6 +73,29 @@ class TestJobSpec:
         b = JobSpec.from_dict({"design": "ex3", "parallel": 4})
         assert a.digest() == b.digest()
 
+    def test_digest_ignores_backend_and_hierarchical(self):
+        # Like parallel, these are bit-identical-result knobs: they
+        # must share one cache entry (docs/SCALING.md).
+        base = JobSpec.from_dict({"design": "ex3"})
+        assert base.digest() == JobSpec.from_dict(
+            {"design": "ex3", "backend": "sparse"}
+        ).digest()
+        assert base.digest() == JobSpec.from_dict(
+            {"design": "ex3", "hierarchical": True}
+        ).digest()
+        assert base.digest() == JobSpec.from_dict(
+            {"design": "ex3", "backend": "sparse", "hierarchical": True,
+             "parallel": 2}
+        ).digest()
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            JobSpec.from_dict({"design": "ex3", "backend": "ramdisk"})
+
+    def test_bad_hierarchical_rejected(self):
+        with pytest.raises(SpecError, match="hierarchical"):
+            JobSpec.from_dict({"design": "ex3", "hierarchical": 1})
+
     def test_digest_sees_planes_and_check(self):
         base = JobSpec.from_dict({"design": "ex3"})
         assert base.digest() != JobSpec.from_dict(
@@ -342,6 +365,20 @@ class TestServerEndpoints:
         client.wait(first["id"], timeout_s=60.0)
         variant = client.submit(dict(spec, parallel=2))
         assert variant["cache_hit"] is True
+
+    def test_backend_variant_shares_cache_entry(self, client):
+        # A dense-routed answer serves sparse/hierarchical requests:
+        # the backends are bit-identical, so the cache key ignores
+        # them (docs/SCALING.md).
+        spec = toy_spec(seed=208)
+        first = client.submit(spec)
+        client.wait(first["id"], timeout_s=60.0)
+        sparse = client.submit(dict(spec, backend="sparse"))
+        assert sparse["cache_hit"] is True
+        hier = client.submit(
+            dict(spec, backend="sparse", hierarchical=True)
+        )
+        assert hier["cache_hit"] is True
 
     def test_events_pagination(self, client):
         record = client.submit(toy_spec(seed=202))
