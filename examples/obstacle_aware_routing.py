@@ -81,7 +81,7 @@ def main():
         block = Rect(block.x1 + 4, block.y1 + 4, block.x2 - 4, block.y2 - 4)
     sensitive = Obstacle(block, block_h=True, block_v=True,
                          name="sensitive analog block")
-    guarded = run("straps + sensitive block", straps + [sensitive])
+    guarded = run("straps + sensitive block", [*straps, sensitive])
 
     with open("obstacles.svg", "w") as fh:
         fh.write(svg_flow_result(guarded))

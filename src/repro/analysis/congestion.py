@@ -67,8 +67,11 @@ def congestion_map(
     if bins_x < 1 or bins_y < 1:
         raise ValueError("bins must be positive")
     nv, nh = grid.num_vtracks, grid.num_htracks
-    used_h = (grid._h_owner != 0).astype(np.int64)  # [h][v]
-    used_v = (grid._v_owner != 0).astype(np.int64).T  # -> [h][v]
+    # snapshot() hands back dense arrays whatever the backend — sparse
+    # occupancy stores expose no numpy array attributes to poke at.
+    snap = grid.snapshot()
+    used_h = (snap.h_owner != 0).astype(np.int64)  # [h][v]
+    used_v = (snap.v_owner != 0).astype(np.int64).T  # -> [h][v]
     used = used_h + used_v
     rows: list[tuple[float, ...]] = []
     for by in range(bins_y):

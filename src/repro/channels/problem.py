@@ -48,8 +48,8 @@ class ChannelProblem:
         Two pins of *different* nets on the same side may not share a
         column; a duplicate pin of the same net collapses into one.
         """
-        tops = dict()
-        bottoms = dict()
+        tops: dict[int, int] = {}
+        bottoms: dict[int, int] = {}
         for target, pins in ((tops, top_pins), (bottoms, bottom_pins)):
             for col, net in pins:
                 if col < 0:

@@ -96,8 +96,8 @@ def _finish(report: CheckReport) -> CheckReport:
 
 def _levelb_violations(
     result: "LevelBResult",
-    set_a,
-    set_b,
+    set_a: "tuple[str, ...] | list[str] | None",
+    set_b: "tuple[str, ...] | list[str] | None",
 ) -> tuple[tuple[str, ...], list[Violation]]:
     """The full level B pass as (rules evaluated, violations found)."""
     rules = LEVELB_RULES
@@ -112,7 +112,7 @@ def _levelb_violations(
     violations.extend(check_connectivity(design))
     violations.extend(check_invariants(result))
     if set_b is not None:
-        rules = rules + (RULE_LAYER,)
+        rules = (*rules, RULE_LAYER)
         violations.extend(check_layer_assignment(result, set_a or (), set_b))
     # Every plane keeps its own ledgers and journal; audit them all.
     for plane_grid in result.tig.planes:
@@ -164,7 +164,7 @@ def check_flow(result: "FlowResult") -> CheckReport:
         rules: tuple[str, ...] = ()
         report = CheckReport(subject=f"{result.design}/{result.flow}")
         if result.channel_routes and result.global_route is not None:
-            rules = rules + (RULE_CHANNEL,)
+            rules = (*rules, RULE_CHANNEL)
             specs = result.global_route.specs
             for i, (spec, route) in enumerate(
                 zip(specs, result.channel_routes)

@@ -29,6 +29,7 @@ from repro.geometry import Point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.router import LevelBResult
+    from repro.geometry.segment import Path
 
 #: Reserved-layer model, plane 0: metal3 carries vertical wiring,
 #: metal4 horizontal.  Plane ``p`` uses layers ``3 + 2p`` / ``4 + 2p``
@@ -154,7 +155,7 @@ class ExtractedDesign:
         return groups
 
 
-def wires_of_path(net: str, path, plane: int = 0) -> list[Wire]:
+def wires_of_path(net: str, path: "Path", plane: int = 0) -> list[Wire]:
     """The non-degenerate wire pieces of one connection path."""
     v_layer, h_layer = plane_layers(plane)
     wires = []
@@ -170,7 +171,7 @@ def wires_of_path(net: str, path, plane: int = 0) -> list[Wire]:
     return wires
 
 
-def _end_layers(path, plane: int = 0) -> list[tuple[Point, int]]:
+def _end_layers(path: "Path", plane: int = 0) -> list[tuple[Point, int]]:
     """Path endpoints with the layer of their adjacent wire piece.
 
     Walks inward past degenerate segments; a path with no real segment

@@ -49,10 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.core.engine import RoutedConnection
     from repro.core.router import LevelBResult
+    from repro.geometry.segment import Path
     from repro.grid import RoutingGrid
 
 
-def _direction_runs(path) -> list[tuple[str, int]]:
+def _direction_runs(path: "Path") -> list[tuple[str, int]]:
     """Merged direction runs as ``(direction, track)`` pairs.
 
     Consecutive same-direction segments on the same track are one run;

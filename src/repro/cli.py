@@ -190,6 +190,62 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project-contract static analyzer (repro.lint)."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint import lint_paths, rules_for_ids, save_baseline
+
+    if args.list_rules:
+        from repro.lint import ALL_RULES
+
+        width = max(len(r.rule_id) for r in ALL_RULES)
+        for rule in sorted(ALL_RULES, key=lambda r: r.rule_id):
+            print(f"{rule.rule_id:<{width}}  {rule.contract}")
+        print(f"{'lint.pragma':<{width}}  Suppression pragmas carry a "
+              "reason and match a live finding (engine-owned).")
+        return 0
+
+    pkg_dir = Path(repro.__file__).resolve().parent
+    default_root = pkg_dir.parent.parent
+    root = Path(args.root).resolve() if args.root else default_root
+    paths = (
+        [Path(p) for p in args.paths] if args.paths else [pkg_dir]
+    )
+    select = set(args.select) if args.select else None
+    if select is not None:
+        try:
+            rules_for_ids(select)  # fail fast on typos, before parsing files
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    baseline = Path(args.baseline) if args.baseline else None
+    if baseline is None and not args.no_baseline:
+        candidate = root / "lint-baseline.json"
+        if candidate.exists():
+            baseline = candidate
+
+    if args.write_baseline:
+        report = lint_paths(paths, root=root, select=select)
+        n = save_baseline(Path(args.write_baseline), report.violations)
+        print(f"baseline with {n} entr{'y' if n == 1 else 'ies'} "
+              f"written to {args.write_baseline}")
+        return 0
+
+    report = lint_paths(
+        paths, root=root, select=select, baseline_path=baseline
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"lint report written to {args.json}")
+    print(report.render(limit=args.limit))
+    if args.strict and report.violations:
+        return 1
+    return 0 if report.ok else 1
+
+
 def _cmd_dispatch(args: argparse.Namespace) -> int:
     """Fan suite x flow jobs across a worker pool (repro.dispatch)."""
     from repro.dispatch import run_suite_batch
@@ -367,6 +423,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_levelb_args(p_check)
     p_check.set_defaults(func=_cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically verify the source tree's project contracts",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--root", help="project root for relative paths/module names"
+    )
+    p_lint.add_argument(
+        "--rule",
+        "--select",
+        dest="select",
+        action="append",
+        metavar="RULE",
+        help="rule id (det.clock) or group (det); repeatable",
+    )
+    p_lint.add_argument("--json", help="write the lint report as JSON")
+    p_lint.add_argument(
+        "--limit", type=int, default=50, help="violations to print"
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    p_lint.add_argument(
+        "--baseline", help="baseline file (default: <root>/lint-baseline.json)"
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the committed baseline",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="grandfather current findings into PATH and exit 0",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_disp = sub.add_parser(
         "dispatch",

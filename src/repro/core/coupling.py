@@ -100,6 +100,7 @@ class ParallelRunPenalty(PathCostTerm):
                 for nb in (h_idx - dh, h_idx + dh):
                     if not 0 <= nb < grid.num_htracks:
                         continue
+                    # repro: allow[txn.mutate] cost-fn hot path: per-candidate snapshot() copies would be O(grid) per probe; dense read-only slice is safe under the dense default backend this cost model requires
                     row = grid._h_owner[nb, v_rng.start : v_rng.stop].tolist()
                     count += sum(1 for owner in row if self._hit(owner))
         else:  # vertical segment: neighbouring v-tracks
@@ -109,6 +110,7 @@ class ParallelRunPenalty(PathCostTerm):
                 for nb in (v_idx - dv, v_idx + dv):
                     if not 0 <= nb < grid.num_vtracks:
                         continue
+                    # repro: allow[txn.mutate] cost-fn hot path: per-candidate snapshot() copies would be O(grid) per probe; dense read-only slice is safe under the dense default backend this cost model requires
                     row = grid._v_owner[nb, h_rng.start : h_rng.stop].tolist()
                     count += sum(1 for owner in row if self._hit(owner))
         return count
@@ -129,6 +131,7 @@ def parallel_exposure(
     if not sens:
         return 0
     exposure = 0
+    # repro: allow[txn.mutate] whole-grid vectorised scan: reads both owner planes once; snapshot() would copy both arrays just to mask them
     for arr in (grid._h_owner, grid._v_owner):
         mine = arr == net_id
         theirs = np.isin(arr, sorted(sens))

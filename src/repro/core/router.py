@@ -622,7 +622,7 @@ class LevelBRouter:
                 for victim in victims:
                     self._unroute_net(victim)
                     results.pop(victim, None)
-                for requeued in reversed([net] + victims):
+                for requeued in reversed([net, *victims]):
                     token = pushes.get(requeued, 0) + 1
                     pushes[requeued] = token
                     live[requeued] = token
@@ -760,6 +760,7 @@ class LevelBRouter:
         """
         net_id = self._net_ids[net]
         grid = self.tig.grid_of(net_id)
+        # repro: allow[txn.commit] ambient transaction: callers hold explicit savepoints (grid.begin() in _refine, planes.begin() in probe) or run under the engine's `with grid.transaction():` scope
         grid.rip_net(net_id)
         for term in self.tig.terminals_of(net_id):
             grid.reserve_terminal(term.v_idx, term.h_idx, net_id)
@@ -841,4 +842,5 @@ def commit_points(
     corners: Iterable[tuple[int, int]],
 ) -> None:
     """Backwards-compatible alias for :meth:`RoutingGrid.commit_path`."""
+    # repro: allow[txn.commit] pass-through shim: transaction scope is the caller's responsibility, exactly as for commit_path itself
     grid.commit_path(net_id, points, corners)

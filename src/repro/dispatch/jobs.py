@@ -237,6 +237,22 @@ def _job_ok(job: Job, summary: dict) -> bool:
     return True
 
 
+def _module_level(fn: Callable) -> bool:
+    """Is ``fn`` picklable by reference (a plain module-level function)?
+
+    Process pools serialise callables by ``module.qualname`` lookup;
+    closures, lambdas and bound methods all fail that round trip.
+    """
+    import sys
+
+    qualname = getattr(fn, "__qualname__", "")
+    module = getattr(fn, "__module__", None)
+    if not qualname or "." in qualname or module is None:
+        return False
+    owner = sys.modules.get(module)
+    return owner is not None and getattr(owner, qualname, None) is fn
+
+
 class JobRunner:
     """Work-queue executor for :class:`Job` batches.
 
@@ -272,6 +288,17 @@ class JobRunner:
     ) -> None:
         if mode not in ("process", "thread", "serial"):
             raise ValueError(f"unknown job runner mode {mode!r}")
+        if (
+            mode == "process"
+            and job_body is not None
+            and not _module_level(job_body)
+        ):
+            raise ValueError(
+                "mode='process' requires a module-level job_body: "
+                f"{job_body!r} is a closure or bound method, which "
+                "process pools cannot pickle by reference; use "
+                "mode='thread' or 'serial'"
+            )
         self.workers = max(1, workers)
         self.mode = mode
         self.timeout_s = timeout_s
@@ -365,6 +392,7 @@ class JobRunner:
         while pending:
             executor, mode = self._new_executor()
             submitted = {
+                # repro: allow[pool.payload] __init__ rejects non-module-level bodies for mode='process' (_module_level guard); closures only ever reach thread/serial executors
                 i: executor.submit(self.job_body, jobs[i]) for i in pending
             }
             instrument.count(DISPATCH_JOBS_SUBMITTED, len(pending))

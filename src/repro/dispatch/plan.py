@@ -36,8 +36,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.geometry import Interval
+
+if TYPE_CHECKING:
+    from repro.core.router import LevelBConfig
+    from repro.grid.occupancy import RoutingGrid
 
 __all__ = [
     "DispatchConfig",
@@ -113,7 +118,11 @@ class NetPlan:
         return self.v_iv.count * self.h_iv.count
 
 
-def halo_tracks(config, speculate_expansions: int, num_terminals: int = 2) -> int:
+def halo_tracks(
+    config: LevelBConfig,
+    speculate_expansions: int,
+    num_terminals: int = 2,
+) -> int:
     """Tracks a net's reads may extend beyond its terminal bounding box.
 
     ``config`` is the router's :class:`~repro.core.router.LevelBConfig`.
@@ -131,10 +140,10 @@ def halo_tracks(config, speculate_expansions: int, num_terminals: int = 2) -> in
 
 
 def net_window(
-    grid,
+    grid: RoutingGrid,
     net_id: int,
     terminals: Sequence,
-    config,
+    config: LevelBConfig,
     speculate_expansions: int,
     plane: int = 0,
 ) -> NetPlan:

@@ -171,7 +171,7 @@ class Path:
 
     def waypoints(self) -> list[Point]:
         """Endpoint sequence: start plus each segment's far endpoint."""
-        return [self.segments[0].a] + [seg.b for seg in self.segments]
+        return [self.segments[0].a, *(seg.b for seg in self.segments)]
 
     @property
     def bounds(self) -> Rect:

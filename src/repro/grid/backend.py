@@ -30,6 +30,8 @@ cost — the pair behind the ``mem.*`` gauges and ``BENCH_scale.json``.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 __all__ = [
@@ -119,7 +121,7 @@ class PagedArray:
             raise IndexError("PagedArray supports step-1 slices only")
         return start, max(start, stop)
 
-    def _key(self, key) -> tuple[object, object]:
+    def _key(self, key: int | slice | tuple) -> tuple[object, object]:
         if isinstance(key, tuple):
             if len(key) != 2:
                 raise IndexError("PagedArray takes at most two indices")
@@ -127,7 +129,7 @@ class PagedArray:
         return key, slice(None)
 
     # -- reads ----------------------------------------------------------
-    def __getitem__(self, key):
+    def __getitem__(self, key: int | slice | tuple) -> np.ndarray | int:
         rows, cols = self._key(key)
         nrows, ncols = self.shape
         if isinstance(rows, slice):
@@ -173,7 +175,7 @@ class PagedArray:
             out[lo - c0 : hi - c0] = chunk[lo - p * page : hi - p * page]
 
     # -- writes ---------------------------------------------------------
-    def __setitem__(self, key, value) -> None:
+    def __setitem__(self, key: int | slice | tuple, value: Any) -> None:
         rows, cols = self._key(key)
         nrows, ncols = self.shape
         if isinstance(rows, slice):
@@ -238,22 +240,24 @@ class PagedArray:
             self._read_row(r, 0, self.shape[1], out[r])
         return out
 
-    def __array__(self, dtype=None, copy=None):
+    def __array__(
+        self, dtype: Any = None, copy: bool | None = None
+    ) -> np.ndarray:
         dense = self.to_numpy()
         return dense if dtype is None else dense.astype(dtype)
 
-    def __eq__(self, other):  # type: ignore[override]
+    def __eq__(self, other: object) -> np.ndarray:  # type: ignore[override]
         return self.to_numpy() == other
 
-    def __ne__(self, other):  # type: ignore[override]
+    def __ne__(self, other: object) -> np.ndarray:  # type: ignore[override]
         return self.to_numpy() != other
 
     __hash__ = None  # type: ignore[assignment]  # array-like, mirrors ndarray
 
-    def __gt__(self, other):
+    def __gt__(self, other: object) -> np.ndarray:
         return self.to_numpy() > other
 
-    def __lt__(self, other):
+    def __lt__(self, other: object) -> np.ndarray:
         return self.to_numpy() < other
 
     # -- sparse-aware scans ----------------------------------------------
@@ -313,7 +317,9 @@ class OccupancyBackend:
         self.v_owner = self._make((num_vtracks, num_htracks), np.int32)
         self.unrouted_terms = self._make((num_htracks, num_vtracks), np.int16)
 
-    def _make(self, shape: tuple[int, int], dtype) -> object:
+    def _make(
+        self, shape: tuple[int, int], dtype: type[np.generic]
+    ) -> object:
         raise NotImplementedError
 
     # -- accounting ------------------------------------------------------
@@ -390,7 +396,9 @@ class DenseBackend(OccupancyBackend):
     v_owner: np.ndarray
     unrouted_terms: np.ndarray
 
-    def _make(self, shape: tuple[int, int], dtype) -> np.ndarray:
+    def _make(
+        self, shape: tuple[int, int], dtype: type[np.generic]
+    ) -> np.ndarray:
         return np.zeros(shape, dtype=dtype)
 
     def memory_bytes(self) -> int:
@@ -431,7 +439,9 @@ class SparseBackend(OccupancyBackend):
     v_owner: PagedArray
     unrouted_terms: PagedArray
 
-    def _make(self, shape: tuple[int, int], dtype) -> PagedArray:
+    def _make(
+        self, shape: tuple[int, int], dtype: type[np.generic]
+    ) -> PagedArray:
         return PagedArray(shape, dtype)
 
     def memory_bytes(self) -> int:

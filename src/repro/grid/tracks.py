@@ -20,7 +20,7 @@ class TrackSet:
     __slots__ = ("_coords", "_index")
 
     def __init__(self, coords: Iterable[int]) -> None:
-        self._coords: list[int] = sorted(set(int(c) for c in coords))
+        self._coords: list[int] = sorted({int(c) for c in coords})
         if not self._coords:
             raise ValueError("TrackSet needs at least one track")
         self._index: dict[int, int] = {c: i for i, c in enumerate(self._coords)}

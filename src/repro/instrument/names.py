@@ -26,6 +26,7 @@ SPAN_MAZE_RESCUE = "maze.rescue"
 SPAN_FLOW_PROBE = "flow.probe"
 SPAN_CHECK = "check"
 SPAN_CHECK_COMMIT = "check.commit"
+SPAN_LINT = "lint"
 
 SPAN_DISPATCH_PLAN = "dispatch.plan"
 SPAN_DISPATCH_APPLY = "dispatch.apply"
@@ -80,6 +81,11 @@ SERVE_PROBES = "serve.probes"
 CHECKS_RUN = "check.runs"
 CHECK_RULES_EVALUATED = "check.rules_evaluated"
 CHECK_VIOLATIONS = "check.violations"
+LINT_RUNS = "lint.runs"
+LINT_FILES = "lint.files_scanned"
+LINT_RULES_EVALUATED = "lint.rules_evaluated"
+LINT_VIOLATIONS = "lint.violations"
+LINT_SUPPRESSED = "lint.suppressed"
 
 # -- gauges ------------------------------------------------------------
 LEVELB_UTILIZATION = "levelb.grid_utilization"
@@ -99,6 +105,7 @@ EVT_MAZE_FALLBACK = "maze.fallback"
 EVT_RIPUP = "ripup"
 EVT_CHANNEL_CYCLIC = "channel.cyclic"
 EVT_CHECK_VIOLATION = "check.violation"
+EVT_LINT_VIOLATION = "lint.violation"
 EVT_PLANE_ASSIGNED = "levelb.plane_assigned"
 EVT_WAVE_PLANNED = "dispatch.wave_planned"
 EVT_REGIONS_BUILT = "dispatch.regions_built"

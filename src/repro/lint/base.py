@@ -1,0 +1,77 @@
+"""Rule base classes for the project-contract linter.
+
+Two rule shapes exist:
+
+* :class:`FileRule` — runs once per analysed module, sees one
+  :class:`~repro.lint.context.ModuleContext`.  Most rules are these.
+* :class:`ProjectRule` — runs once per analysis run, sees the whole
+  :class:`~repro.lint.context.ProjectContext`; for contracts that span
+  files (``digest.fields`` cross-checks two ASTs).
+
+A rule declares the *contract* it encodes (shown by ``repro lint
+--list-rules`` and in docs/STATIC_ANALYSIS.md) and optionally the
+dotted-module prefixes it applies to — the determinism rules, for
+example, police only the packages the determinism contract covers.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.lint.context import ModuleContext, ProjectContext
+from repro.lint.violations import LintViolation, Severity
+
+__all__ = ["FileRule", "ProjectRule", "Rule"]
+
+
+class Rule:
+    """Shared rule metadata."""
+
+    rule_id: ClassVar[str] = ""
+    #: One-line statement of the project contract the rule enforces.
+    contract: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    #: Dotted module prefixes the rule polices; ``None`` means every
+    #: analysed module.
+    packages: ClassVar[tuple[str, ...] | None] = None
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if self.packages is None:
+            return True
+        return any(
+            ctx.module == p or ctx.module.startswith(p + ".")
+            for p in self.packages
+        )
+
+    def violation(
+        self,
+        ctx: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        *,
+        severity: Severity | None = None,
+    ) -> LintViolation:
+        return LintViolation(
+            rule=self.rule_id,
+            path=ctx.rel,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity if severity is not None else self.severity,
+            snippet=ctx.line_at(line),
+        )
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each module."""
+
+    def check(self, ctx: ModuleContext) -> list[LintViolation]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over the whole scanned project."""
+
+    def check_project(self, project: ProjectContext) -> list[LintViolation]:
+        raise NotImplementedError

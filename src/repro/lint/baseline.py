@@ -1,0 +1,55 @@
+"""The committed lint baseline: grandfathered findings, keyed stably.
+
+A baseline entry identifies a finding by ``(path, rule, snippet)`` —
+the stripped source line, not the line number — so entries survive
+unrelated edits above the offending line.  The shipped baseline
+(``lint-baseline.json``) is empty: every pre-existing finding was
+fixed or pragma-justified in source.  The mechanism stays for
+downstream forks adopting the linter over a dirty tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.violations import LintViolation
+
+__all__ = ["load_baseline", "save_baseline"]
+
+FORMAT = "repro-lint-baseline"
+VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> set[BaselineKey]:
+    """The grandfathered finding keys in ``path`` (empty if absent)."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: not a {FORMAT} file (format={data.get('format')!r})"
+        )
+    keys: set[BaselineKey] = set()
+    for entry in data.get("entries", []):
+        keys.add((entry["path"], entry["rule"], entry["snippet"]))
+    return keys
+
+
+def save_baseline(path: Path, violations: list[LintViolation]) -> int:
+    """Write the baseline covering ``violations``; returns entry count."""
+    entries = sorted({v.key() for v in violations})
+    payload = {
+        "format": FORMAT,
+        "version": VERSION,
+        "entries": [
+            {"path": p, "rule": r, "snippet": s} for p, r, s in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

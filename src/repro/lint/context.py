@@ -1,0 +1,229 @@
+"""Parsed-module contexts and the pragma suppression syntax.
+
+One :class:`ModuleContext` per analysed file: the AST, the source
+lines, a lazily built parent map (``ast`` has no parent links) and the
+file's suppression pragmas.  A :class:`ProjectContext` holds every
+scanned module by dotted name so cross-file rules (``digest.fields``)
+can read two ASTs side by side.
+
+Pragma syntax
+-------------
+A finding is suppressed *at the offending line* (or on a comment line
+directly above it) with::
+
+    grid.rip_net(net_id)  # repro: allow[txn.commit] ambient txn held by caller
+
+The bracket takes one or more comma-separated rule ids; everything
+after the bracket is the mandatory justification.  A pragma without a
+reason suppresses nothing and is itself reported (rule
+``lint.pragma``), as is a pragma that no finding matched — stale
+suppressions must not outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ModuleContext",
+    "Pragma",
+    "ProjectContext",
+    "dotted_name",
+    "module_name_for",
+]
+
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow[rule, ...] reason`` suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: Rule ids this pragma actually silenced (engine bookkeeping;
+    #: a pragma that silenced nothing is reported as stale).
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason.strip())
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the project ``root``.
+
+    ``<root>/src/repro/core/router.py`` maps to ``repro.core.router``;
+    a path outside the root falls back to its bare stem.  The ``src``
+    layout hop is recognised anywhere in the relative path so fixture
+    trees in tests resolve the same way the real tree does.
+    """
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleContext:
+    """One parsed source file plus per-file analysis helpers."""
+
+    def __init__(self, path: Path, root: Path, source: str) -> None:
+        self.path = path
+        self.root = root
+        try:
+            self.rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            self.rel = path.as_posix()
+        self.module = module_name_for(path, root)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.pragmas: dict[int, Pragma] = self._scan_pragmas()
+        self._parents: dict[int, ast.AST] | None = None
+
+    # ------------------------------------------------------------------
+    def _scan_pragmas(self) -> dict[int, Pragma]:
+        """Pragmas from *comment tokens* only.
+
+        Tokenizing (rather than regex over raw lines) keeps pragma
+        examples inside docstrings and string literals from counting
+        as live suppressions.
+        """
+        pragmas: dict[int, Pragma] = {}
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError):
+            return pragmas
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = PRAGMA_RE.search(tok.string)
+            if m is None:
+                continue
+            lineno = tok.start[0]
+            rules = tuple(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            pragmas[lineno] = Pragma(
+                line=lineno, rules=rules, reason=m.group(2).strip()
+            )
+        return pragmas
+
+    def pragma_for(self, line: int, rule: str) -> Pragma | None:
+        """The pragma suppressing ``rule`` at ``line``, if any.
+
+        Looks at the line itself, then at a comment-only line directly
+        above it (the standalone-pragma form).
+        """
+        for candidate in (line, line - 1):
+            pragma = self.pragmas.get(candidate)
+            if pragma is None or rule not in pragma.rules:
+                continue
+            if candidate != line:
+                text = self.lines[candidate - 1].lstrip()
+                if not text.startswith("#"):
+                    continue
+            return pragma
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(node) -> parent`` for every node in the tree."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def parent_of(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Parents of ``node``, nearest first."""
+        out: list[ast.AST] = []
+        current = self.parent_of(node)
+        while current is not None:
+            out.append(current)
+            current = self.parent_of(current)
+        return out
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # ------------------------------------------------------------------
+    def top_level_names(self) -> set[str]:
+        """Names bound at module level: defs, classes and imports."""
+        names: set[str] = set()
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+        return names
+
+    def imported_modules(self) -> set[str]:
+        """Local names that are bound to *modules* by imports."""
+        names: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+        return names
+
+
+class ProjectContext:
+    """Every scanned module, addressable by dotted name."""
+
+    def __init__(self, root: Path, modules: list[ModuleContext]) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleContext] = {
+            m.module: m for m in modules
+        }
+
+    def get(self, module: str) -> ModuleContext | None:
+        return self.modules.get(module)

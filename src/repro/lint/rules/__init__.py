@@ -1,0 +1,83 @@
+"""The rule registry for the project-contract linter.
+
+One instance of every rule, catalogued by id.  ``repro lint
+--list-rules`` and docs/STATIC_ANALYSIS.md render the catalogue;
+``--rule``/``--select`` filter against it.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import FileRule, ProjectRule, Rule
+from repro.lint.rules.concurrency import MutableDefaultRule, PoolPayloadRule
+from repro.lint.rules.determinism import (
+    DETERMINISM_PACKAGES,
+    ClockRule,
+    IdKeyRule,
+    RandomRule,
+    SetOrderRule,
+)
+from repro.lint.rules.digest import DigestFieldsRule
+from repro.lint.rules.servelock import ServeLockRule
+from repro.lint.rules.transaction import CommitScopeRule, OccupancyMutationRule
+
+__all__ = [
+    "ALL_RULES",
+    "DETERMINISM_PACKAGES",
+    "FILE_RULES",
+    "PRAGMA_RULE_ID",
+    "PROJECT_RULES",
+    "all_rule_ids",
+    "rules_for_ids",
+]
+
+#: Engine-owned rule id for malformed suppressions (reasonless or
+#: stale pragmas); not a Rule class — the engine emits it directly.
+PRAGMA_RULE_ID = "lint.pragma"
+
+FILE_RULES: tuple[FileRule, ...] = (
+    ClockRule(),
+    RandomRule(),
+    IdKeyRule(),
+    SetOrderRule(),
+    CommitScopeRule(),
+    OccupancyMutationRule(),
+    PoolPayloadRule(),
+    MutableDefaultRule(),
+    ServeLockRule(),
+)
+
+PROJECT_RULES: tuple[ProjectRule, ...] = (DigestFieldsRule(),)
+
+ALL_RULES: tuple[Rule, ...] = FILE_RULES + PROJECT_RULES
+
+
+def all_rule_ids() -> tuple[str, ...]:
+    """Every selectable rule id, sorted (includes ``lint.pragma``)."""
+    return tuple(
+        sorted([*(r.rule_id for r in ALL_RULES), PRAGMA_RULE_ID])
+    )
+
+
+def rules_for_ids(select: set[str] | None) -> tuple[Rule, ...]:
+    """The registered rules matching ``select`` (``None`` = all).
+
+    Ids may be exact (``det.clock``) or a group prefix (``det``).
+    Unknown ids raise ``ValueError`` so CLI typos fail loudly.
+    """
+    if select is None:
+        return ALL_RULES
+    known = {r.rule_id for r in ALL_RULES} | {PRAGMA_RULE_ID}
+    groups = {rid.split(".")[0] for rid in known}
+    unknown = [
+        s for s in select if s not in known and s not in groups
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return tuple(
+        r
+        for r in ALL_RULES
+        if r.rule_id in select or r.rule_id.split(".")[0] in select
+    )

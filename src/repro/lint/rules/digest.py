@@ -1,0 +1,325 @@
+"""Digest-completeness rule: the cache key covers every routing knob.
+
+The serve result cache (PR 6, docs/SERVING.md) answers repeated
+requests by content digest.  Its correctness rests on a completeness
+invariant: **every** ``FlowParams`` field either contributes to the
+digest, or is explicitly classified as digest-irrelevant.  A field
+added to ``FlowParams`` without a classification silently produces
+stale cache hits — two requests that differ in the new knob share one
+entry.
+
+``digest.fields`` checks the invariant statically, by reading two
+ASTs side by side:
+
+* ``repro/flow/params.py`` — the ``FlowParams`` dataclass fields;
+* ``repro/serve/protocol.py`` — the classification literals
+  (``DIGESTED_FIELDS``, ``DIGEST_EXCLUDED``, ``SERVER_DEFAULTED``),
+  the ``JobSpec`` dataclass and the dict literal ``canonical()``
+  returns.
+
+Checked invariants:
+
+1. FlowParams fields = DIGESTED_FIELDS keys ∪ DIGEST_EXCLUDED ∪
+   SERVER_DEFAULTED, with no overlap and nothing stale.
+2. Every DIGESTED_FIELDS value is a key of the ``canonical()`` dict.
+3. Every JobSpec field is a ``canonical()`` key or in DIGEST_EXCLUDED.
+
+The rule runs only when both modules are in the scanned set; fixture
+projects exercise it by shipping miniature copies of the two files.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import ProjectRule
+from repro.lint.context import ModuleContext, ProjectContext
+from repro.lint.violations import LintViolation
+
+__all__ = ["DigestFieldsRule"]
+
+PARAMS_MODULE = "repro.flow.params"
+PROTOCOL_MODULE = "repro.serve.protocol"
+
+
+def _dataclass_fields(ctx: ModuleContext, class_name: str) -> list[tuple[str, int]] | None:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, stmt.lineno))
+            return fields
+    return None
+
+
+def _module_literal(
+    ctx: ModuleContext, name: str
+) -> tuple[ast.expr, int] | None:
+    for node in ctx.tree.body:
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            value = node.value
+        if value is not None:
+            return value, node.lineno
+    return None
+
+
+def _string_set(node: ast.expr) -> set[str] | None:
+    """String elements of a set/frozenset/list/tuple literal."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        # frozenset({...}) / set([...]); bare frozenset() is empty.
+        if not node.args:
+            return set()
+        return _string_set(node.args[0])
+    elements: list[ast.expr]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        elements = list(node.elts)
+    else:
+        return None
+    out: set[str] = set()
+    for el in elements:
+        if isinstance(el, ast.Constant) and isinstance(el.value, str):
+            out.add(el.value)
+        else:
+            return None
+    return out
+
+
+def _string_dict(node: ast.expr) -> dict[str, str] | None:
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            out[key.value] = value.value
+        else:
+            return None
+    return out
+
+
+def _canonical_keys(
+    ctx: ModuleContext, class_name: str, method: str
+) -> tuple[set[str], int] | None:
+    """String keys of every dict literal ``method`` returns."""
+    for node in ctx.tree.body:
+        if not (
+            isinstance(node, ast.ClassDef) and node.name == class_name
+        ):
+            continue
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == method
+            ):
+                continue
+            keys: set[str] = set()
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Return) or sub.value is None:
+                    continue
+                for d in ast.walk(sub.value):
+                    if isinstance(d, ast.Dict):
+                        for key in d.keys:
+                            if isinstance(
+                                key, ast.Constant
+                            ) and isinstance(key.value, str):
+                                keys.add(key.value)
+            return keys, stmt.lineno
+    return None
+
+
+class DigestFieldsRule(ProjectRule):
+    rule_id = "digest.fields"
+    contract = (
+        "Every FlowParams field is classified for the serve cache "
+        "digest: digested (with its canonical key), excluded as a "
+        "bit-identical-result knob, or unreachable from the protocol."
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> list[LintViolation]:
+        params = project.get(PARAMS_MODULE)
+        protocol = project.get(PROTOCOL_MODULE)
+        if params is None or protocol is None:
+            return []
+        out: list[LintViolation] = []
+
+        fields = _dataclass_fields(params, "FlowParams")
+        if fields is None:
+            return [
+                self.violation(
+                    params, 1, 0, "FlowParams dataclass not found"
+                )
+            ]
+        field_names = {name for name, _ in fields}
+        field_lines = dict(fields)
+
+        digested = self._literal_dict(protocol, "DIGESTED_FIELDS", out)
+        excluded = self._literal_set(protocol, "DIGEST_EXCLUDED", out)
+        defaulted = self._literal_set(protocol, "SERVER_DEFAULTED", out)
+        if digested is None or excluded is None or defaulted is None:
+            return out
+
+        canonical = _canonical_keys(protocol, "JobSpec", "canonical")
+        if canonical is None:
+            out.append(
+                self.violation(
+                    protocol, 1, 0, "JobSpec.canonical() not found"
+                )
+            )
+            return out
+        canonical_keys, canonical_line = canonical
+
+        classified = set(digested) | excluded | defaulted
+        for name in sorted(field_names - classified):
+            out.append(
+                self.violation(
+                    params,
+                    field_lines[name],
+                    0,
+                    f"FlowParams.{name} is not classified for the "
+                    "serve cache digest; add it to DIGESTED_FIELDS, "
+                    "DIGEST_EXCLUDED or SERVER_DEFAULTED in "
+                    "repro/serve/protocol.py (an unclassified knob "
+                    "silently fragments or poisons the cache)",
+                )
+            )
+        for name in sorted(classified - field_names):
+            out.append(
+                self.violation(
+                    protocol,
+                    1,
+                    0,
+                    f"digest classification names {name!r}, which is "
+                    "not a FlowParams field (stale entry)",
+                )
+            )
+        for a, b, names in (
+            ("DIGESTED_FIELDS", "DIGEST_EXCLUDED", set(digested) & excluded),
+            ("DIGESTED_FIELDS", "SERVER_DEFAULTED", set(digested) & defaulted),
+            ("DIGEST_EXCLUDED", "SERVER_DEFAULTED", excluded & defaulted),
+        ):
+            for name in sorted(names):
+                out.append(
+                    self.violation(
+                        protocol,
+                        1,
+                        0,
+                        f"{name!r} classified in both {a} and {b}",
+                    )
+                )
+        for field, key in sorted(digested.items()):
+            if key not in canonical_keys:
+                out.append(
+                    self.violation(
+                        protocol,
+                        canonical_line,
+                        0,
+                        f"DIGESTED_FIELDS maps {field!r} to canonical "
+                        f"key {key!r}, which JobSpec.canonical() does "
+                        "not emit",
+                    )
+                )
+
+        spec_fields = _dataclass_fields(protocol, "JobSpec")
+        if spec_fields is not None:
+            for name, line in spec_fields:
+                if name not in canonical_keys and name not in excluded:
+                    out.append(
+                        self.violation(
+                            protocol,
+                            line,
+                            0,
+                            f"JobSpec.{name} neither reaches "
+                            "canonical() nor appears in "
+                            "DIGEST_EXCLUDED: requests differing in "
+                            "it would share a cache entry "
+                            "undocumented",
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    def _literal_dict(
+        self,
+        ctx: ModuleContext,
+        name: str,
+        out: list[LintViolation],
+    ) -> dict[str, str] | None:
+        found = _module_literal(ctx, name)
+        if found is None:
+            out.append(
+                self.violation(
+                    ctx,
+                    1,
+                    0,
+                    f"module literal {name} missing: the digest "
+                    "classification must be declared statically",
+                )
+            )
+            return None
+        value, line = found
+        parsed = _string_dict(value)
+        if parsed is None:
+            out.append(
+                self.violation(
+                    ctx,
+                    line,
+                    0,
+                    f"{name} must be a literal dict of strings "
+                    "(statically readable)",
+                )
+            )
+        return parsed
+
+    def _literal_set(
+        self,
+        ctx: ModuleContext,
+        name: str,
+        out: list[LintViolation],
+    ) -> set[str] | None:
+        found = _module_literal(ctx, name)
+        if found is None:
+            out.append(
+                self.violation(
+                    ctx,
+                    1,
+                    0,
+                    f"module literal {name} missing: the digest "
+                    "classification must be declared statically",
+                )
+            )
+            return None
+        value, line = found
+        parsed = _string_set(value)
+        if parsed is None:
+            out.append(
+                self.violation(
+                    ctx,
+                    line,
+                    0,
+                    f"{name} must be a literal set of strings "
+                    "(statically readable)",
+                )
+            )
+        return parsed

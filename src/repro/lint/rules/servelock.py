@@ -1,0 +1,203 @@
+"""Serve thread-safety rule: shared state writes happen under the lock.
+
+The routing server (PR 6) shares its cache, queue and job records
+across HTTP handler threads and routing workers.  The convention the
+code established — every shared class owns a ``threading.Lock`` /
+``RLock`` / ``Condition`` and mutates its fields only inside ``with
+self._lock:`` — is exactly the kind of invariant that erodes one
+innocent-looking assignment at a time.
+
+``serve.lock`` makes it mechanical: in any ``repro.serve`` class whose
+``__init__`` creates a lock attribute, every ``self.<field>``
+assignment (or container-mutating call through one) in a non-dunder
+method must sit lexically inside a ``with self.<lock>:`` block.
+Deliberately lock-free fields (single-writer hand-offs, monotonic
+flags) carry a pragma stating why they are safe — turning the
+convention into documentation at each site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileRule
+from repro.lint.context import ModuleContext, dotted_name
+from repro.lint.violations import LintViolation
+
+__all__ = ["ServeLockRule"]
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "Lock",
+        "RLock",
+        "Condition",
+    }
+)
+
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "add",
+        "discard",
+        "move_to_end",
+    }
+)
+
+
+class ServeLockRule(FileRule):
+    rule_id = "serve.lock"
+    contract = (
+        "In serve classes that own a lock, every self-field write in "
+        "a non-init method happens inside `with self.<lock>:` (or is "
+        "documented lock-free with a pragma)."
+    )
+    packages = ("repro.serve",)
+
+    def check(self, ctx: ModuleContext) -> list[LintViolation]:
+        out: list[LintViolation] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                out.extend(self._check_class(ctx, node))
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> list[LintViolation]:
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return []
+        out: list[LintViolation] = []
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if method.name.startswith("__") and method.name.endswith(
+                "__"
+            ):
+                continue  # __init__ runs before sharing; dunders vary
+            out.extend(self._check_method(ctx, method, locks))
+        return out
+
+    @staticmethod
+    def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+        """self-attributes ``__init__`` binds to a threading lock."""
+        locks: set[str] = set()
+        for method in cls.body:
+            if (
+                not isinstance(method, ast.FunctionDef)
+                or method.name != "__init__"
+            ):
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                name = dotted_name(node.value.func)
+                if name not in _LOCK_FACTORIES:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+        return locks
+
+    def _check_method(
+        self,
+        ctx: ModuleContext,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        locks: set[str],
+    ) -> list[LintViolation]:
+        out: list[LintViolation] = []
+        for node in ast.walk(method):
+            attr: ast.Attribute | None = None
+            kind = "write to"
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = self._self_attr(target)
+                if attr is not None:
+                    break
+            if attr is None and isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _CONTAINER_MUTATORS
+                ):
+                    attr = self._self_attr(func.value)
+                    kind = "mutating call through"
+            if attr is None or attr.attr in locks:
+                continue
+            if self._under_lock(ctx, node, locks):
+                continue
+            out.append(
+                self.violation(
+                    ctx,
+                    attr.lineno,
+                    attr.col_offset,
+                    f"{kind} self.{attr.attr} in {method.name}() "
+                    "outside the instance lock; wrap in `with "
+                    "self.<lock>:` or pragma why the field is "
+                    "lock-free",
+                )
+            )
+        return out
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> ast.Attribute | None:
+        """The ``self.<attr>`` an expression stores through, if any.
+
+        Handles plain fields (``self.x = ...``) and container cells
+        (``self.d[k] = ...`` stores through ``self.d``).
+        """
+        current: ast.expr = node
+        while isinstance(current, ast.Subscript):
+            current = current.value
+        if (
+            isinstance(current, ast.Attribute)
+            and isinstance(current.value, ast.Name)
+            and current.value.id == "self"
+        ):
+            return current
+        return None
+
+    @staticmethod
+    def _under_lock(
+        ctx: ModuleContext, node: ast.AST, locks: set[str]
+    ) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                break  # do not credit an outer function's lock scope
+            if not isinstance(ancestor, ast.With):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and expr.attr in locks
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    return True
+        return False

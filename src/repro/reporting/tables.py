@@ -11,7 +11,7 @@ from repro.netlist import Design
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Plain-text aligned table."""
-    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    cells = [[str(h) for h in headers], *([str(c) for c in row] for row in rows)]
     widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
     lines = []
     for i, row in enumerate(cells):

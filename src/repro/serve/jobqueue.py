@@ -158,6 +158,7 @@ class JobRecord:
 
     def _note_state(self, state: str, **fields: Any) -> None:
         """Record a state transition: event buffer + global instrument."""
+        # repro: allow[serve.lock] EventBuffer.append synchronizes internally on its own Condition; no JobRecord state is touched here
         self.events.append(
             {
                 "event": EVT_SERVE_JOB_STATE,
@@ -265,6 +266,7 @@ class JobQueue:
                 target=self._worker, name=f"serve-worker-{i}", daemon=True
             )
             t.start()
+            # repro: allow[serve.lock] startup hand-off: start() runs once on the owning thread before any worker or handler reads _threads
             self._threads.append(t)
 
     @property

@@ -49,6 +49,45 @@ _SPEC_KEYS = frozenset(
     }
 )
 
+# ----------------------------------------------------------------------
+# Digest classification. Every FlowParams field appears in exactly one
+# of the three literals below; the ``digest.fields`` lint rule
+# cross-checks them against FlowParams and JobSpec.canonical() so a
+# new routing knob cannot be added without deciding — in writing —
+# whether it keys the result cache.
+# ----------------------------------------------------------------------
+
+#: FlowParams fields that reach the canonical digest, mapped to the
+#: key ``JobSpec.canonical()`` carries them under.
+DIGESTED_FIELDS = {
+    "technology": "technology",
+    "planes": "planes",
+    "checked": "check",
+}
+
+#: Bit-identical-result knobs: changing one changes *how* the answer
+#: is produced, never the answer (docs/PARALLELISM.md, docs/SCALING.md),
+#: so they must not fragment the cache.
+DIGEST_EXCLUDED = frozenset(
+    {"parallel", "parallel_mode", "backend", "hierarchical"}
+)
+
+#: FlowParams fields the wire protocol does not expose: every request
+#: gets the server-default value, so within one server's cache they
+#: cannot vary between entries.
+SERVER_DEFAULTED = frozenset(
+    {
+        "channel_router",
+        "margin",
+        "aspect",
+        "partition",
+        "length_threshold",
+        "levelb",
+        "obstacles",
+        "channel_area_factor",
+    }
+)
+
 
 class SpecError(ValueError):
     """A client request that fails validation (HTTP 400)."""

@@ -107,7 +107,10 @@ class RoutingServer:
         self._stopped = threading.Event()
         self._stop_lock = threading.Lock()
         self.started_at = time.time()
+        # Bumped from concurrent HTTP handler threads: += on an int is
+        # read-modify-write, so it takes its own lock.
         self.probe_counter = 0
+        self._probe_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +132,7 @@ class RoutingServer:
     def start(self) -> "RoutingServer":
         """Spawn the worker pool and the HTTP accept loop (non-blocking)."""
         self.jobs.start()
+        # repro: allow[serve.lock] startup hand-off: assigned once by the owning thread before any handler thread exists; stop() joins through _stop_lock
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="serve-http",
@@ -172,7 +176,8 @@ class RoutingServer:
 
     def run_probe(self, spec: JobSpec) -> dict[str, Any]:
         """Cached what-if routability assessment (``/probe`` body)."""
-        self.probe_counter += 1
+        with self._probe_lock:
+            self.probe_counter += 1
         instrument.count(SERVE_PROBES)
         digest = canonical_digest(probe_canonical(spec))
         cached = self.cache.get(digest)

@@ -37,7 +37,7 @@ class TestBasicRouting:
         result = route_toy()
         grid = result.tig.grid
         for routed in result.routed:
-            positions = {p for p in routed.net.pin_positions()}
+            positions = set(routed.net.pin_positions())
             touched = set()
             for conn in routed.connections:
                 touched.add(conn.path.start)
@@ -122,7 +122,7 @@ class TestObstacles:
 
     def test_obstacle_over_terminal_rejected(self):
         design = make_toy_design()
-        pin_pos = list(design.nets.values())[0].pin_positions()[0]
+        pin_pos = next(iter(design.nets.values())).pin_positions()[0]
         obstacle = Rect(pin_pos.x - 4, pin_pos.y - 4, pin_pos.x + 4, pin_pos.y + 4)
         with pytest.raises(ValueError):
             LevelBRouter(

@@ -59,7 +59,7 @@ class TestCornerAccounting:
         net_id, (a, b) = nets["B"]
         res = MBFSearch(tig.grid, net_id, a, b).run()
         assert res.min_corners == 1
-        sequences = {tuple(l.track_sequence() + []) for l in res.leaves}
+        sequences = {tuple(leaf.track_sequence()) for leaf in res.leaves}
         # One of the minimum-corner leaves is the v2-then-h4 path.
         assert ("v2", "h4") in sequences
 

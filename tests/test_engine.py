@@ -193,7 +193,7 @@ class TestNetNameIndex:
         dupe = copy.copy(nets[0])
         dupe.name = nets[1].name
         with pytest.raises(ValueError, match="duplicate net name"):
-            LevelBRouter(Rect(0, 0, 256, 256), [dupe] + nets[1:])
+            LevelBRouter(Rect(0, 0, 256, 256), [dupe, *nets[1:]])
 
     def test_duplicate_names_rejected_in_result(self):
         result = toy_router().route()

@@ -79,7 +79,7 @@ class TestExamplesRun:
             os.path.dirname(__file__), "..", "examples", name
         )
         monkeypatch.chdir(tmp_path)  # examples write SVGs into cwd
-        monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+        monkeypatch.setattr(sys, "argv", [name, *(argv or [])])
         runpy.run_path(os.path.abspath(path), run_name="__main__")
 
     def test_quickstart(self, tmp_path, monkeypatch, capsys):

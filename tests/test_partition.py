@@ -50,7 +50,7 @@ class TestStrategies:
     def test_whole_nets_never_split(self):
         nets = [make_net(f"n{i}", critical=(i % 2 == 0)) for i in range(10)]
         set_a, set_b = partition_nets(nets)
-        assert set(id(n) for n in set_a).isdisjoint(id(n) for n in set_b)
+        assert {id(n) for n in set_a}.isdisjoint(id(n) for n in set_b)
         assert len(set_a) + len(set_b) == len(nets)
 
     def test_order_preserved(self):

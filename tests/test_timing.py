@@ -112,13 +112,13 @@ class TestLevelBDelays:
         short = levelb_net_delays(self.route_straight_net(200), tech)
         long = levelb_net_delays(self.route_straight_net(800), tech)
         assert len(short) == len(long) == 1
-        assert 0 < list(short.values())[0] < list(long.values())[0]
+        assert 0 < next(iter(short.values())) < next(iter(long.values()))
 
     def test_wide_upper_layers_beat_channel_estimate_for_long_nets(self):
         """The paper's motivation: long nets are faster over-cell."""
         tech = Technology.four_layer()
         routed = self.route_straight_net(1600)
-        levelb = list(levelb_net_delays(routed, tech).values())[0]
+        levelb = next(iter(levelb_net_delays(routed, tech).values()))
         channel = channel_net_delay_estimate(routed.net, tech)
         assert levelb < channel
 
@@ -213,4 +213,4 @@ class TestMultiTerminalTrees:
         tech = Technology.four_layer()
         cheap = levelb_net_delays(routed, tech, DriverModel(via_resistance=0.0))
         dear = levelb_net_delays(routed, tech, DriverModel(via_resistance=50.0))
-        assert list(dear.values())[0] > list(cheap.values())[0]
+        assert next(iter(dear.values())) > next(iter(cheap.values()))
