@@ -11,9 +11,12 @@ statistics exercises identical code paths; see DESIGN.md section 2.
 """
 
 from repro.bench_suite.generator import (
+    DENSE_TIERS,
     SCALE_TIERS,
     SuiteProfile,
     ami33_like,
+    dense_design,
+    dense_profile,
     design_seed,
     ex3_like,
     make_design,
@@ -43,4 +46,7 @@ __all__ = [
     "SCALE_TIERS",
     "scale_design",
     "scale_profile",
+    "DENSE_TIERS",
+    "dense_design",
+    "dense_profile",
 ]

@@ -75,6 +75,12 @@ def _flow_params(args: argparse.Namespace):
         kwargs["backend"] = args.backend
     if getattr(args, "hierarchical", False):
         kwargs["hierarchical"] = True
+    if getattr(args, "iterate", False):
+        kwargs["iterate"] = True
+        kwargs["max_iterations"] = getattr(args, "max_iterations", 8)
+        kwargs["ordering_policy"] = getattr(
+            args, "ordering_policy", "longest-first"
+        )
     return FlowParams(**kwargs)
 
 
@@ -116,6 +122,15 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 f"  plane {p} (metal{v_idx}/metal{h_idx}): "
                 f"{len(nets)} nets"
             )
+    iterate = result.notes.get("iterate")
+    if iterate is not None:
+        status = "converged" if iterate["converged"] else (
+            "stalled" if iterate["stalled"] else "budget exhausted"
+        )
+        print(
+            f"  iterate: {iterate['iterations']} pass(es), {status} "
+            f"(policy {iterate['policy']})"
+        )
     if args.svg:
         with open(args.svg, "w") as fh:
             fh.write(svg_flow_result(result, legend=True))
@@ -328,6 +343,27 @@ def _add_levelb_args(parser: argparse.ArgumentParser) -> None:
         "--hierarchical",
         action="store_true",
         help="coarse-then-detailed level B routing (docs/SCALING.md)",
+    )
+    from repro.iterate import available_policies
+
+    parser.add_argument(
+        "--iterate",
+        action="store_true",
+        help="negotiated-congestion rip-up-and-re-route for level B "
+        "(docs/ITERATION.md)",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=8,
+        help="re-route pass budget with --iterate (default 8)",
+    )
+    parser.add_argument(
+        "--ordering-policy",
+        choices=available_policies(),
+        default="longest-first",
+        help="net-ordering policy for --iterate passes "
+        "(default longest-first)",
     )
 
 

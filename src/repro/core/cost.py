@@ -25,8 +25,110 @@ paper advises weighting the corner term higher, which the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 
 from repro.grid import RoutingGrid
+
+
+class TrackHistory:
+    """Accumulated per-track congestion history (negotiated congestion).
+
+    The iterative router (:mod:`repro.iterate`, docs/ITERATION.md)
+    keeps one instance per over-cell plane and charges the tracks
+    crossing overflowed regions after every iteration, PathFinder
+    style: a track that stays contested grows more expensive each
+    round, steering re-routes away from it.  The evaluator folds the
+    charge into the section 3.2 cost as one more additive term — each
+    axis-aligned segment of a candidate path pays the history value of
+    the track it runs on, scaled by ``weight``.
+
+    Charges and the weight are non-negative by construction, which the
+    bounded backtracking of :func:`repro.core.select.select_best_path`
+    relies on (a partial sum may only grow).  One-pass routing never
+    creates an instance, so its costs are bit-identical to the seed.
+    """
+
+    __slots__ = ("v", "h", "weight")
+
+    def __init__(
+        self,
+        num_vtracks: int,
+        num_htracks: int,
+        weight: float = 1.0,
+    ) -> None:
+        if num_vtracks < 1 or num_htracks < 1:
+            raise ValueError("TrackHistory needs at least one track per axis")
+        if weight < 0:
+            raise ValueError("history weight must be non-negative")
+        self.v: list[float] = [0.0] * num_vtracks
+        self.h: list[float] = [0.0] * num_htracks
+        self.weight = weight
+
+    # ------------------------------------------------------------------
+    def charge_window(
+        self, v_lo: int, v_hi: int, h_lo: int, h_hi: int, amount: float
+    ) -> None:
+        """Add ``amount`` to every track crossing an index-space window."""
+        if amount < 0:
+            raise ValueError("history charges must be non-negative")
+        for v in range(max(0, v_lo), min(len(self.v) - 1, v_hi) + 1):
+            self.v[v] += amount
+        for h in range(max(0, h_lo), min(len(self.h) - 1, h_hi) + 1):
+            self.h[h] += amount
+
+    def decay(self, factor: float) -> None:
+        """Scale all accumulated history by ``factor`` (in ``[0, 1]``)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("history decay factor must be in [0, 1]")
+        if factor == 1.0:
+            return
+        self.v = [x * factor for x in self.v]
+        self.h = [x * factor for x in self.h]
+
+    def peak(self) -> float:
+        """Largest accumulated charge on any single track."""
+        return max(max(self.v), max(self.h))
+
+    @property
+    def charged(self) -> bool:
+        """Whether any track carries a non-zero charge."""
+        return any(self.v) or any(self.h)
+
+    def window(
+        self, v_lo: int, v_hi: int, h_lo: int, h_hi: int
+    ) -> "TrackHistory":
+        """A copy restricted to a sub-grid window (local indices).
+
+        The dispatch workers route on window snapshots whose track
+        indices start at zero; slicing the history the same way keeps a
+        worker's cost model bit-identical to the serial evaluator's.
+        """
+        sliced = TrackHistory(
+            v_hi - v_lo + 1, h_hi - h_lo + 1, weight=self.weight
+        )
+        sliced.v = self.v[v_lo : v_hi + 1]
+        sliced.h = self.h[h_lo : h_hi + 1]
+        return sliced
+
+    # ------------------------------------------------------------------
+    def segment_cost(self, grid: RoutingGrid, points: Sequence) -> float:
+        """The history surcharge of one candidate path.
+
+        Each axis-aligned segment pays the charge of the track it runs
+        on, once — minimum-corner candidates use each track for exactly
+        one segment, so this is a per-track-touched charge.
+        """
+        if self.weight == 0.0:
+            return 0.0
+        total = 0.0
+        for a, b in zip(points, points[1:]):
+            if a == b:
+                continue
+            if a.y == b.y:
+                total += self.h[grid.htracks.index_of(a.y)]
+            else:
+                total += self.v[grid.vtracks.index_of(a.x)]
+        return self.weight * total
 
 
 @dataclass(frozen=True)
@@ -90,18 +192,32 @@ class CornerCostEvaluator:
         weights: CostWeights,
         extra_terms: tuple = (),
         base_cost: float = 0.0,
+        history: TrackHistory | None = None,
     ) -> None:
         self.grid = grid
         self.weights = weights
         self.extra_terms = tuple(extra_terms)
         self.base_cost = base_cost
+        #: Negotiated-congestion history (repro.iterate).  ``None`` in
+        #: one-pass mode, keeping the evaluator bit-identical to the
+        #: seed cost model.
+        self.history = history
         self._memo: dict[tuple[int, int], float] = {}
 
     def extra_cost(self, points, corners) -> float:
-        """Sum of the user extension terms for one candidate."""
-        return sum(
+        """Sum of the user extension terms for one candidate.
+
+        Includes the per-track history surcharge when an iterative run
+        attached a :class:`TrackHistory` — evaluated here (once per
+        surviving candidate) rather than in :meth:`corner_cost` so the
+        memoised corner term stays history-free.
+        """
+        total = sum(
             term.cost(self.grid, points, corners) for term in self.extra_terms
         )
+        if self.history is not None:
+            total += self.history.segment_cost(self.grid, points)
+        return total
 
     def corner_cost(self, v_idx: int, h_idx: int) -> float:
         """``w21*drg + w22*dup + w23*acf`` for a corner at (v, h)."""

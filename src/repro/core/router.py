@@ -60,7 +60,7 @@ from repro.geometry import Interval, Rect
 from repro.netlist import Net
 from repro.technology import Technology
 from repro.core.assign import NetDemand, assign_planes
-from repro.core.cost import CornerCostEvaluator, CostWeights
+from repro.core.cost import CornerCostEvaluator, CostWeights, TrackHistory
 from repro.core.engine import (
     ConnectionEngine,
     EngineContext,
@@ -457,6 +457,11 @@ class LevelBRouter:
         self._sensitive_ids = frozenset(
             self._net_ids[n] for n in self.nets if n.is_sensitive
         )
+        #: Negotiated-congestion history, one :class:`TrackHistory` per
+        #: plane, attached by :mod:`repro.iterate` between iterations.
+        #: ``None`` (the default) keeps every evaluator — and therefore
+        #: every routed path — bit-identical to one-pass routing.
+        self.history: tuple[TrackHistory, ...] | None = None
         self._engine: ConnectionEngine = self._primary_engine()
         self._rescue: ConnectionEngine | None = None
         # One engine context per plane, each bound to that plane's
@@ -511,6 +516,7 @@ class LevelBRouter:
             self.config.weights,
             extra_terms=self._extra_terms_for(net_id),
             base_cost=base,
+            history=self.history[plane] if self.history is not None else None,
         )
 
     def _ctx_for(self, net_id: int) -> EngineContext:
@@ -529,8 +535,19 @@ class LevelBRouter:
         """Ids of nets marked ``is_sensitive`` (cross-talk extension)."""
         return self._sensitive_ids
 
-    def route(self, *, speculator: NetSpeculator | None = None) -> LevelBResult:
+    def route(
+        self,
+        *,
+        speculator: NetSpeculator | None = None,
+        order: Sequence[Net] | None = None,
+    ) -> LevelBResult:
         """Route every net in the configured order.
+
+        ``order`` overrides the configured :class:`NetOrdering` with an
+        explicit sequence (the iterative driver's ordering policies,
+        docs/ITERATION.md).  It must be a permutation of this router's
+        nets; ``None`` — always the case in one-pass mode — keeps the
+        seed-identical ``order_nets`` path.
 
         Nets that fail outright trigger the bounded rip-up loop: the
         blockers crowding the failed terminals are unrouted, the failed
@@ -567,7 +584,17 @@ class LevelBRouter:
                 TXN_ROLLBACKS,
                 TXN_UNDO_CELLS,
             )
-            ordered = order_nets(self.nets, self.config.ordering)
+            if order is None:
+                ordered = order_nets(self.nets, self.config.ordering)
+            else:
+                ordered = list(order)
+                if len(ordered) != len(self.nets) or set(ordered) != set(
+                    self.nets
+                ):
+                    raise ValueError(
+                        "explicit route order must be a permutation of the "
+                        "router's nets"
+                    )
             if speculator is not None:
                 speculator.begin(ordered)
             # Work queue: (net, generation) entries plus a live-generation
@@ -749,6 +776,17 @@ class LevelBRouter:
             if len(victims) == 3:
                 break
         return victims
+
+    def unroute(self, net: Net) -> None:
+        """Rip one net's wiring, leaving its terminals reserved.
+
+        The public face of :meth:`_unroute_net` for the iterative
+        driver (:mod:`repro.iterate`): after ripping every net the grid
+        holds terminals only, exactly the state a fresh :meth:`route`
+        starts from.  Callers must hold an open plane-set transaction
+        (or accept that the rip is permanent).
+        """
+        self._unroute_net(net)
 
     def _unroute_net(self, net: Net) -> None:
         """Rip a net's wiring off the grid and re-reserve its terminals.

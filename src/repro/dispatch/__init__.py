@@ -30,7 +30,10 @@ Both tiers emit ``dispatch.*`` counters/spans/events through
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.core.router import LevelBResult, LevelBRouter
+from repro.netlist import Net
 from repro.dispatch.jobs import (
     BatchReport,
     Job,
@@ -82,20 +85,26 @@ __all__ = [
 
 
 def route_levelb(
-    router: LevelBRouter, config: DispatchConfig | None = None
+    router: LevelBRouter,
+    config: DispatchConfig | None = None,
+    *,
+    order: Sequence[Net] | None = None,
 ) -> LevelBResult:
     """Route a :class:`LevelBRouter` with speculative parallelism.
 
     A drop-in replacement for ``router.route()``: identical result
     (see the determinism contract in :mod:`repro.dispatch.merge`),
     wall-clock bounded by the serial run plus merge overhead.  With
-    ``workers=0`` this *is* ``router.route()``.
+    ``workers=0`` this *is* ``router.route()``.  ``order`` forwards an
+    explicit net permutation (``repro.iterate`` passes re-ordered
+    nets); the parity contract holds for any order because the wave
+    planner and merger both key off the order they are given.
     """
     cfg = config or DispatchConfig()
     if cfg.workers <= 0:
-        return router.route()
+        return router.route(order=order)
     speculator = WaveSpeculator(router, cfg)
     try:
-        return router.route(speculator=speculator)
+        return router.route(speculator=speculator, order=order)
     finally:
         speculator.close()

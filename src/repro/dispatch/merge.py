@@ -297,6 +297,7 @@ class WaveSpeculator:
                 candidates.append(fplan)
                 by_id[fid] = follower
             wave = plan_wave(candidates, limit=cfg.max_wave)
+        history = self.router.history
         for plan in wave:
             grid = self.router.tig.grid_of(plan.net_id)
             snapshot = grid.window_snapshot(plan.v_iv, plan.h_iv)
@@ -310,6 +311,16 @@ class WaveSpeculator:
                 window=snapshot,
                 config=self._spec_config,
                 sensitive_ids=self.router.sensitive_ids,
+                # Iterative runs must ship the history with the task:
+                # the merge's byte-equality check validates grid state,
+                # not the cost model (docs/ITERATION.md).
+                history=(
+                    history[self.router.tig.plane_of(plan.net_id)].window(
+                        plan.v_iv.lo, plan.v_iv.hi, plan.h_iv.lo, plan.h_iv.hi
+                    )
+                    if history is not None
+                    else None
+                ),
             )
             self._inflight[plan.net_id] = (pool.submit(task), snapshot)
         self.waves_planned += 1

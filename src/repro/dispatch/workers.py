@@ -35,7 +35,7 @@ from dataclasses import dataclass, replace
 from collections.abc import Iterator
 
 from repro.core.engine import EngineContext, Region, RoutedConnection, get_engine
-from repro.core.cost import CornerCostEvaluator
+from repro.core.cost import CornerCostEvaluator, TrackHistory
 from repro.core.router import LevelBConfig, coupling_terms, route_net_terminals
 from repro.core.tig import GridTerminal
 from repro.geometry import Interval, Point
@@ -63,6 +63,13 @@ class NetTask:
     window: WindowSnapshot
     config: LevelBConfig
     sensitive_ids: frozenset[int]
+    #: Negotiated-congestion history sliced to the window (local
+    #: indices, docs/ITERATION.md).  The merge contract's byte-equality
+    #: check validates grid *state*, not the cost model, so an
+    #: iterative run must ship its history or workers would silently
+    #: price paths differently than the serial router.  ``None`` in
+    #: one-pass mode.
+    history: TrackHistory | None = None
 
 
 @dataclass(frozen=True)
@@ -161,6 +168,7 @@ def route_net_task(task: NetTask) -> SpecResult:
             grid,
             cfg.weights,
             extra_terms=coupling_terms(net_id, task.sensitive_ids, cfg),
+            history=task.history,
         )
 
     def regions(source: GridTerminal, target: GridTerminal) -> Iterator[Region]:

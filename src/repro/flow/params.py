@@ -73,6 +73,22 @@ class FlowParams:
         extrapolated pairs when it is too short — see
         :func:`repro.technology.ensure_overcell_planes`).  A value
         above 1 overrides ``levelb.planes``.
+    iterate:
+        Negotiated-congestion rip-up-and-re-route for level B
+        (``repro.iterate`` — docs/ITERATION.md).  Off by default: a
+        one-pass run never constructs history costs and its routed
+        geometry stays bit-identical to the seed digests.  On, failed
+        nets trigger whole-design rip-up passes with per-track history
+        costs until the design completes or the iteration/stall budget
+        runs out; the convergence report lands in
+        ``FlowResult.notes["iterate"]``.
+    max_iterations:
+        Re-route pass budget when ``iterate`` is on (the initial pass
+        is not counted).
+    ordering_policy:
+        Registered :class:`repro.iterate.OrderingPolicy` name deciding
+        each pass's net order (``longest-first``, ``congestion`` or
+        ``feature``; see docs/ITERATION.md).
     """
 
     technology: Technology = field(default_factory=Technology.four_layer)
@@ -90,6 +106,9 @@ class FlowParams:
     planes: int = 1
     backend: str = "dense"
     hierarchical: bool = False
+    iterate: bool = False
+    max_iterations: int = 8
+    ordering_policy: str = "longest-first"
 
     @property
     def channel_pitch(self) -> int:

@@ -149,29 +149,50 @@ def _maybe_check(result: FlowResult, params: FlowParams) -> FlowResult:
 
 
 def _route_levelb(router: LevelBRouter, params: FlowParams):
-    """Route level B serially or through the dispatch layer.
+    """Route level B; returns ``(result, iterate_report_or_None)``.
 
-    ``repro.dispatch`` is imported lazily (same idiom as
-    :func:`_maybe_check`): dispatch sits *above* the flow layer in the
-    dependency order — its job runner calls back into the flows — so a
-    module-level import here would be a cycle.  The dispatched result
-    is bit-identical to ``router.route()`` (docs/PARALLELISM.md).
+    Serial, through the dispatch layer, or — with ``params.iterate`` —
+    under the negotiated-congestion loop, which re-drives whichever of
+    the first two modes the params select for every pass.
+    ``repro.dispatch`` and ``repro.iterate`` are imported lazily (same
+    idiom as :func:`_maybe_check`): both sit *above* the flow layer in
+    the dependency order, so module-level imports here would be
+    cycles.  The dispatched result is bit-identical to
+    ``router.route()`` (docs/PARALLELISM.md).
     """
     if params.parallel <= 0 and not params.hierarchical:
-        return router.route()
-    from repro.dispatch import DispatchConfig, route_levelb
-
-    if params.parallel <= 0:
-        # Hierarchical without parallelism: the coarse pass still
-        # drives wave planning, but waves execute in-line.
-        config = DispatchConfig(workers=1, mode="serial", hierarchical=True)
+        route_fn = None  # iterate_levelb's serial default
+        run = router.route
     else:
-        config = DispatchConfig(
-            workers=params.parallel,
-            mode=params.parallel_mode,
-            hierarchical=params.hierarchical,
-        )
-    return route_levelb(router, config)
+        from repro.dispatch import DispatchConfig, route_levelb
+
+        if params.parallel <= 0:
+            # Hierarchical without parallelism: the coarse pass still
+            # drives wave planning, but waves execute in-line.
+            config = DispatchConfig(workers=1, mode="serial", hierarchical=True)
+        else:
+            config = DispatchConfig(
+                workers=params.parallel,
+                mode=params.parallel_mode,
+                hierarchical=params.hierarchical,
+            )
+
+        def route_fn(r: LevelBRouter, order: Sequence[Net] | None):
+            return route_levelb(r, config, order=order)
+
+        def run():
+            return route_levelb(router, config)
+
+    if not params.iterate:
+        return run(), None
+    from repro.iterate import IterateConfig, iterate_levelb
+
+    iter_config = IterateConfig(
+        max_iterations=params.max_iterations,
+        policy=params.ordering_policy,
+    )
+    result, report = iterate_levelb(router, iter_config, route_fn=route_fn)
+    return result, report
 
 
 def _attach_profile(result: FlowResult) -> FlowResult:
@@ -295,7 +316,7 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
         obstacles=params.obstacles,
         config=levelb_config,
     )
-    levelb = _route_levelb(levelb_router, params)
+    levelb, iterate_report = _route_levelb(levelb_router, params)
     result = FlowResult(
         flow="overcell-4layer" if planes == 1 else f"overcell-{2 + 2 * planes}layer",
         design=design.name,
@@ -326,6 +347,8 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
         level_a_wire=wire_a,
         level_b_wire=levelb.total_wire_length,
     )
+    if iterate_report is not None:
+        result.notes["iterate"] = iterate_report.to_dict()
     return _maybe_check(result, params)
 
 

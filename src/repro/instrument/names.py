@@ -28,6 +28,9 @@ SPAN_CHECK = "check"
 SPAN_CHECK_COMMIT = "check.commit"
 SPAN_LINT = "lint"
 
+SPAN_ITERATE = "iterate"
+SPAN_ITERATE_PASS = "iterate.pass"
+
 SPAN_DISPATCH_PLAN = "dispatch.plan"
 SPAN_DISPATCH_APPLY = "dispatch.apply"
 SPAN_DISPATCH_BATCH = "dispatch.batch"
@@ -59,6 +62,10 @@ LEFT_EDGE_FALLBACKS = "left_edge.fallbacks"
 CHANNELS_ROUTED = "channels.routed"
 GREEDY_COLUMNS = "greedy.columns_swept"
 GREEDY_TRACKS_ADDED = "greedy.tracks_added"
+ITERATE_PASSES = "iterate.iterations"
+ITERATE_NETS_RIPPED = "iterate.nets_ripped"
+ITERATE_STALLS = "iterate.stalls"
+ITERATE_ROLLBACKS = "iterate.rollbacks"
 DISPATCH_WAVES = "dispatch.waves"
 DISPATCH_HIER_WAVES = "dispatch.hier_waves"
 DISPATCH_SPECULATED = "dispatch.nets_speculated"
@@ -89,6 +96,9 @@ LINT_SUPPRESSED = "lint.suppressed"
 
 # -- gauges ------------------------------------------------------------
 LEVELB_UTILIZATION = "levelb.grid_utilization"
+#: Largest accumulated negotiated-congestion charge on any one track
+#: when an iterative run finishes (docs/ITERATION.md).
+ITERATE_HISTORY_PEAK = "iterate.history_peak"
 #: Bytes the occupancy backend actually holds (all planes summed).
 MEM_GRID_BYTES = "mem.grid_bytes"
 #: What dense arrays of the same grid shape would always cost — the
@@ -107,6 +117,7 @@ EVT_CHANNEL_CYCLIC = "channel.cyclic"
 EVT_CHECK_VIOLATION = "check.violation"
 EVT_LINT_VIOLATION = "lint.violation"
 EVT_PLANE_ASSIGNED = "levelb.plane_assigned"
+EVT_ITERATE_PASS = "iterate.pass_finished"
 EVT_WAVE_PLANNED = "dispatch.wave_planned"
 EVT_REGIONS_BUILT = "dispatch.regions_built"
 EVT_SPEC_CONFLICT = "dispatch.conflict"

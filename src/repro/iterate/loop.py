@@ -1,0 +1,441 @@
+"""The negotiated-congestion convergence loop (docs/ITERATION.md).
+
+PathFinder-style iterative routing (SNIPPETS.md snippet 3) on top of
+the transactional grid: route, detect failures and overflow, rip every
+net back to bare terminals through the journal, charge per-track
+history where the grid overflowed, and re-route in a policy-chosen
+order with the history folded into the section 3.2 cost — until the
+design completes or the iteration/stall budget runs out.
+
+Two structural choices keep the loop compatible with the rest of the
+stack:
+
+*Whole-design rip-up.*  Classic PathFinder interleaves "rip one net,
+re-route it" — which leaves mixed old/new wiring mid-pass, a state the
+dispatch speculator's window contract cannot reason about.  Here every
+pass rips *all* nets first (terminals stay reserved), leaving the grid
+exactly where a fresh :meth:`~repro.core.router.LevelBRouter.route`
+starts — so serial and speculative routing work unchanged inside an
+iteration, and the serial/parallel parity contract extends to
+iterative mode.
+
+*Commit-if-better.*  Each pass runs inside one plane-set transaction.
+A pass that does not strictly improve on the best result so far — or
+that fails the ``repro.check`` short sweep — rolls back in
+O(cells-touched), so the best wiring is always the one on the grid and
+the loop can never end worse than one-pass routing.
+
+The *history* lives in :class:`repro.core.cost.TrackHistory`, one per
+plane, attached to the router between passes; the present/history
+pricing schedule is plain data (:class:`CostSchedule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+from collections.abc import Callable, Sequence
+
+from repro import instrument
+from repro.instrument.names import (
+    EVT_ITERATE_PASS,
+    ITERATE_HISTORY_PEAK,
+    ITERATE_NETS_RIPPED,
+    ITERATE_PASSES,
+    ITERATE_ROLLBACKS,
+    ITERATE_STALLS,
+    SPAN_ITERATE,
+    SPAN_ITERATE_PASS,
+)
+from repro.core.cost import TrackHistory
+from repro.core.ordering import order_nets
+from repro.core.router import LevelBResult, LevelBRouter
+from repro.globalroute.regions import RegionModel
+from repro.netlist import Net
+from repro.iterate.policies import NetFeedback, OrderingPolicy, get_policy
+
+__all__ = [
+    "CostSchedule",
+    "IterateConfig",
+    "IterateReport",
+    "IterationRecord",
+    "RouteFn",
+    "iterate_levelb",
+]
+
+#: How the driver routes one pass: the router plus an explicit order
+#: (``None`` for the router's own configured ordering).  The flow layer
+#: substitutes a dispatch-backed implementation when ``parallel > 0``.
+RouteFn = Callable[[LevelBRouter, "Sequence[Net] | None"], LevelBResult]
+
+
+@dataclass(frozen=True)
+class CostSchedule:
+    """The present- and history-cost pricing schedule, as data.
+
+    The effective history weight of iteration ``i`` (1-based) is
+    ``history_weight * (present_base + present_growth * (i - 1))`` —
+    PathFinder's growing present-cost factor collapsed onto the history
+    term, so congested tracks get more expensive every round.  After
+    each pass the accumulated charges first decay by ``decay`` and the
+    tracks crossing overflowed regions are charged ``increment``.
+    """
+
+    history_weight: float = 6.0
+    present_base: float = 1.0
+    present_growth: float = 0.5
+    increment: float = 1.0
+    decay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.history_weight < 0 or self.increment < 0:
+            raise ValueError("history weight and increment must be >= 0")
+        if self.present_base < 0 or self.present_growth < 0:
+            raise ValueError("present-cost factors must be >= 0")
+        if not 0.0 <= self.decay <= 1.0:
+            raise ValueError("history decay must be in [0, 1]")
+
+    def weight_at(self, iteration: int) -> float:
+        """Effective history weight of one iteration (1-based)."""
+        return self.history_weight * (
+            self.present_base + self.present_growth * (iteration - 1)
+        )
+
+
+@dataclass(frozen=True)
+class IterateConfig:
+    """Tuning knobs of the convergence loop."""
+
+    #: Re-route passes after the initial one (0 = one-pass routing).
+    max_iterations: int = 8
+    #: Consecutive non-improving passes before giving up.
+    stall_limit: int = 2
+    #: Ordering policy: a registry name (:mod:`repro.iterate.policies`)
+    #: or a ready policy instance (the tuning harness passes candidate
+    #: :class:`FeatureOrderingPolicy` objects directly).
+    policy: "str | OrderingPolicy" = "longest-first"
+    schedule: CostSchedule = field(default_factory=CostSchedule)
+    #: Run the ``repro.check`` short sweep on every improving pass and
+    #: refuse to commit a pass that introduces a short (belt and
+    #: braces: the occupancy grid already forbids overlap).
+    verify: bool = True
+    #: Coarse region edge (tracks) for the overflow signal.
+    region_tracks: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 0:
+            raise ValueError("max_iterations must be >= 0")
+        if self.stall_limit < 1:
+            raise ValueError("stall_limit must be >= 1")
+
+
+@dataclass
+class IterationRecord:
+    """One pass's outcome, as recorded in the report."""
+
+    iteration: int
+    completion: float
+    failed_nets: list[str]
+    wire_length: int
+    corners: int
+    nets_ripped: int
+    history_peak: float
+    committed: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "completion": self.completion,
+            "failed_nets": list(self.failed_nets),
+            "wire_length": self.wire_length,
+            "corners": self.corners,
+            "nets_ripped": self.nets_ripped,
+            "history_peak": self.history_peak,
+            "committed": self.committed,
+        }
+
+
+@dataclass
+class IterateReport:
+    """The convergence story of one iterative run."""
+
+    policy: str
+    iterations: int
+    converged: bool
+    stalled: bool
+    records: list[IterationRecord]
+
+    @property
+    def final(self) -> IterationRecord:
+        """The last *committed* record (the wiring on the grid)."""
+        committed = [r for r in self.records if r.committed]
+        return committed[-1]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "stalled": self.stalled,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _serial_route(
+    router: LevelBRouter, order: Sequence[Net] | None
+) -> LevelBResult:
+    return router.route(order=order)
+
+
+def _quality(result: LevelBResult) -> tuple[int, int, int, int]:
+    """Lexicographic pass quality: fewer failures, then less wiring."""
+    return (
+        result.nets_attempted - result.nets_completed,
+        sum(r.failed_terminals for r in result.routed),
+        result.total_wire_length,
+        result.total_corners,
+    )
+
+
+def _complete(result: LevelBResult) -> bool:
+    return all(r.complete for r in result.routed)
+
+
+def _short_sweep_clean(result: LevelBResult) -> bool:
+    """The ``repro.check`` short sweep over the candidate wiring."""
+    from repro.check import check_shorts, extract_levelb
+
+    return not check_shorts(extract_levelb(result))
+
+
+def _net_windows(
+    router: LevelBRouter,
+) -> dict[int, tuple[int, int, int, int]]:
+    """Every net's terminal bounding box in track index space."""
+    windows: dict[int, tuple[int, int, int, int]] = {}
+    for net_id, terminals in router.tig.all_terminals().items():
+        if not terminals:
+            continue
+        windows[net_id] = (
+            min(t.v_idx for t in terminals),
+            max(t.v_idx for t in terminals),
+            min(t.h_idx for t in terminals),
+            max(t.h_idx for t in terminals),
+        )
+    return windows
+
+
+def _build_feedback(
+    router: LevelBRouter, result: LevelBResult, region_tracks: int
+) -> tuple[dict[str, NetFeedback], RegionModel, dict[int, tuple[int, int, int, int]]]:
+    """The previous pass distilled for the policy and the history.
+
+    Demand comes from the coarse :class:`RegionModel` over the nets'
+    terminal windows (the routability-probe measure); failure comes
+    from the routing result itself.
+    """
+    windows = _net_windows(router)
+    grid = router.tig.grid  # planes share one track lattice
+    model = RegionModel.build(
+        grid.num_vtracks, grid.num_htracks, windows, region_tracks=region_tracks
+    )
+    overflowed = set(model.overflowed_regions())
+    feedback: dict[str, NetFeedback] = {}
+    for routed in result.routed:
+        window = windows.get(routed.net_id)
+        if window is None:
+            feedback[routed.net.name] = NetFeedback(failed=not routed.complete)
+            continue
+        touching = model.regions_touching(*window)
+        feedback[routed.net.name] = NetFeedback(
+            failed=not routed.complete,
+            wire_length=routed.wire_length,
+            corners=routed.corner_count,
+            overflow=sum(1 for rid in touching if rid in overflowed),
+            demand=max(model.region(rid).utilization for rid in touching),
+        )
+    return feedback, model, windows
+
+
+def _charge_history(
+    router: LevelBRouter,
+    history: tuple[TrackHistory, ...],
+    result: LevelBResult,
+    model: RegionModel,
+    windows: dict[int, tuple[int, int, int, int]],
+    schedule: CostSchedule,
+    iteration: int,
+) -> None:
+    """Decay, charge and re-weight the history for the next pass.
+
+    Each failed net charges the overflowed regions its window touches,
+    on its own plane; a failed net touching no overflowed region (the
+    coarse demand model under-reads local contention) charges its own
+    window instead, so every failure leaves a mark.  Each (plane,
+    region) pair is charged once per pass, PathFinder's
+    once-per-congested-resource rule.
+    """
+    for h in history:
+        h.decay(schedule.decay)
+    overflowed = set(model.overflowed_regions())
+    charged: set[tuple[int, int]] = set()
+    fallback: list[tuple[int, tuple[int, int, int, int]]] = []
+    for routed in result.routed:
+        if routed.complete:
+            continue
+        window = windows.get(routed.net_id)
+        if window is None:
+            continue
+        hit = [rid for rid in model.regions_touching(*window) if rid in overflowed]
+        if not hit:
+            fallback.append((routed.plane, window))
+            continue
+        for rid in hit:
+            charged.add((routed.plane, rid))
+    for plane, rid in sorted(charged):
+        history[plane].charge_window(*model.bounds_of(rid), schedule.increment)
+    for plane, window in fallback:
+        history[plane].charge_window(*window, schedule.increment)
+    weight = schedule.weight_at(iteration)
+    for h in history:
+        h.weight = weight
+
+
+# ----------------------------------------------------------------------
+# The loop
+# ----------------------------------------------------------------------
+def iterate_levelb(
+    router: LevelBRouter,
+    config: IterateConfig | None = None,
+    *,
+    route_fn: RouteFn | None = None,
+) -> tuple[LevelBResult, IterateReport]:
+    """Route iteratively until complete or out of budget.
+
+    Returns the best result (whose wiring is what the grid holds) and
+    the convergence report.  With ``max_iterations == 0``, or when the
+    first pass already completes, exactly one routing pass runs — and
+    when the policy's initial order equals the router's configured
+    ordering the pass takes the identical one-pass code path, keeping
+    iterate-off/converged-at-zero digests bit-identical to the seed.
+    """
+    cfg = config or IterateConfig()
+    policy = (
+        cfg.policy
+        if isinstance(cfg.policy, OrderingPolicy)
+        else get_policy(cfg.policy)
+    )
+    run = route_fn if route_fn is not None else _serial_route
+    records: list[IterationRecord] = []
+    stalls = 0
+    iterations = 0
+    with instrument.span(SPAN_ITERATE):
+        instrument.active().declare(
+            ITERATE_NETS_RIPPED,
+            ITERATE_PASSES,
+            ITERATE_ROLLBACKS,
+            ITERATE_STALLS,
+        )
+        initial = policy.initial_order(router.nets)
+        default = order_nets(router.nets, router.config.ordering)
+        best = run(router, None if initial == default else initial)
+        records.append(
+            IterationRecord(
+                iteration=0,
+                completion=best.completion_rate,
+                failed_nets=[r.net.name for r in best.routed if not r.complete],
+                wire_length=best.total_wire_length,
+                corners=best.total_corners,
+                nets_ripped=0,
+                history_peak=0.0,
+                committed=True,
+            )
+        )
+        history: tuple[TrackHistory, ...] | None = None
+        try:
+            while (
+                not _complete(best)
+                and iterations < cfg.max_iterations
+                and stalls < cfg.stall_limit
+            ):
+                iterations += 1
+                with instrument.span(SPAN_ITERATE_PASS):
+                    if history is None:
+                        grid = router.tig.grid
+                        history = tuple(
+                            TrackHistory(
+                                grid.num_vtracks, grid.num_htracks, weight=0.0
+                            )
+                            for _ in range(router.tig.planes.num_planes)
+                        )
+                        router.history = history
+                    feedback, model, windows = _build_feedback(
+                        router, best, cfg.region_tracks
+                    )
+                    _charge_history(
+                        router, history, best, model, windows,
+                        cfg.schedule, iterations,
+                    )
+                    order = policy.reorder(router.nets, feedback)
+                    txn = router.tig.planes.begin()
+                    ripped = 0
+                    for routed in best.routed:
+                        router.unroute(routed.net)
+                        ripped += 1
+                    candidate = run(router, order)
+                    improved = _quality(candidate) < _quality(best)
+                    committed = improved and (
+                        not cfg.verify or _short_sweep_clean(candidate)
+                    )
+                    if committed:
+                        txn.commit()
+                        best = candidate
+                        stalls = 0
+                    else:
+                        txn.rollback()
+                        stalls += 1
+                        instrument.count(ITERATE_STALLS)
+                        instrument.count(ITERATE_ROLLBACKS)
+                    instrument.count(ITERATE_PASSES)
+                    instrument.count(ITERATE_NETS_RIPPED, ripped)
+                    peak = max(h.peak() for h in history)
+                    records.append(
+                        IterationRecord(
+                            iteration=iterations,
+                            completion=candidate.completion_rate,
+                            failed_nets=[
+                                r.net.name
+                                for r in candidate.routed
+                                if not r.complete
+                            ],
+                            wire_length=candidate.total_wire_length,
+                            corners=candidate.total_corners,
+                            nets_ripped=ripped,
+                            history_peak=peak,
+                            committed=committed,
+                        )
+                    )
+                    instrument.event(
+                        EVT_ITERATE_PASS,
+                        iteration=iterations,
+                        completion=candidate.completion_rate,
+                        committed=committed,
+                        history_peak=peak,
+                    )
+        finally:
+            router.history = None
+        if history is not None:
+            instrument.gauge(
+                ITERATE_HISTORY_PEAK, max(h.peak() for h in history)
+            )
+    report = IterateReport(
+        policy=policy.name,
+        iterations=iterations,
+        converged=_complete(best),
+        stalled=not _complete(best) and stalls >= cfg.stall_limit,
+        records=records,
+    )
+    return best, report

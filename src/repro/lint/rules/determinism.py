@@ -48,6 +48,7 @@ DETERMINISM_PACKAGES = (
     "repro.dispatch",
     "repro.globalroute",
     "repro.io",
+    "repro.iterate",
 )
 
 _CLOCK_CALLS = frozenset(

@@ -46,6 +46,9 @@ _SPEC_KEYS = frozenset(
         "check",
         "backend",
         "hierarchical",
+        "iterate",
+        "max_iterations",
+        "ordering_policy",
     }
 )
 
@@ -63,6 +66,12 @@ DIGESTED_FIELDS = {
     "technology": "technology",
     "planes": "planes",
     "checked": "check",
+    # The iterative driver changes the routed geometry (rip-up and
+    # re-route under history costs — docs/ITERATION.md), so every
+    # iterate knob keys the cache.
+    "iterate": "iterate",
+    "max_iterations": "max_iterations",
+    "ordering_policy": "ordering_policy",
 }
 
 #: Bit-identical-result knobs: changing one changes *how* the answer
@@ -112,6 +121,9 @@ class JobSpec:
     check: bool = False
     backend: str = "dense"
     hierarchical: bool = False
+    iterate: bool = False
+    max_iterations: int = 8
+    ordering_policy: str = "longest-first"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -175,6 +187,22 @@ class JobSpec:
         hierarchical = data.get("hierarchical", False)
         if not isinstance(hierarchical, bool):
             raise SpecError("'hierarchical' must be a boolean")
+        iterate = data.get("iterate", False)
+        if not isinstance(iterate, bool):
+            raise SpecError("'iterate' must be a boolean")
+        max_iterations = data.get("max_iterations", 8)
+        if not isinstance(max_iterations, int) or max_iterations < 0:
+            raise SpecError("'max_iterations' must be an integer >= 0")
+        ordering_policy = data.get("ordering_policy", "longest-first")
+        if not isinstance(ordering_policy, str):
+            raise SpecError("'ordering_policy' must be a string")
+        from repro.iterate import available_policies
+
+        if ordering_policy not in available_policies():
+            raise SpecError(
+                f"unknown ordering policy {ordering_policy!r} "
+                f"(available: {list(available_policies())})"
+            )
         return cls(
             design=design,
             flow=flow,
@@ -184,6 +212,9 @@ class JobSpec:
             check=check,
             backend=backend,
             hierarchical=hierarchical,
+            iterate=iterate,
+            max_iterations=max_iterations,
+            ordering_policy=ordering_policy,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -196,6 +227,9 @@ class JobSpec:
             "check": self.check,
             "backend": self.backend,
             "hierarchical": self.hierarchical,
+            "iterate": self.iterate,
+            "max_iterations": self.max_iterations,
+            "ordering_policy": self.ordering_policy,
         }
 
     # ------------------------------------------------------------------
@@ -214,6 +248,9 @@ class JobSpec:
             "technology": self.technology,
             "planes": self.planes,
             "check": self.check,
+            "iterate": self.iterate,
+            "max_iterations": self.max_iterations,
+            "ordering_policy": self.ordering_policy,
         }
 
     def digest(self) -> str:
@@ -232,12 +269,17 @@ def probe_canonical(spec: JobSpec) -> dict[str, Any]:
 
     Probes share the result cache with full jobs but live in their own
     key namespace — a cached probe never answers a job or vice versa.
-    The flow is irrelevant: probes are always over-cell shaped.
+    The flow is irrelevant: probes are always over-cell shaped.  The
+    iterate knobs are dropped too — a probe is a one-pass what-if by
+    definition, so specs differing only in them share a probe entry.
     """
     doc = spec.canonical()
     doc["kind"] = "probe"
     doc.pop("flow", None)
     doc.pop("check", None)
+    doc.pop("iterate", None)
+    doc.pop("max_iterations", None)
+    doc.pop("ordering_policy", None)
     return doc
 
 
@@ -272,6 +314,9 @@ def build_params(spec: JobSpec) -> Any:
         "checked": spec.check,
         "backend": spec.backend,
         "hierarchical": spec.hierarchical,
+        "iterate": spec.iterate,
+        "max_iterations": spec.max_iterations,
+        "ordering_policy": spec.ordering_policy,
     }
     if spec.technology is not None:
         kwargs["technology"] = technology_from_dict(spec.technology)

@@ -1,5 +1,7 @@
 """Tests for serial net ordering."""
 
+import random
+
 from repro.netlist import Cell, Net, Pin, Edge
 from repro.core.ordering import NetOrdering, order_nets
 
@@ -64,3 +66,56 @@ class TestOrderings:
         nets = [make_net("b", 50), make_net("a", 100)]
         order_nets(nets)
         assert [n.name for n in nets] == ["b", "a"]
+
+
+class TestPermutationProperty:
+    """Every criterion is a total, deterministic, input-order-free sort.
+
+    This is the contract the iterative driver's ordering policies
+    (``repro.iterate.policies``) inherit: each sort key ends on the net
+    name, so no pair of distinct nets ever compares equal and the
+    result cannot depend on how the caller happened to list the nets.
+    The fixture nets tie deliberately on every other key dimension
+    (length, pin count, criticality, weight) to force the name
+    tie-break to carry the order.
+    """
+
+    def _tied_nets(self):
+        return [
+            make_net("e", 50, pins=2),
+            make_net("a", 50, pins=2),
+            make_net("c", 50, pins=4, critical=True),
+            make_net("h", 100, pins=4, critical=True),
+            make_net("b", 100, pins=4, critical=True),
+            make_net("d", 100, pins=2),
+            make_net("g", 10, pins=3, critical=True),
+            make_net("f", 10, pins=3),
+            make_net("i", 10, pins=3, critical=True, weight=2.0),
+        ]
+
+    def test_every_criterion_is_a_permutation(self):
+        nets = self._tied_nets()
+        for ordering in NetOrdering:
+            ordered = order_nets(nets, ordering)
+            assert sorted(n.name for n in ordered) == sorted(
+                n.name for n in nets
+            ), ordering
+
+    def test_every_criterion_is_shuffle_invariant(self):
+        nets = self._tied_nets()
+        rng = random.Random(0xC0FFEE)
+        for ordering in NetOrdering:
+            baseline = [n.name for n in order_nets(nets, ordering)]
+            for _ in range(25):
+                shuffled = list(nets)
+                rng.shuffle(shuffled)
+                got = [n.name for n in order_nets(shuffled, ordering)]
+                assert got == baseline, ordering
+
+    def test_ties_resolve_by_name_under_every_criterion(self):
+        # Three nets identical under every non-name key must come out
+        # name-sorted relative to each other, whatever the criterion.
+        triplet = [make_net(n, 64, pins=3) for n in ("z", "m", "b")]
+        for ordering in NetOrdering:
+            ordered = [n.name for n in order_nets(triplet, ordering)]
+            assert ordered == ["b", "m", "z"], ordering

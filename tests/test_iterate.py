@@ -1,0 +1,503 @@
+"""Tests for ``repro.iterate`` — the negotiated-congestion loop.
+
+Four layers of coverage (docs/ITERATION.md):
+
+* the :class:`TrackHistory` cost carrier and its fold into the
+  section 3.2 evaluator (one-pass costs must stay bit-identical);
+* the ordering-policy registry and the determinism contract every
+  policy inherits from ``core/ordering.py``;
+* the convergence loop itself — converged-at-zero bit-identity with
+  the seed digests, real recovery on a one-pass-failing design,
+  honest stalling, and grid/state hygiene after every outcome;
+* the knobs' ride through ``FlowParams`` and the serve wire protocol
+  (digest classification per the ``digest.fields`` contract).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import LevelBRouter
+from repro.core.cost import CornerCostEvaluator, CostWeights, TrackHistory
+from repro.core.ordering import NetOrdering, order_nets
+from repro.geometry import Point, Rect
+from repro.grid import RoutingGrid, TrackSet
+from repro.iterate import (
+    CostSchedule,
+    FeatureOrderingPolicy,
+    FeatureWeights,
+    IterateConfig,
+    OrderingPolicy,
+    available_policies,
+    get_policy,
+    iterate_levelb,
+    register_policy,
+    tune_feature_policy,
+)
+from repro.iterate.policies import NO_FEEDBACK, NetFeedback, _REGISTRY
+
+from conftest import make_toy_design
+
+
+def make_grid(n=9):
+    ts = TrackSet(range(0, n * 10, 10))
+    return RoutingGrid(ts, TrackSet(range(0, n * 10, 10)))
+
+
+def levelb_instance(seed: int, num_cells: int = 6, num_nets: int = 40):
+    """A level B router over the real over-cell pipeline's geometry."""
+    from repro.bench_suite import random_design
+    from repro.flow import FlowParams
+    from repro.flow.pipeline import _run_channel_pipeline
+    from repro.partition import partition_nets
+
+    design = random_design(
+        f"iter{seed}", seed=seed, num_cells=num_cells, num_nets=num_nets
+    )
+    params = FlowParams()
+    nets = design.routable_nets()
+    set_a, set_b = partition_nets(
+        nets, params.partition, length_threshold=params.length_threshold
+    )
+    placement, _gr, _routes, heights, side_widths = _run_channel_pipeline(
+        design, set_a, params
+    )
+    bounds = placement.realize(
+        heights,
+        left_width=side_widths[0],
+        right_width=side_widths[1],
+        margin=params.margin,
+    )
+    return LevelBRouter(bounds, set_b)
+
+
+# ----------------------------------------------------------------------
+# TrackHistory
+# ----------------------------------------------------------------------
+class TestTrackHistory:
+    def test_starts_uncharged(self):
+        h = TrackHistory(4, 4)
+        assert not h.charged
+        assert h.peak() == 0.0
+
+    def test_charge_window_hits_crossing_tracks(self):
+        h = TrackHistory(6, 6)
+        h.charge_window(1, 3, 2, 2, 1.5)
+        assert h.v == [0.0, 1.5, 1.5, 1.5, 0.0, 0.0]
+        assert h.h == [0.0, 0.0, 1.5, 0.0, 0.0, 0.0]
+        assert h.charged
+        assert h.peak() == 1.5
+
+    def test_charge_window_clamps_to_bounds(self):
+        h = TrackHistory(3, 3)
+        h.charge_window(-5, 99, -1, 99, 1.0)
+        assert h.v == [1.0, 1.0, 1.0]
+        assert h.h == [1.0, 1.0, 1.0]
+
+    def test_negative_charge_rejected(self):
+        h = TrackHistory(3, 3)
+        with pytest.raises(ValueError):
+            h.charge_window(0, 1, 0, 1, -0.5)
+
+    def test_decay(self):
+        h = TrackHistory(2, 2)
+        h.charge_window(0, 1, 0, 1, 4.0)
+        h.decay(0.5)
+        assert h.v == [2.0, 2.0]
+        h.decay(0.0)
+        assert not h.charged
+        with pytest.raises(ValueError):
+            h.decay(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackHistory(0, 4)
+        with pytest.raises(ValueError):
+            TrackHistory(4, 4, weight=-1.0)
+
+    def test_window_slice_matches_global_indices(self):
+        h = TrackHistory(8, 8, weight=2.0)
+        h.charge_window(2, 5, 3, 6, 1.0)
+        sliced = h.window(2, 5, 3, 6)
+        assert sliced.weight == 2.0
+        assert sliced.v == h.v[2:6]
+        assert sliced.h == h.h[3:7]
+
+    def test_segment_cost_charges_tracks_once_per_segment(self):
+        grid = make_grid(9)
+        h = TrackHistory(9, 9, weight=2.0)
+        h.charge_window(3, 3, 5, 5, 1.0)  # v-track 3 and h-track 5
+        # h-run on y=50 (h index 5), corner, v-run on x=30 (v index 3).
+        points = [Point(0, 50), Point(30, 50), Point(30, 0)]
+        assert h.segment_cost(grid, points) == pytest.approx(2.0 * 2.0)
+        # An uncharged path pays nothing.
+        clean = [Point(0, 10), Point(20, 10)]
+        assert h.segment_cost(grid, clean) == 0.0
+
+    def test_segment_cost_zero_weight_shortcut(self):
+        grid = make_grid(9)
+        h = TrackHistory(9, 9, weight=0.0)
+        h.charge_window(0, 8, 0, 8, 5.0)
+        assert h.segment_cost(grid, [Point(0, 0), Point(40, 0)]) == 0.0
+
+
+class TestEvaluatorFold:
+    def test_no_history_is_seed_identical(self):
+        grid = make_grid()
+        base = CornerCostEvaluator(grid, CostWeights())
+        assert base.history is None
+        points = [Point(0, 20), Point(40, 20)]
+        assert base.extra_cost(points, []) == 0.0
+
+    def test_history_surcharge_is_additive(self):
+        grid = make_grid()
+        h = TrackHistory(9, 9, weight=3.0)
+        h.charge_window(0, 8, 2, 2, 1.0)  # h-track at y=20
+        ev = CornerCostEvaluator(grid, CostWeights(), history=h)
+        points = [Point(0, 20), Point(40, 20)]
+        assert ev.extra_cost(points, []) == pytest.approx(3.0)
+        # The memoised corner term stays history-free.
+        assert ev.corner_cost(4, 2) == CornerCostEvaluator(
+            grid, CostWeights()
+        ).corner_cost(4, 2)
+
+
+# ----------------------------------------------------------------------
+# CostSchedule
+# ----------------------------------------------------------------------
+class TestCostSchedule:
+    def test_weight_grows_per_iteration(self):
+        s = CostSchedule(history_weight=6.0, present_base=1.0, present_growth=0.5)
+        assert s.weight_at(1) == pytest.approx(6.0)
+        assert s.weight_at(2) == pytest.approx(9.0)
+        assert s.weight_at(3) == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostSchedule(history_weight=-1.0)
+        with pytest.raises(ValueError):
+            CostSchedule(decay=1.5)
+        with pytest.raises(ValueError):
+            CostSchedule(present_growth=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Policy registry
+# ----------------------------------------------------------------------
+class TestPolicyRegistry:
+    def test_builtins_registered(self):
+        assert available_policies() == ("congestion", "feature", "longest-first")
+
+    def test_get_policy_returns_fresh_instances(self):
+        a = get_policy("congestion")
+        b = get_policy("congestion")
+        assert a is not b
+        assert a.name == "congestion"
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(ValueError, match="longest-first"):
+            get_policy("nope")
+
+    def test_register_rejects_duplicates_and_empty_names(self):
+        class Dup(OrderingPolicy):
+            name = "longest-first"
+
+            def reorder(self, nets, feedback):  # pragma: no cover
+                return list(nets)
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(Dup)
+
+        class Anon(OrderingPolicy):
+            def reorder(self, nets, feedback):  # pragma: no cover
+                return list(nets)
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_policy(Anon)
+        assert "nameless" not in _REGISTRY
+
+
+class TestPolicyDeterminism:
+    def _nets(self):
+        design = make_toy_design(nets=6)
+        return list(design.nets.values())
+
+    def _feedback(self, nets):
+        # Synthetic feedback with deliberate ties: half the nets
+        # failed, overflow/demand repeat across nets.
+        fb = {}
+        for i, n in enumerate(sorted(nets, key=lambda n: n.name)):
+            fb[n.name] = NetFeedback(
+                failed=i % 2 == 0,
+                overflow=i % 3,
+                demand=float(i % 2),
+                wire_length=100,
+            )
+        return fb
+
+    def test_initial_order_matches_seed_ordering(self):
+        nets = self._nets()
+        expected = [
+            n.name for n in order_nets(nets, NetOrdering.LONGEST_FIRST)
+        ]
+        for name in available_policies():
+            policy = get_policy(name)
+            got = [n.name for n in policy.initial_order(nets)]
+            assert sorted(got) == sorted(n.name for n in nets), name
+            if name == "longest-first":
+                assert got == expected
+
+    def test_reorder_is_shuffle_invariant_permutation(self):
+        nets = self._nets()
+        feedback = self._feedback(nets)
+        rng = random.Random(99)
+        for name in available_policies():
+            policy = get_policy(name)
+            baseline = [n.name for n in policy.reorder(nets, feedback)]
+            assert sorted(baseline) == sorted(n.name for n in nets), name
+            for _ in range(10):
+                shuffled = list(nets)
+                rng.shuffle(shuffled)
+                got = [n.name for n in policy.reorder(shuffled, feedback)]
+                assert got == baseline, name
+
+    def test_failed_nets_route_first(self):
+        nets = self._nets()
+        feedback = self._feedback(nets)
+        failed = {name for name, fb in feedback.items() if fb.failed}
+        for name in ("longest-first", "congestion"):
+            ordered = get_policy(name).reorder(nets, feedback)
+            head = {n.name for n in ordered[: len(failed)]}
+            assert head == failed, name
+
+    def test_no_feedback_default(self):
+        assert not NO_FEEDBACK.failed
+        assert NO_FEEDBACK.overflow == 0
+
+    def test_feature_weights_change_the_order(self):
+        nets = self._nets()
+        feedback = self._feedback(nets)
+        length_led = FeatureOrderingPolicy(
+            FeatureWeights(fail=0, overflow=0, demand=0, length=1, degree=0)
+        )
+        fail_led = FeatureOrderingPolicy(
+            FeatureWeights(fail=10, overflow=0, demand=0, length=0, degree=0)
+        )
+        by_length = [n.name for n in length_led.reorder(nets, feedback)]
+        by_fail = [n.name for n in fail_led.reorder(nets, feedback)]
+        failed = {name for name, fb in feedback.items() if fb.failed}
+        assert {n for n in by_fail[: len(failed)]} == failed
+        assert by_length != by_fail
+
+
+# ----------------------------------------------------------------------
+# The loop
+# ----------------------------------------------------------------------
+class TestIterateLoop:
+    def test_converged_at_zero_is_one_pass_identical(self):
+        """A design that completes one-pass takes the identical path."""
+        design = make_toy_design()
+        plain = LevelBRouter(Rect(0, 0, 256, 256), list(design.nets.values()))
+        reference = plain.route()
+        assert reference.completion_rate == 1.0
+
+        router = LevelBRouter(Rect(0, 0, 256, 256), list(design.nets.values()))
+        result, report = iterate_levelb(router)
+        assert report.iterations == 0
+        assert report.converged and not report.stalled
+        assert len(report.records) == 1 and report.records[0].committed
+        assert result.total_wire_length == reference.total_wire_length
+        assert result.total_corners == reference.total_corners
+        got = {
+            r.net.name: [tuple(c.path.waypoints()) for c in r.connections]
+            for r in result.routed
+        }
+        want = {
+            r.net.name: [tuple(c.path.waypoints()) for c in r.connections]
+            for r in reference.routed
+        }
+        assert got == want
+        assert router.history is None
+
+    def test_recovers_a_one_pass_failure(self):
+        """The acceptance property, in miniature: a design the one-pass
+        router cannot finish completes under iteration."""
+        one_pass = levelb_instance(9).route()
+        assert one_pass.completion_rate < 1.0
+
+        router = levelb_instance(9)
+        result, report = iterate_levelb(
+            router, IterateConfig(max_iterations=4, policy="congestion")
+        )
+        assert report.converged
+        assert result.completion_rate == 1.0
+        assert report.iterations >= 1
+        assert report.records[0].completion == one_pass.completion_rate
+        assert report.final.completion == 1.0
+        assert router.history is None
+        # The committed wiring on the grid is the returned best: a rip
+        # of every routed net must free exactly what the grid holds.
+        grid_router = router
+        txn = grid_router.tig.planes.begin()
+        for routed in result.routed:
+            grid_router.unroute(routed.net)
+        txn.rollback()
+
+    def test_stall_never_ends_worse_than_one_pass(self):
+        one_pass = levelb_instance(5).route()
+        assert one_pass.completion_rate < 1.0
+
+        router = levelb_instance(5)
+        result, report = iterate_levelb(
+            router, IterateConfig(max_iterations=6, stall_limit=2)
+        )
+        assert not report.converged
+        assert report.stalled
+        assert result.completion_rate >= one_pass.completion_rate
+        assert result.total_wire_length >= 0
+        # Non-improving passes are recorded but not committed.
+        assert any(not r.committed for r in report.records)
+        assert report.final.committed
+
+    def test_max_iterations_zero_is_single_pass(self):
+        router = levelb_instance(9)
+        result, report = iterate_levelb(router, IterateConfig(max_iterations=0))
+        assert report.iterations == 0
+        assert len(report.records) == 1
+        assert result.completion_rate < 1.0
+        assert not report.converged
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IterateConfig(max_iterations=-1)
+        with pytest.raises(ValueError):
+            IterateConfig(stall_limit=0)
+
+    def test_report_serialises(self):
+        router = levelb_instance(9)
+        _result, report = iterate_levelb(
+            router, IterateConfig(max_iterations=2, policy="feature")
+        )
+        doc = report.to_dict()
+        assert doc["policy"] == "feature"
+        assert isinstance(doc["iterations"], int)
+        assert isinstance(doc["converged"], bool)
+        for rec in doc["records"]:
+            assert set(rec) == {
+                "iteration",
+                "completion",
+                "failed_nets",
+                "wire_length",
+                "corners",
+                "nets_ripped",
+                "history_peak",
+                "committed",
+            }
+
+    def test_iterate_counters_emitted(self):
+        from repro import instrument
+        from repro.instrument.names import (
+            ITERATE_NETS_RIPPED,
+            ITERATE_PASSES,
+        )
+
+        router = levelb_instance(9)
+        with instrument.collecting() as col:
+            _result, report = iterate_levelb(
+                router, IterateConfig(max_iterations=4, policy="congestion")
+            )
+        assert col.counters[ITERATE_PASSES] == report.iterations
+        assert col.counters[ITERATE_NETS_RIPPED] >= len(router.nets)
+
+
+# ----------------------------------------------------------------------
+# Tuning harness
+# ----------------------------------------------------------------------
+class TestTuning:
+    def test_tune_feature_policy_ranks_candidates(self):
+        from repro.bench_suite import random_corpus
+
+        designs = random_corpus(2, num_cells=8, num_nets=24)
+        candidates = (
+            FeatureWeights(),
+            FeatureWeights(fail=0.0, overflow=0.0, demand=0.0, length=1.0),
+        )
+        report = tune_feature_policy(
+            designs, candidates, max_iterations=2
+        )
+        assert len(report.scores) == 2
+        assert report.best is report.scores[0]
+        assert report.best.key == min(s.key for s in report.scores)
+        doc = report.to_dict()
+        assert doc["best"]["weights"] in [
+            c["weights"] for c in doc["candidates"]
+        ]
+
+    def test_tuning_is_deterministic(self):
+        from repro.bench_suite import random_corpus
+
+        designs = random_corpus(1, num_cells=8, num_nets=24)
+        candidates = (FeatureWeights(),)
+        a = tune_feature_policy(designs, candidates, max_iterations=1)
+        b = tune_feature_policy(designs, candidates, max_iterations=1)
+        assert a.to_dict() == b.to_dict()
+
+
+# ----------------------------------------------------------------------
+# The knobs' ride through flow and serve
+# ----------------------------------------------------------------------
+class TestServeProtocol:
+    def _spec(self, **extra):
+        from repro.serve.protocol import JobSpec
+
+        return JobSpec.from_dict({"design": "ami33", **extra})
+
+    def test_spec_defaults_off(self):
+        spec = self._spec()
+        assert spec.iterate is False
+        assert spec.max_iterations == 8
+        assert spec.ordering_policy == "longest-first"
+
+    def test_spec_validation(self):
+        from repro.serve.protocol import SpecError
+
+        with pytest.raises(SpecError, match="iterate"):
+            self._spec(iterate="yes")
+        with pytest.raises(SpecError, match="max_iterations"):
+            self._spec(max_iterations=-1)
+        with pytest.raises(SpecError, match="ordering policy"):
+            self._spec(ordering_policy="nope")
+
+    def test_iterate_knobs_key_the_cache(self):
+        base = self._spec()
+        assert self._spec(iterate=True).digest() != base.digest()
+        assert self._spec(max_iterations=3).digest() != base.digest()
+        assert (
+            self._spec(ordering_policy="congestion").digest() != base.digest()
+        )
+        # Bit-identical-result knobs still share the entry.
+        assert self._spec(parallel=4).digest() == base.digest()
+
+    def test_probe_digest_ignores_iterate(self):
+        from repro.io import canonical_digest
+        from repro.serve.protocol import probe_canonical
+
+        base = canonical_digest(probe_canonical(self._spec()))
+        iterated = canonical_digest(
+            probe_canonical(
+                self._spec(iterate=True, ordering_policy="congestion")
+            )
+        )
+        assert base == iterated
+
+    def test_build_params_threads_the_knobs(self):
+        from repro.serve.protocol import build_params
+
+        params = build_params(
+            self._spec(iterate=True, max_iterations=3, ordering_policy="feature")
+        )
+        assert params.iterate is True
+        assert params.max_iterations == 3
+        assert params.ordering_policy == "feature"
