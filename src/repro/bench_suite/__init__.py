@@ -13,6 +13,7 @@ statistics exercises identical code paths; see DESIGN.md section 2.
 from repro.bench_suite.generator import (
     DENSE_TIERS,
     SCALE_TIERS,
+    WIDE_TIERS,
     SuiteProfile,
     ami33_like,
     dense_design,
@@ -24,6 +25,8 @@ from repro.bench_suite.generator import (
     random_design,
     scale_design,
     scale_profile,
+    wide_design,
+    wide_profile,
     xerox_like,
 )
 
@@ -49,4 +52,7 @@ __all__ = [
     "DENSE_TIERS",
     "dense_design",
     "dense_profile",
+    "WIDE_TIERS",
+    "wide_design",
+    "wide_profile",
 ]

@@ -36,8 +36,10 @@ from repro.check.drc import (
     check_corners,
     check_obstacles,
     check_shorts,
+    check_spacing,
     check_stacks,
     check_tracks,
+    check_widths,
 )
 from repro.check.extract import (
     HORIZONTAL_LAYER,
@@ -65,8 +67,10 @@ from repro.check.rules import (
     RULE_OBSTACLE,
     RULE_OPEN,
     RULE_SHORT,
+    RULE_SPACING,
     RULE_STACK,
     RULE_TRACK,
+    RULE_WIDTH,
 )
 from repro.check.sanitize import (
     audit_grid,
@@ -97,8 +101,10 @@ __all__ = [
     "RULE_OBSTACLE",
     "RULE_OPEN",
     "RULE_SHORT",
+    "RULE_SPACING",
     "RULE_STACK",
     "RULE_TRACK",
+    "RULE_WIDTH",
     "HORIZONTAL_LAYER",
     "VERTICAL_LAYER",
     "CheckFailure",
@@ -119,8 +125,10 @@ __all__ = [
     "check_levelb",
     "check_obstacles",
     "check_shorts",
+    "check_spacing",
     "check_stacks",
     "check_tracks",
+    "check_widths",
     "extract_levelb",
     "layer_is_horizontal",
     "plane_layers",

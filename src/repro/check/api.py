@@ -28,8 +28,10 @@ from repro.check.drc import (
     check_corners,
     check_obstacles,
     check_shorts,
+    check_spacing,
     check_stacks,
     check_tracks,
+    check_widths,
 )
 from repro.check.extract import extract_levelb
 from repro.check.lvs import check_connectivity
@@ -46,8 +48,10 @@ from repro.check.rules import (
     RULE_OBSTACLE,
     RULE_OPEN,
     RULE_SHORT,
+    RULE_SPACING,
     RULE_STACK,
     RULE_TRACK,
+    RULE_WIDTH,
 )
 from repro.check.sanitize import (
     audit_grid,
@@ -109,6 +113,20 @@ def _levelb_violations(
     violations.extend(check_corners(result))
     violations.extend(check_obstacles(design, result.obstacles, grid))
     violations.extend(check_stacks(design, result.num_planes))
+    # The technology-rule checks need the width classes realised per
+    # net; results from before technologies rode along simply skip them.
+    if result.technology is not None:
+        rules = (*rules, RULE_WIDTH, RULE_SPACING)
+        spans = {
+            r.net.name: result.technology.net_footprint(
+                r.net.net_class, r.plane
+            )[0]
+            for r in result.routed
+        }
+        violations.extend(check_widths(design, result.technology, spans))
+        violations.extend(
+            check_spacing(design, grid, result.technology, spans)
+        )
     violations.extend(check_connectivity(design))
     violations.extend(check_invariants(result))
     if set_b is not None:

@@ -44,8 +44,10 @@ from repro.check.rules import (
     RULE_CORNER,
     RULE_OBSTACLE,
     RULE_SHORT,
+    RULE_SPACING,
     RULE_STACK,
     RULE_TRACK,
+    RULE_WIDTH,
 )
 from repro.check.violations import Violation
 from repro.geometry import Point, Rect
@@ -53,6 +55,7 @@ from repro.geometry import Point, Rect
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.router import LevelBResult, Obstacle
     from repro.grid import RoutingGrid
+    from repro.technology import Layer, Technology
 
 
 def check_shorts(design: ExtractedDesign) -> list[Violation]:
@@ -313,6 +316,126 @@ def check_obstacles(
                             f"blocked area{label} {rect}",
                             nets=(via.net,),
                             location=(via.x, via.y),
+                        )
+                    )
+    return violations
+
+
+def _layer_rule(technology: "Technology", layer: int) -> "Layer | None":
+    """The technology rule for metal ``layer``, if the stack has one.
+
+    Layers past the technology's stack are ``drc.stack``'s business;
+    the width/spacing rules simply skip them.
+    """
+    try:
+        return technology.layer(layer)
+    except KeyError:
+        return None
+
+
+def check_widths(
+    design: ExtractedDesign,
+    technology: "Technology",
+    spans: "dict[str, int] | None" = None,
+) -> list[Violation]:
+    """Every wire's drawn width meets its layer's minimum width rule.
+
+    ``spans`` maps net name to its track span (the net class's width,
+    :meth:`~repro.technology.Technology.net_footprint`); missing nets
+    default to single-track.  The drawn width of a ``span``-track wire
+    is :meth:`~repro.technology.Layer.wire_width`; layers without a
+    ``min_width`` rule never fire.
+    """
+    spans = spans or {}
+    violations = []
+    for w in design.wires:
+        rule = _layer_rule(technology, w.layer)
+        if rule is None or rule.min_width is None:
+            continue
+        drawn = rule.wire_width(spans.get(w.net, 1))
+        if drawn < rule.min_width:
+            violations.append(
+                Violation(
+                    RULE_WIDTH,
+                    f"wire of net {w.net} on m{w.layer} is {drawn} wide, "
+                    f"below the layer minimum {rule.min_width} ({w})",
+                    nets=(w.net,),
+                    location=_wire_anchor(w),
+                    layer=w.layer,
+                )
+            )
+    return violations
+
+
+def check_spacing(
+    design: ExtractedDesign,
+    grid: "RoutingGrid",
+    technology: "Technology",
+    spans: "dict[str, int] | None" = None,
+) -> list[Violation]:
+    """Width-dependent same-layer spacing between different nets' wires.
+
+    The check runs in *track index space*, the same space the routing
+    model legislates in: the grid squeezes extra tracks in at terminal
+    coordinates, so geometric separations below the layer pitch are
+    legitimate — what the technology demands is whole clear tracks.  A
+    ``span``-track wire covers ``span`` adjacent track indices starting
+    at its base; its width-dependent spacing
+    (:meth:`~repro.technology.Layer.min_spacing_for` of its drawn
+    width) translates to :meth:`~repro.technology.Layer.guard_tracks`
+    neighbouring indices that must stay free of foreign metal.  For
+    every pair of distinct-net wires on the same layer whose
+    along-track extents overlap, the index gap must clear the larger of
+    the two wires' guards.  Guards are zero on table-free layers, so
+    the default technologies can never violate — distinct tracks always
+    gap by at least one index (same-track overlap is ``drc.short``).
+    """
+    spans = spans or {}
+    violations = []
+    by_layer: dict[int, list[Wire]] = {}
+    for w in design.wires:
+        by_layer.setdefault(w.layer, []).append(w)
+    for layer, wires in sorted(by_layer.items()):
+        rule = _layer_rule(technology, layer)
+        if rule is None:
+            continue
+        tracks = grid.htracks if layer_is_horizontal(layer) else grid.vtracks
+        # (base index, wire), off-track wires left to drc.track.
+        indexed = sorted(
+            ((tracks.index_of(w.track), w) for w in wires if tracks.has(w.track)),
+            key=lambda pair: (pair[0], pair[1].lo),
+        )
+        max_span = max((spans.get(w.net, 1) for w in wires), default=1)
+        max_guard = rule.guard_tracks(max_span)
+        for i, (idx_a, a) in enumerate(indexed):
+            span_a = spans.get(a.net, 1)
+            a_top = idx_a + span_a - 1
+            guard_a = rule.guard_tracks(span_a)
+            for idx_b, b in indexed[i + 1 :]:
+                gap = idx_b - a_top
+                if gap > max_guard:
+                    break  # sorted by index: no later wire is closer
+                if b.net == a.net or idx_b == idx_a or b.lo > a.hi or b.hi < a.lo:
+                    continue
+                required = max(guard_a, rule.guard_tracks(spans.get(b.net, 1)))
+                if gap <= required:
+                    width_a = rule.wire_width(span_a)
+                    what = (
+                        "overlaps"
+                        if gap <= 0
+                        else f"is {gap} track(s) from"
+                    )
+                    violations.append(
+                        Violation(
+                            RULE_SPACING,
+                            f"wire of net {b.net} {what} the "
+                            f"{width_a}-wide wire of net {a.net} on "
+                            f"m{layer} ({required + 1} clear track(s) "
+                            f"required, spacing "
+                            f"{rule.min_spacing_for(width_a)})",
+                            nets=(a.net, b.net),
+                            location=_wire_anchor(b),
+                            layer=layer,
                         )
                     )
     return violations

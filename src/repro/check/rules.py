@@ -45,6 +45,15 @@ routed over-cell stack, a corner/junction via not spanning exactly one
 plane's layer pair, or a terminal stack not reaching from the cell pin
 to a routed plane."""
 
+RULE_WIDTH = "drc.width"
+"""A wire's drawn width (its net class's track span realised on its
+layer) falls below the layer's minimum width rule."""
+
+RULE_SPACING = "drc.spacing"
+"""Two nets' parallel wires on the same layer run closer than the
+width-dependent spacing the technology's table demands of the wider
+wire (docs/TECHNOLOGY.md)."""
+
 # -- LVS: connectivity --------------------------------------------------
 RULE_OPEN = "lvs.open"
 """A net the router reported complete whose extracted geometry does not
@@ -92,6 +101,8 @@ ALL_RULES: tuple[str, ...] = (
     RULE_CORNER,
     RULE_OBSTACLE,
     RULE_STACK,
+    RULE_WIDTH,
+    RULE_SPACING,
     RULE_OPEN,
     RULE_MERGED,
     RULE_DANGLING,

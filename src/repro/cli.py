@@ -81,6 +81,8 @@ def _flow_params(args: argparse.Namespace):
         kwargs["ordering_policy"] = getattr(
             args, "ordering_policy", "longest-first"
         )
+    if getattr(args, "objective", "wire") != "wire":
+        kwargs["objective"] = args.objective
     return FlowParams(**kwargs)
 
 
@@ -364,6 +366,13 @@ def _add_levelb_args(parser: argparse.ArgumentParser) -> None:
         default="longest-first",
         help="net-ordering policy for --iterate passes "
         "(default longest-first)",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=("wire", "vias"),
+        default="wire",
+        help="level B routing objective (docs/TECHNOLOGY.md; "
+        "default wire)",
     )
 
 

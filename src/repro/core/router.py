@@ -28,7 +28,7 @@ never a full-grid scan.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Protocol
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
@@ -152,6 +152,21 @@ class LevelBConfig:
     # fit (docs/SCALING.md).  Backends are bit-identical by contract:
     # the choice never changes routed geometry.
     backend: str = "dense"
+    # Routing objective: "wire" (the paper's wire-length-led cost, the
+    # default) or "vias" (via minimization — the plane assignment and
+    # cost model reprice corner and stack vias from the technology's
+    # per-level via costs, pulling nets toward shallow planes and
+    # penalising corners harder).  "wire" is bit-identical to the seed.
+    objective: str = "wire"
+
+
+#: How much harder the "vias" objective leans on via prices than the
+#: default plane/corner weighting.  The knee of a measured trade-off:
+#: raising it keeps cutting vias but concentrates nets on plane 0
+#: until completions start to fall on saturated designs (the wide
+#: bench tier loses ~9% completion by 8.0); 4.0 takes most of the via
+#: savings while staying well clear of that cliff.
+VIA_OBJECTIVE_SCALE = 4.0
 
 
 @dataclass
@@ -177,6 +192,16 @@ class RoutedNet:
     def corner_count(self) -> int:
         return sum(c.corner_count for c in self.connections)
 
+    @property
+    def via_count(self) -> int:
+        """Corner vias plus this net's terminal via stacks.
+
+        The per-net share of :attr:`LevelBResult.total_vias`: each
+        connected pin's stack climbs ``1 + 2 * plane`` via levels.
+        """
+        stacks = (self.net.degree - self.failed_terminals) * (1 + 2 * self.plane)
+        return self.corner_count + stacks
+
 
 @dataclass
 class LevelBResult:
@@ -193,6 +218,10 @@ class LevelBResult:
     # occupancy state.
     bounds: Rect | None = None
     obstacles: tuple[Obstacle, ...] = ()
+    #: The technology the run routed under.  Carried so the independent
+    #: checker (repro.check) can enforce its width-dependent spacing
+    #: and min-width rules against the extracted geometry.
+    technology: Technology | None = None
 
     def __post_init__(self) -> None:
         # Name index for O(1) net_result lookups.  Net names are
@@ -386,6 +415,23 @@ class LevelBRouter:
         num_planes = self.config.planes
         if num_planes < 1:
             raise ValueError(f"config.planes must be >= 1, got {num_planes}")
+        if self.config.objective not in ("wire", "vias"):
+            raise ValueError(
+                f"config.objective must be 'wire' or 'vias', "
+                f"got {self.config.objective!r}"
+            )
+        if self.config.objective == "vias":
+            # The Lee rescue trades corners against length through
+            # ``maze_via_penalty``; under via minimization every corner
+            # is a via, so its price scales accordingly.  The replaced
+            # config is what engines and dispatch workers see, keeping
+            # serial and speculative pricing identical.
+            self.config = replace(
+                self.config,
+                maze_via_penalty=(
+                    self.config.maze_via_penalty * VIA_OBJECTIVE_SCALE
+                ),
+            )
         tech = technology or (
             Technology.four_layer()
             if num_planes == 1
@@ -440,6 +486,13 @@ class LevelBRouter:
         # Plane assignment is decided before any terminal is reserved:
         # the pass sees only pin geometry, so it is independent of net
         # registration order (and trivially all-plane-0 when planes=1).
+        # Under objective="vias" the assignment's per-via-level price is
+        # scaled up by the technology's actual via costs, pulling nets
+        # toward shallow planes (fewer stack-via levels per pin).
+        via_weight = self.config.plane_via_weight
+        if self.config.objective == "vias":
+            mean_via_cost = sum(v.cost for v in tech.vias) / len(tech.vias)
+            via_weight *= VIA_OBJECTIVE_SCALE * mean_via_cost
         self._plane_assignment = assign_planes(
             [
                 NetDemand(net_id, tuple(net.pin_positions()))
@@ -447,11 +500,22 @@ class LevelBRouter:
             ],
             bounds,
             num_planes,
-            self.config.plane_via_weight,
+            via_weight,
         )
+        # Width-class footprints: each net's (span, guard) claim on its
+        # assigned plane, (1, 0) for signal nets on every preset.
+        self._footprints: dict[int, tuple[int, int]] = {
+            net_id: tech.net_footprint(
+                net.net_class, self._plane_assignment[net_id]
+            )
+            for net, net_id in self._net_ids.items()
+        }
         for net, net_id in self._net_ids.items():
             self.tig.register_net(
-                net_id, net.pin_positions(), self._plane_assignment[net_id]
+                net_id,
+                net.pin_positions(),
+                self._plane_assignment[net_id],
+                footprint=self._footprints[net_id],
             )
         self._nodes_created = 0
         self._sensitive_ids = frozenset(
@@ -517,7 +581,28 @@ class LevelBRouter:
             extra_terms=self._extra_terms_for(net_id),
             base_cost=base,
             history=self.history[plane] if self.history is not None else None,
+            width_tracks=self._footprints[net_id][0],
+            corner_surcharge=self.corner_surcharge(net_id),
         )
+
+    def footprint_of(self, net_id: int) -> tuple[int, int]:
+        """The ``(span, guard)`` footprint of a registered net."""
+        return self._footprints[net_id]
+
+    def corner_surcharge(self, net_id: int) -> float:
+        """Flat per-corner price of a net under the active objective.
+
+        Zero under ``objective="wire"``; under ``"vias"`` each corner
+        pays the technology's via cost on the net's plane, scaled by
+        :data:`VIA_OBJECTIVE_SCALE`.  Constant per candidate corner, so
+        the equal-corner MBFS ranking is untouched — the term steers
+        engines that trade corners against length (the Lee rescue) and
+        keeps reported costs comparable across objectives.
+        """
+        if self.config.objective != "vias":
+            return 0.0
+        plane = self.tig.plane_of(net_id)
+        return VIA_OBJECTIVE_SCALE * self.technology.corner_via_cost(plane)
 
     def _ctx_for(self, net_id: int) -> EngineContext:
         """The engine context of a net's plane."""
@@ -678,6 +763,7 @@ class LevelBRouter:
             ripups=ripup_count,
             bounds=self.bounds,
             obstacles=tuple(self.obstacles),
+            technology=self.technology,
         )
 
     def probe(self) -> LevelBResult:
@@ -812,6 +898,9 @@ class LevelBRouter:
             self.tig.terminals_of(net_id),
             lambda source, target: self._route_connection(net_id, source, target),
         )
+        # Terminals a wide net's claim made unreachable never entered
+        # the routable set; they count as failed from the outset.
+        failed += len(self.tig.pinched_terminals(net_id))
         return RoutedNet(
             net=net,
             net_id=net_id,

@@ -67,6 +67,10 @@ class TrackIntersectionGraph:
         #: reads and mutates it everywhere.
         self.grid: RoutingGrid = self.planes[0]
         self._terminals: dict[int, list[GridTerminal]] = {}
+        # Terminals whose intersection a wide net's expanded claim
+        # already covers (see register_terminal): recorded but never
+        # reserved or routed, counted as failed by the router.
+        self._pinched: dict[int, list[GridTerminal]] = {}
         self._plane_of: dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -123,7 +127,20 @@ class TrackIntersectionGraph:
         plane below: the through-stack physically occupies those
         layers.  On plane 0 (the only plane of the default stack) no
         blockage is issued and the call is exactly the historical one.
+
+        A terminal whose intersection (on the routing plane or any
+        stack level below) is already inside a *wide* net's expanded
+        claim cannot be reserved: pins sit at fixed physical positions
+        the width model cannot move.  Such pinched terminals are
+        recorded separately — the router skips them and counts them as
+        failed — instead of raising, which would kill the whole run
+        over one unroutable pin.  A collision with a single-track net
+        still raises: distinct pins always get distinct tracks, so
+        that can only be a genuine design conflict.
         """
+        if self._pinched_by_wide(net_id, terminal, plane):
+            self._pinched.setdefault(net_id, []).append(terminal)
+            return
         self.planes[plane].reserve_terminal(
             terminal.v_idx, terminal.h_idx, net_id
         )
@@ -133,11 +150,42 @@ class TrackIntersectionGraph:
             )
         self._terminals.setdefault(net_id, []).append(terminal)
 
+    def _pinched_by_wide(
+        self, net_id: int, terminal: GridTerminal, plane: int
+    ) -> bool:
+        """Is the terminal's stack blocked by a wide net's footprint?"""
+        v, h = terminal.v_idx, terminal.h_idx
+        for p in range(plane + 1):
+            grid = self.planes[p]
+            for owner in (grid.h_slot(v, h), grid.v_slot(v, h)):
+                if owner in (FREE, net_id):
+                    continue
+                if owner > 0 and grid.footprint_of(owner) != (1, 0):
+                    return True
+        return False
+
     def register_net(
-        self, net_id: int, points: Sequence[Point], plane: int = 0
+        self,
+        net_id: int,
+        points: Sequence[Point],
+        plane: int = 0,
+        footprint: tuple[int, int] = (1, 0),
     ) -> list[GridTerminal]:
-        """Register all terminals of a net by geometric position."""
+        """Register all terminals of a net by geometric position.
+
+        ``footprint`` is the net's ``(span, guard)`` track claim from
+        its width class (:meth:`~repro.technology.Technology.
+        net_footprint`); it is declared on the net's *own* plane grid
+        before any terminal is reserved, so the terminal anchors claim
+        the widened block there.  Pass-through via stacks on the planes
+        below stay point claims — a stack is a point feature, and
+        widening it would let unrelated nets' stacks collide at fixed
+        pin positions.
+        """
         self._plane_of[net_id] = plane
+        if footprint != (1, 0):
+            span, guard = footprint
+            self.planes[plane].set_net_footprint(net_id, span, guard)
         terminals = [self.terminal_at(p) for p in points]
         for t in terminals:
             self.register_terminal(net_id, t, plane)
@@ -169,6 +217,10 @@ class TrackIntersectionGraph:
     # ------------------------------------------------------------------
     def terminals_of(self, net_id: int) -> list[GridTerminal]:
         return list(self._terminals.get(net_id, []))
+
+    def pinched_terminals(self, net_id: int) -> list[GridTerminal]:
+        """Terminals a wide net's claim made unreachable (usually none)."""
+        return list(self._pinched.get(net_id, []))
 
     def all_terminals(self) -> dict[int, list[GridTerminal]]:
         return {k: list(v) for k, v in self._terminals.items()}

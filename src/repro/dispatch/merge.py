@@ -179,6 +179,7 @@ class WaveSpeculator:
         if not terminals:
             return None
         grid = router.tig.grid_of(net_id)
+        span, guard = router.footprint_of(net_id)
         plan = net_window(
             grid,
             net_id,
@@ -186,6 +187,7 @@ class WaveSpeculator:
             router.config,
             self.config.speculate_expansions,
             plane=router.tig.plane_of(net_id),
+            footprint_reach=span - 1 + guard,
         )
         if plan.cells > self.config.max_window_fraction * grid.num_intersections:
             return None  # window ~ whole grid: speculation buys nothing
@@ -321,6 +323,8 @@ class WaveSpeculator:
                     if history is not None
                     else None
                 ),
+                footprint=self.router.footprint_of(plan.net_id),
+                corner_surcharge=self.router.corner_surcharge(plan.net_id),
             )
             self._inflight[plan.net_id] = (pool.submit(task), snapshot)
         self.waves_planned += 1
@@ -368,6 +372,9 @@ class WaveSpeculator:
             net=net,
             net_id=net_id,
             connections=connections,
-            failed_terminals=0,
+            # Workers only see routable terminals; pinched ones (a wide
+            # net's claim covers their intersection) count as failed
+            # here exactly as in the serial path.
+            failed_terminals=len(self.router.tig.pinched_terminals(net_id)),
             plane=self.router.tig.plane_of(net_id),
         )

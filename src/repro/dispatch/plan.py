@@ -122,21 +122,26 @@ def halo_tracks(
     config: LevelBConfig,
     speculate_expansions: int,
     num_terminals: int = 2,
+    footprint_reach: int = 0,
 ) -> int:
     """Tracks a net's reads may extend beyond its terminal bounding box.
 
     ``config`` is the router's :class:`~repro.core.router.LevelBConfig`.
     The bound is the speculated search-region margin (compounded once
     per Steiner connection for multi-terminal nets, since an attachment
-    point may lie a full margin beyond the previous reach) plus the
-    cost model's read radius.
+    point may lie a full margin outside the previous reach) plus the
+    cost model's read radius.  ``footprint_reach`` is the net's width
+    footprint reach (``span - 1 + guard`` — see
+    :meth:`~repro.grid.RoutingGrid.footprint_reach`): a wide net's
+    occupancy probes read that many extra tracks past every candidate,
+    so the window must cover them too.
     """
     margin = config.region_margin_tracks
     for _ in range(speculate_expansions):
         margin *= config.region_growth
     connections = max(1, num_terminals - 1)
     pad = max(config.weights.radius, config.parallel_run_separation, 1)
-    return margin * connections + pad
+    return margin * connections + pad + footprint_reach
 
 
 def net_window(
@@ -146,6 +151,7 @@ def net_window(
     config: LevelBConfig,
     speculate_expansions: int,
     plane: int = 0,
+    footprint_reach: int = 0,
 ) -> NetPlan:
     """The padded, grid-clamped read window for one net."""
     v_lo = min(t.v_idx for t in terminals)
@@ -153,7 +159,7 @@ def net_window(
     h_lo = min(t.h_idx for t in terminals)
     h_hi = max(t.h_idx for t in terminals)
     unique = len({(t.v_idx, t.h_idx) for t in terminals})
-    halo = halo_tracks(config, speculate_expansions, unique)
+    halo = halo_tracks(config, speculate_expansions, unique, footprint_reach)
     v_iv = grid.vtracks.clip_indices(Interval(v_lo, v_hi).expanded(halo))
     h_iv = grid.htracks.clip_indices(Interval(h_lo, h_hi).expanded(halo))
     return NetPlan(net_id=net_id, v_iv=v_iv, h_iv=h_iv, plane=plane)

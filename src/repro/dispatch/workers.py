@@ -70,6 +70,15 @@ class NetTask:
     #: price paths differently than the serial router.  ``None`` in
     #: one-pass mode.
     history: TrackHistory | None = None
+    #: The net's width footprint ``(span, guard)`` (width classes,
+    #: docs/TECHNOLOGY.md).  Registered on the worker's sub-grid so its
+    #: occupancy probes and claims expand exactly as the serial grid's
+    #: would; ``(1, 0)`` for ordinary single-track nets.
+    footprint: tuple[int, int] = (1, 0)
+    #: Per-corner cost surcharge (``objective="vias"``).  Selection
+    #: inputs must match the serial evaluator bit-for-bit — the merge
+    #: contract's byte-equality check validates grid state only.
+    corner_surcharge: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -153,9 +162,15 @@ def _region_truncated(window: WindowSnapshot, v_iv: Interval, h_iv: Interval, pa
 def route_net_task(task: NetTask) -> SpecResult:
     """Route one net on the task's isolated sub-grid (worker entry)."""
     grid = task.window.to_grid()
+    if task.footprint != (1, 0):
+        span, guard = task.footprint
+        grid.set_net_footprint(task.net_id, span, guard=guard)
     cfg = task.config
     engine = get_engine(cfg.engine).from_config(cfg)
     pad = max(cfg.weights.radius, cfg.parallel_run_separation, 1)
+    # Wide nets probe `reach` tracks past every candidate; a window
+    # edge inside that reach truncates reads serial routing would make.
+    pad += task.footprint[0] - 1 + task.footprint[1]
     nodes = 0
     tainted = False
 
@@ -169,6 +184,8 @@ def route_net_task(task: NetTask) -> SpecResult:
             cfg.weights,
             extra_terms=coupling_terms(net_id, task.sensitive_ids, cfg),
             history=task.history,
+            width_tracks=task.footprint[0],
+            corner_surcharge=task.corner_surcharge,
         )
 
     def regions(source: GridTerminal, target: GridTerminal) -> Iterator[Region]:

@@ -89,6 +89,12 @@ class FlowParams:
         Registered :class:`repro.iterate.OrderingPolicy` name deciding
         each pass's net order (``longest-first``, ``congestion`` or
         ``feature``; see docs/ITERATION.md).
+    objective:
+        Level B routing objective: ``"wire"`` (default; the paper's
+        wire-length-led cost, bit-identical to the seed) or ``"vias"``
+        (via minimization — plane assignment and corner pricing driven
+        by the technology's per-level via costs, docs/TECHNOLOGY.md).
+        Overrides ``levelb.objective``.
     """
 
     technology: Technology = field(default_factory=Technology.four_layer)
@@ -109,6 +115,7 @@ class FlowParams:
     iterate: bool = False
     max_iterations: int = 8
     ordering_policy: str = "longest-first"
+    objective: str = "wire"
 
     @property
     def channel_pitch(self) -> int:

@@ -300,6 +300,8 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
         levelb_config = replace(levelb_config, checked=True)
     if params.backend != levelb_config.backend:
         levelb_config = replace(levelb_config, backend=params.backend)
+    if params.objective != levelb_config.objective:
+        levelb_config = replace(levelb_config, objective=params.objective)
     # FlowParams.planes > 1 overrides the router config; a technology
     # too short for the requested plane count is extended with
     # extrapolated reserved pairs (docs/LAYERS.md).
@@ -346,6 +348,12 @@ def _overcell_flow(design: Design, params: FlowParams | None) -> FlowResult:
         level_b_pins=pins_b,
         level_a_wire=wire_a,
         level_b_wire=levelb.total_wire_length,
+        objective=levelb_config.objective,
+        # Per-net via breakdown (corner vias + terminal stacks), the
+        # quantity objective="vias" minimizes; summed in
+        # ``level_b_vias`` for quick comparison across objectives.
+        level_b_vias=levelb.total_vias,
+        level_b_net_vias={r.net.name: r.via_count for r in levelb.routed},
     )
     if iterate_report is not None:
         result.notes["iterate"] = iterate_report.to_dict()
@@ -425,6 +433,8 @@ def routability_probe(
         probe_config = params.levelb
         if params.backend != probe_config.backend:
             probe_config = replace(probe_config, backend=params.backend)
+        if params.objective != probe_config.objective:
+            probe_config = replace(probe_config, objective=params.objective)
         probe_planes = (
             params.planes if params.planes > 1 else probe_config.planes
         )

@@ -232,6 +232,10 @@ class RoutingGrid:
         # Per-net mutation ledger: every span/cell a net claimed, in
         # commit order.  Rip-up replays it instead of scanning arrays.
         self._net_ledger: dict[int, list[tuple]] = {}
+        # Per-net track footprints (span, guard) for wide net classes.
+        # Only nets wider than the default single-track claim appear
+        # here, so `.get(net_id)` returning None IS the fast path.
+        self._footprints: dict[int, tuple[int, int]] = {}
         # Undo journal + open-transaction stack (savepoint semantics).
         self._journal: list[tuple] = []
         self._txns: list[GridTransaction] = []
@@ -285,6 +289,55 @@ class RoutingGrid:
         """Geometric ``(x, y)`` of intersection ``(v_idx, h_idx)``."""
         self._check_indices(v_idx, h_idx)
         return self.vtracks[v_idx], self.htracks[h_idx]
+
+    # ------------------------------------------------------------------
+    # Per-net track footprints (width classes)
+    # ------------------------------------------------------------------
+    def set_net_footprint(self, net_id: int, span: int, guard: int = 0) -> None:
+        """Declare that ``net_id`` claims a multi-track footprint.
+
+        A wide net's wire covers ``span`` adjacent tracks (its base
+        track plus ``span - 1`` above/right of it) and additionally
+        keeps ``guard`` same-direction tracks clear on *each* side, per
+        the technology's width-dependent spacing tables
+        (:meth:`~repro.technology.Technology.net_footprint`).  Every
+        occupy primitive and availability query on this grid expands
+        the net's claims accordingly; the expansion clamps at grid
+        edges, where the routing region itself bounds the wiring.
+
+        ``(1, 0)`` is the historical single-track behaviour and is not
+        stored, so grids carrying only signal nets run the exact
+        pre-footprint code paths.
+        """
+        if span < 1 or guard < 0:
+            raise ValueError("footprint needs span >= 1 and guard >= 0")
+        if net_id < 1:
+            raise ValueError("net ids must be >= 1")
+        if span == 1 and guard == 0:
+            self._footprints.pop(net_id, None)
+        else:
+            self._footprints[net_id] = (span, guard)
+
+    def footprint_of(self, net_id: int) -> tuple[int, int]:
+        """The ``(span, guard)`` footprint of ``net_id`` (default ``(1, 0)``)."""
+        return self._footprints.get(net_id, (1, 0))
+
+    def footprint_reach(self, net_id: int) -> int:
+        """Tracks past the base track the net's claims can extend."""
+        span, guard = self.footprint_of(net_id)
+        return span - 1 + guard
+
+    def max_footprint_reach(self) -> int:
+        """Largest :meth:`footprint_reach` over all declared footprints."""
+        if not self._footprints:
+            return 0
+        return max(s - 1 + g for s, g in self._footprints.values())
+
+    @staticmethod
+    def _expand_rows(base: int, fp: tuple[int, int], n: int) -> range:
+        """Track rows a footprinted claim at ``base`` touches, clamped."""
+        span, guard = fp
+        return range(max(0, base - guard), min(n - 1, base + span - 1 + guard) + 1)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -568,6 +621,25 @@ class RoutingGrid:
                 raise ValueError(
                     f"terminal at ({v_idx},{h_idx}) collides with owner {current}"
                 )
+        fp = self._footprints.get(net_id)
+        extra: list[tuple[int, int]] = []
+        if fp is not None:
+            # A wide terminal's anchor covers the footprint block —
+            # best-effort: terminal pins sit at fixed physical
+            # positions the width model cannot move, so cells already
+            # held by another net's stack are simply skipped.  Wire
+            # claims reaching the terminal still pre-check the full
+            # footprint, so the router routes around (or fails) such
+            # pinched terminals instead of shorting.
+            for v in self._expand_rows(v_idx, fp, self.num_vtracks):
+                for h in self._expand_rows(h_idx, fp, self.num_htracks):
+                    if (v, h) == (v_idx, h_idx):
+                        continue
+                    if self._h_owner[h, v] not in (FREE, net_id) or (
+                        self._v_owner[v, h] not in (FREE, net_id)
+                    ):
+                        continue
+                    extra.append((v, h))
         if self._txns:
             self._journal.append(
                 ("c", net_id, v_idx, h_idx, prior_h, prior_v, True)
@@ -576,6 +648,18 @@ class RoutingGrid:
         self._v_owner[v_idx, h_idx] = net_id
         self._unrouted_terms[h_idx, v_idx] += 1
         self._ledger_push(net_id, (_LEDGER_C, v_idx, h_idx))
+        for v, h in extra:
+            if self._txns:
+                self._journal.append(
+                    (
+                        "c", net_id, v, h,
+                        int(self._h_owner[h, v]), int(self._v_owner[v, h]),
+                        False,
+                    )
+                )
+            self._h_owner[h, v] = net_id
+            self._v_owner[v, h] = net_id
+            self._ledger_push(net_id, (_LEDGER_C, v, h))
 
     def mark_terminal_routed(self, v_idx: int, h_idx: int) -> None:
         """Drop one unrouted-terminal mark at an intersection."""
@@ -591,9 +675,18 @@ class RoutingGrid:
     def corner_free(self, v_idx: int, h_idx: int, net_id: int) -> bool:
         """Can ``net_id`` place a corner/via at this intersection?"""
         self._check_indices(v_idx, h_idx)
-        h = self._h_owner[h_idx, v_idx]
-        v = self._v_owner[v_idx, h_idx]
-        return h in (FREE, net_id) and v in (FREE, net_id)
+        fp = self._footprints.get(net_id)
+        if fp is None:
+            h = self._h_owner[h_idx, v_idx]
+            v = self._v_owner[v_idx, h_idx]
+            return h in (FREE, net_id) and v in (FREE, net_id)
+        for v in self._expand_rows(v_idx, fp, self.num_vtracks):
+            for h in self._expand_rows(h_idx, fp, self.num_htracks):
+                if self._h_owner[h, v] not in (FREE, net_id) or (
+                    self._v_owner[v, h] not in (FREE, net_id)
+                ):
+                    return False
+        return True
 
     def h_slot(self, v_idx: int, h_idx: int) -> int:
         self._check_indices(v_idx, h_idx)
@@ -623,8 +716,12 @@ class RoutingGrid:
         )
         if not lo <= v_idx <= hi:
             return None
-        win = self._h_owner[h_idx, lo : hi + 1]
-        return _free_span(win, v_idx - lo, net_id, lo)
+        fp = self._footprints.get(net_id)
+        if fp is None:
+            win = self._h_owner[h_idx, lo : hi + 1]
+            return _free_span(win, v_idx - lo, net_id, lo)
+        usable = self._usable_mask_h(h_idx, lo, hi, net_id, fp)
+        return _free_span_mask(usable, v_idx - lo, lo)
 
     def free_span_v(
         self, v_idx: int, h_idx: int, net_id: int, within: Interval | None = None
@@ -638,8 +735,40 @@ class RoutingGrid:
         )
         if not lo <= h_idx <= hi:
             return None
-        win = self._v_owner[v_idx, lo : hi + 1]
-        return _free_span(win, h_idx - lo, net_id, lo)
+        fp = self._footprints.get(net_id)
+        if fp is None:
+            win = self._v_owner[v_idx, lo : hi + 1]
+            return _free_span(win, h_idx - lo, net_id, lo)
+        usable = self._usable_mask_v(v_idx, lo, hi, net_id, fp)
+        return _free_span_mask(usable, h_idx - lo, lo)
+
+    def _usable_mask_h(
+        self, h_idx: int, lo: int, hi: int, net_id: int, fp: tuple[int, int]
+    ) -> list[bool]:
+        """Per-cell usability of an h-track window for a wide net.
+
+        A cell is usable when the *whole footprint* anchored at
+        ``h_idx`` — metal rows plus guard rows — is free (or the net's
+        own) at that v-position, i.e. the AND across the expanded rows.
+        """
+        mask: np.ndarray | None = None
+        for row in self._expand_rows(h_idx, fp, self.num_htracks):
+            win = np.asarray(self._h_owner[row, lo : hi + 1])
+            ok = (win == FREE) | (win == net_id)
+            mask = ok if mask is None else (mask & ok)
+        assert mask is not None
+        return mask.tolist()
+
+    def _usable_mask_v(
+        self, v_idx: int, lo: int, hi: int, net_id: int, fp: tuple[int, int]
+    ) -> list[bool]:
+        mask: np.ndarray | None = None
+        for row in self._expand_rows(v_idx, fp, self.num_vtracks):
+            win = np.asarray(self._v_owner[row, lo : hi + 1])
+            ok = (win == FREE) | (win == net_id)
+            mask = ok if mask is None else (mask & ok)
+        assert mask is not None
+        return mask.tolist()
 
     def corner_candidates_on_v(
         self, v_idx: int, h_lo: int, h_hi: int, net_id: int
@@ -651,6 +780,13 @@ class RoutingGrid:
         dozen cells, where a plain-Python scan over ``tolist()`` beats
         numpy's fixed per-op overhead by several times.
         """
+        fp = self._footprints.get(net_id)
+        if fp is not None:
+            return [
+                h_idx
+                for h_idx in range(h_lo, h_hi + 1)
+                if self.corner_free(v_idx, h_idx, net_id)
+            ]
         h = self._h_owner[h_lo : h_hi + 1, v_idx].tolist()
         v = self._v_owner[v_idx, h_lo : h_hi + 1].tolist()
         allowed = (FREE, net_id)
@@ -664,6 +800,13 @@ class RoutingGrid:
         self, h_idx: int, v_lo: int, v_hi: int, net_id: int
     ) -> list[int]:
         """v-indices in ``[v_lo, v_hi]`` where ``net_id`` may corner."""
+        fp = self._footprints.get(net_id)
+        if fp is not None:
+            return [
+                v_idx
+                for v_idx in range(v_lo, v_hi + 1)
+                if self.corner_free(v_idx, h_idx, net_id)
+            ]
         h = self._h_owner[h_idx, v_lo : v_hi + 1].tolist()
         v = self._v_owner[v_lo : v_hi + 1, h_idx].tolist()
         allowed = (FREE, net_id)
@@ -679,6 +822,9 @@ class RoutingGrid:
         """Is the whole h-track span ``[v_lo, v_hi]`` usable by the net?"""
         if v_lo > v_hi:
             v_lo, v_hi = v_hi, v_lo
+        fp = self._footprints.get(net_id)
+        if fp is not None:
+            return all(self._usable_mask_h(h_idx, v_lo, v_hi, net_id, fp))
         row = self._h_owner[h_idx, v_lo : v_hi + 1]
         return bool(((row == FREE) | (row == net_id)).all())
 
@@ -687,6 +833,9 @@ class RoutingGrid:
     ) -> bool:
         if h_lo > h_hi:
             h_lo, h_hi = h_hi, h_lo
+        fp = self._footprints.get(net_id)
+        if fp is not None:
+            return all(self._usable_mask_v(v_idx, h_lo, h_hi, net_id, fp))
         row = self._v_owner[v_idx, h_lo : h_hi + 1]
         return bool(((row == FREE) | (row == net_id)).all())
 
@@ -694,54 +843,92 @@ class RoutingGrid:
     # Mutation (the O(t)-per-segment update of section 3.4)
     # ------------------------------------------------------------------
     def occupy_h(self, h_idx: int, v_lo: int, v_hi: int, net_id: int) -> None:
-        """Claim the horizontal slots of a span for ``net_id``."""
+        """Claim the horizontal slots of a span for ``net_id``.
+
+        A net with a declared footprint claims every expanded row
+        (metal span plus guards) — each row gets its own journal and
+        ledger entry, so rollback and rip-up replay work unchanged.
+        """
         if v_lo > v_hi:
             v_lo, v_hi = v_hi, v_lo
-        row = np.asarray(self._h_owner[h_idx, v_lo : v_hi + 1])
-        foreign = (row != FREE) & (row != net_id)
-        if foreign.any():
-            raise ValueError(
-                f"h-track {h_idx} span [{v_lo},{v_hi}] not free for net {net_id}"
-            )
-        if self._txns:
-            self._journal.append(("h", net_id, h_idx, v_lo, row.copy()))
-        self._h_owner[h_idx, v_lo : v_hi + 1] = net_id
-        self._ledger_push(net_id, (_LEDGER_H, h_idx, v_lo, v_hi))
+        fp = self._footprints.get(net_id)
+        if fp is None:
+            rows: Sequence[int] = (h_idx,)
+        else:
+            rows = self._expand_rows(h_idx, fp, self.num_htracks)
+        priors = []
+        for r in rows:
+            row = np.asarray(self._h_owner[r, v_lo : v_hi + 1])
+            foreign = (row != FREE) & (row != net_id)
+            if foreign.any():
+                raise ValueError(
+                    f"h-track {r} span [{v_lo},{v_hi}] not free for net {net_id}"
+                )
+            priors.append(row)
+        for r, row in zip(rows, priors):
+            if self._txns:
+                self._journal.append(("h", net_id, r, v_lo, row.copy()))
+            self._h_owner[r, v_lo : v_hi + 1] = net_id
+            self._ledger_push(net_id, (_LEDGER_H, r, v_lo, v_hi))
 
     def occupy_v(self, v_idx: int, h_lo: int, h_hi: int, net_id: int) -> None:
         """Claim the vertical slots of a span for ``net_id``."""
         if h_lo > h_hi:
             h_lo, h_hi = h_hi, h_lo
-        row = np.asarray(self._v_owner[v_idx, h_lo : h_hi + 1])
-        foreign = (row != FREE) & (row != net_id)
-        if foreign.any():
-            raise ValueError(
-                f"v-track {v_idx} span [{h_lo},{h_hi}] not free for net {net_id}"
-            )
-        if self._txns:
-            self._journal.append(("v", net_id, v_idx, h_lo, row.copy()))
-        self._v_owner[v_idx, h_lo : h_hi + 1] = net_id
-        self._ledger_push(net_id, (_LEDGER_V, v_idx, h_lo, h_hi))
+        fp = self._footprints.get(net_id)
+        if fp is None:
+            rows: Sequence[int] = (v_idx,)
+        else:
+            rows = self._expand_rows(v_idx, fp, self.num_vtracks)
+        priors = []
+        for r in rows:
+            row = np.asarray(self._v_owner[r, h_lo : h_hi + 1])
+            foreign = (row != FREE) & (row != net_id)
+            if foreign.any():
+                raise ValueError(
+                    f"v-track {r} span [{h_lo},{h_hi}] not free for net {net_id}"
+                )
+            priors.append(row)
+        for r, row in zip(rows, priors):
+            if self._txns:
+                self._journal.append(("v", net_id, r, h_lo, row.copy()))
+            self._v_owner[r, h_lo : h_hi + 1] = net_id
+            self._ledger_push(net_id, (_LEDGER_V, r, h_lo, h_hi))
 
     def occupy_corner(self, v_idx: int, h_idx: int, net_id: int) -> None:
-        """Claim both slots at an intersection (an m3-m4 via)."""
+        """Claim both slots at an intersection (an m3-m4 via).
+
+        A footprinted net's corner via pad covers the whole expanded
+        block (span plus guard ring on both axes); every cell is
+        claimed with its own journal/ledger entry.
+        """
         if not self.corner_free(v_idx, h_idx, net_id):
             raise ValueError(f"corner ({v_idx},{h_idx}) not free for net {net_id}")
-        if self._txns:
-            self._journal.append(
-                (
-                    "c",
-                    net_id,
-                    v_idx,
-                    h_idx,
-                    int(self._h_owner[h_idx, v_idx]),
-                    int(self._v_owner[v_idx, h_idx]),
-                    False,
-                )
+        fp = self._footprints.get(net_id)
+        if fp is None:
+            cells = ((v_idx, h_idx),)
+        else:
+            cells = tuple(
+                (v, h)
+                for v in self._expand_rows(v_idx, fp, self.num_vtracks)
+                for h in self._expand_rows(h_idx, fp, self.num_htracks)
             )
-        self._h_owner[h_idx, v_idx] = net_id
-        self._v_owner[v_idx, h_idx] = net_id
-        self._ledger_push(net_id, (_LEDGER_C, v_idx, h_idx))
+        for v, h in cells:
+            if self._txns:
+                self._journal.append(
+                    (
+                        "c",
+                        net_id,
+                        v,
+                        h,
+                        int(self._h_owner[h, v]),
+                        int(self._v_owner[v, h]),
+                        False,
+                    )
+                )
+            self._h_owner[h, v] = net_id
+            self._v_owner[v, h] = net_id
+            self._ledger_push(net_id, (_LEDGER_C, v, h))
 
     def commit_path(
         self,
@@ -942,5 +1129,26 @@ def _free_span(
     hi = pos
     last = len(win) - 1
     while hi < last and win[hi + 1] in allowed:
+        hi += 1
+    return Interval(lo + offset, hi + offset)
+
+
+def _free_span_mask(
+    usable: list[bool], pos: int, offset: int
+) -> Interval | None:
+    """:func:`_free_span` over a precomputed per-cell usability mask.
+
+    The footprint-aware variant: the caller ANDs usability across the
+    net's expanded rows, this scans outward from ``pos`` exactly like
+    the single-row case.
+    """
+    if not usable[pos]:
+        return None
+    lo = pos
+    while lo > 0 and usable[lo - 1]:
+        lo -= 1
+    hi = pos
+    last = len(usable) - 1
+    while hi < last and usable[hi + 1]:
         hi += 1
     return Interval(lo + offset, hi + offset)

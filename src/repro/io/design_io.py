@@ -7,6 +7,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.netlist import Design, Edge
+from repro.technology import NetClass
 
 FORMAT_VERSION = 1
 
@@ -33,15 +34,18 @@ def design_to_dict(design: Design) -> dict[str, Any]:
         )
     nets = []
     for net in design.nets.values():
-        nets.append(
-            {
-                "name": net.name,
-                "is_critical": net.is_critical,
-                "is_sensitive": net.is_sensitive,
-                "weight": net.weight,
-                "pins": [pin.full_name for pin in net.pins],
-            }
-        )
+        net_doc: dict[str, Any] = {
+            "name": net.name,
+            "is_critical": net.is_critical,
+            "is_sensitive": net.is_sensitive,
+            "weight": net.weight,
+            "pins": [pin.full_name for pin in net.pins],
+        }
+        # Emitted only for wide nets so all-signal documents (and their
+        # serve cache digests) stay byte-identical to older revisions.
+        if net.net_class is not NetClass.SIGNAL:
+            net_doc["net_class"] = net.net_class.value
+        nets.append(net_doc)
     return {
         "format": "repro-design",
         "version": FORMAT_VERSION,
@@ -79,6 +83,7 @@ def design_from_dict(data: dict[str, Any]) -> Design:
             net_data["name"],
             is_critical=net_data.get("is_critical", False),
             weight=net_data.get("weight", 1.0),
+            net_class=NetClass(net_data.get("net_class", "signal")),
         )
         net.is_sensitive = net_data.get("is_sensitive", False)
         for full_name in net_data["pins"]:

@@ -1,4 +1,19 @@
-"""JSON (de)serialisation of technologies."""
+"""JSON (de)serialisation of technologies.
+
+Two on-disk shapes are accepted by :func:`load_technology`:
+
+* ``repro-technology`` documents — the canonical snapshot written by
+  :func:`save_technology`.  This is also the *canonical serialized
+  form* the serve layer digests: any document describing the same
+  rules canonicalizes to the same dict here.
+* hammer-style *stackup* documents (a ``metals`` list) — ingested via
+  :mod:`repro.technology.ingest`.
+
+Width-dependent fields (``min_width``, ``spacing_table``, via ``cost``)
+are emitted only when they differ from the defaults, so documents for
+the preset technologies — and their digests — are byte-identical to
+what earlier revisions produced.
+"""
 
 from __future__ import annotations
 
@@ -6,33 +21,52 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.technology import Layer, RoutingDirection, Technology, ViaRule
+from repro.technology import (
+    Layer,
+    RoutingDirection,
+    Technology,
+    ViaRule,
+    WidthSpacingTuple,
+    technology_from_any,
+)
 
 FORMAT_VERSION = 1
 
 
 def technology_to_dict(tech: Technology) -> dict[str, Any]:
     """A plain-data snapshot of a technology."""
+    layers = []
+    for layer in tech.layers:
+        ld: dict[str, Any] = {
+            "index": layer.index,
+            "name": layer.name,
+            "direction": layer.direction.value,
+            "pitch": layer.pitch,
+            "width": layer.width,
+            "sheet_resistance": layer.sheet_resistance,
+            "cap_per_lambda": layer.cap_per_lambda,
+        }
+        if layer.min_width is not None:
+            ld["min_width"] = layer.min_width
+        if layer.spacing_table:
+            ld["spacing_table"] = [
+                {"width_at_least": row.width_at_least,
+                 "min_spacing": row.min_spacing}
+                for row in layer.spacing_table
+            ]
+        layers.append(ld)
+    vias = []
+    for v in tech.vias:
+        vd: dict[str, Any] = {"lower": v.lower, "upper": v.upper, "size": v.size}
+        if v.cost != 1.0:
+            vd["cost"] = v.cost
+        vias.append(vd)
     return {
         "format": "repro-technology",
         "version": FORMAT_VERSION,
         "name": tech.name,
-        "layers": [
-            {
-                "index": layer.index,
-                "name": layer.name,
-                "direction": layer.direction.value,
-                "pitch": layer.pitch,
-                "width": layer.width,
-                "sheet_resistance": layer.sheet_resistance,
-                "cap_per_lambda": layer.cap_per_lambda,
-            }
-            for layer in tech.layers
-        ],
-        "vias": [
-            {"lower": v.lower, "upper": v.upper, "size": v.size}
-            for v in tech.vias
-        ],
+        "layers": layers,
+        "vias": vias,
     }
 
 
@@ -53,11 +87,21 @@ def technology_from_dict(data: dict[str, Any]) -> Technology:
             width=ld["width"],
             sheet_resistance=ld.get("sheet_resistance", 0.07),
             cap_per_lambda=ld.get("cap_per_lambda", 0.20),
+            min_width=ld.get("min_width"),
+            spacing_table=tuple(
+                WidthSpacingTuple(row["width_at_least"], row["min_spacing"])
+                for row in ld.get("spacing_table", [])
+            ),
         )
         for ld in data["layers"]
     )
     vias = tuple(
-        ViaRule(lower=vd["lower"], upper=vd["upper"], size=vd["size"])
+        ViaRule(
+            lower=vd["lower"],
+            upper=vd["upper"],
+            size=vd["size"],
+            cost=vd.get("cost", 1.0),
+        )
         for vd in data["vias"]
     )
     return Technology(name=data["name"], layers=layers, vias=vias)
@@ -69,5 +113,8 @@ def save_technology(tech: Technology, path: str | Path) -> None:
 
 
 def load_technology(path: str | Path) -> Technology:
-    """Read a technology JSON written by :func:`save_technology`."""
-    return technology_from_dict(json.loads(Path(path).read_text()))
+    """Read a technology JSON: repro-technology or stackup format."""
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict) and data.get("format") == "repro-technology":
+        return technology_from_dict(data)
+    return technology_from_any(data)

@@ -85,11 +85,30 @@ def lee_search(
         )
     xs, ys = grid.vtracks.coords, grid.htracks.coords
 
-    def h_ok(v: int, h: int) -> bool:
-        return grid.h_slot(v, h) in (0, net_id)
+    # Footprinted (wide) nets claim their expanded block at every cell
+    # and corner, so the wave must probe the same expansion the commit
+    # will make; single-track nets keep the raw-slot fast path.
+    if grid.footprint_of(net_id) != (1, 0):
 
-    def v_ok(v: int, h: int) -> bool:
-        return grid.v_slot(v, h) in (0, net_id)
+        def h_ok(v: int, h: int) -> bool:
+            return grid.span_usable_h(h, v, v, net_id)
+
+        def v_ok(v: int, h: int) -> bool:
+            return grid.span_usable_v(v, h, h, net_id)
+
+        def corner_ok(v: int, h: int) -> bool:
+            return grid.corner_free(v, h, net_id)
+
+    else:
+
+        def h_ok(v: int, h: int) -> bool:
+            return grid.h_slot(v, h) in (0, net_id)
+
+        def v_ok(v: int, h: int) -> bool:
+            return grid.v_slot(v, h) in (0, net_id)
+
+        def corner_ok(v: int, h: int) -> bool:
+            return h_ok(v, h) and v_ok(v, h)
 
     dist: dict[State, float] = {}
     parent: dict[State, State | None] = {}
@@ -117,13 +136,13 @@ def lee_search(
             for nv in (v - 1, v + 1):
                 if v_iv.contains(nv) and h_ok(nv, h):
                     moves.append(((nv, h, HORIZONTAL), float(abs(xs[nv] - xs[v]))))
-            if v_ok(v, h) and h_ok(v, h):
+            if corner_ok(v, h):
                 moves.append(((v, h, VERTICAL), via_penalty))
         else:
             for nh in (h - 1, h + 1):
                 if h_iv.contains(nh) and v_ok(v, nh):
                     moves.append(((v, nh, VERTICAL), float(abs(ys[nh] - ys[h]))))
-            if v_ok(v, h) and h_ok(v, h):
+            if corner_ok(v, h):
                 moves.append(((v, h, HORIZONTAL), via_penalty))
         for nstate, cost in moves:
             nd = d + cost

@@ -8,6 +8,7 @@ from repro.geometry import Rect
 from repro.netlist.cell import Cell, Edge
 from repro.netlist.net import Net
 from repro.netlist.pin import Pin
+from repro.technology import NetClass
 
 
 @dataclass(frozen=True)
@@ -53,12 +54,19 @@ class Design:
         return cell
 
     def add_net(
-        self, name: str, *, is_critical: bool = False, weight: float = 1.0
+        self,
+        name: str,
+        *,
+        is_critical: bool = False,
+        weight: float = 1.0,
+        net_class: NetClass = NetClass.SIGNAL,
     ) -> Net:
         """Create and register a net."""
         if name in self.nets:
             raise ValueError(f"duplicate net {name!r}")
-        net = Net(name=name, is_critical=is_critical, weight=weight)
+        net = Net(
+            name=name, is_critical=is_critical, weight=weight, net_class=net_class
+        )
         self.nets[name] = net
         return net
 

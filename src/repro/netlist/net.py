@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.geometry import Point, Rect
 from repro.geometry.point import bounding_box_half_perimeter
 from repro.netlist.pin import Pin
+from repro.technology import NetClass
 
 
 @dataclass
@@ -29,6 +30,10 @@ class Net:
         adds a parallel-run cost term when sensitive nets are present.
     weight:
         User net weight; available to ordering criteria.
+    net_class:
+        Width class (:class:`~repro.technology.NetClass`): signal nets
+        route at one track, clock and power nets occupy wider multi-track
+        footprints per the technology's spacing tables.
     """
 
     name: str
@@ -36,6 +41,7 @@ class Net:
     is_critical: bool = False
     is_sensitive: bool = False
     weight: float = 1.0
+    net_class: NetClass = NetClass.SIGNAL
 
     def add_pin(self, pin: Pin) -> None:
         """Attach ``pin`` and set its back-reference."""

@@ -49,6 +49,7 @@ _SPEC_KEYS = frozenset(
         "iterate",
         "max_iterations",
         "ordering_policy",
+        "objective",
     }
 )
 
@@ -72,6 +73,9 @@ DIGESTED_FIELDS = {
     "iterate": "iterate",
     "max_iterations": "max_iterations",
     "ordering_policy": "ordering_policy",
+    # The routing objective changes plane assignment and corner
+    # pricing, hence the routed geometry itself.
+    "objective": "objective",
 }
 
 #: Bit-identical-result knobs: changing one changes *how* the answer
@@ -124,6 +128,7 @@ class JobSpec:
     iterate: bool = False
     max_iterations: int = 8
     ordering_policy: str = "longest-first"
+    objective: str = "wire"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -158,13 +163,23 @@ class JobSpec:
             )
         technology = data.get("technology")
         if technology is not None:
-            if (
-                not isinstance(technology, dict)
-                or technology.get("format") != "repro-technology"
-            ):
+            if not isinstance(technology, dict):
                 raise SpecError(
-                    "'technology' must be a 'repro-technology' document"
+                    "'technology' must be a 'repro-technology' or "
+                    "stackup document"
                 )
+            # Canonicalize at the boundary: ingest whatever format the
+            # client sent and keep the canonical repro-technology dict,
+            # so a stackup document and its repro-technology equivalent
+            # (at any unit scale quantizing identically) produce the
+            # same spec — and share one cache digest.
+            from repro.io import technology_to_dict
+            from repro.technology import technology_from_any
+
+            try:
+                technology = technology_to_dict(technology_from_any(technology))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SpecError(f"invalid technology document: {exc}")
         planes = data.get("planes", 1)
         if not isinstance(planes, int) or planes < 1:
             raise SpecError("'planes' must be an integer >= 1")
@@ -203,6 +218,9 @@ class JobSpec:
                 f"unknown ordering policy {ordering_policy!r} "
                 f"(available: {list(available_policies())})"
             )
+        objective = data.get("objective", "wire")
+        if objective not in ("wire", "vias"):
+            raise SpecError("'objective' must be 'wire' or 'vias'")
         return cls(
             design=design,
             flow=flow,
@@ -215,6 +233,7 @@ class JobSpec:
             iterate=iterate,
             max_iterations=max_iterations,
             ordering_policy=ordering_policy,
+            objective=objective,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -230,6 +249,7 @@ class JobSpec:
             "iterate": self.iterate,
             "max_iterations": self.max_iterations,
             "ordering_policy": self.ordering_policy,
+            "objective": self.objective,
         }
 
     # ------------------------------------------------------------------
@@ -251,6 +271,7 @@ class JobSpec:
             "iterate": self.iterate,
             "max_iterations": self.max_iterations,
             "ordering_policy": self.ordering_policy,
+            "objective": self.objective,
         }
 
     def digest(self) -> str:
@@ -317,6 +338,7 @@ def build_params(spec: JobSpec) -> Any:
         "iterate": spec.iterate,
         "max_iterations": spec.max_iterations,
         "ordering_policy": spec.ordering_policy,
+        "objective": spec.objective,
     }
     if spec.technology is not None:
         kwargs["technology"] = technology_from_dict(spec.technology)

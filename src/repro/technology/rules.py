@@ -1,12 +1,41 @@
-"""Technology definitions: layer stacks and via rules."""
+"""Technology definitions: layer stacks, via rules and net classes."""
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.technology.layers import Layer, RoutingDirection
 from repro.technology.stack import LayerStack, plane_layer_indices
+
+
+class NetClass(enum.Enum):
+    """Width class of a net: how many adjacent tracks its wires occupy.
+
+    The paper routes every net at minimum width; real stackups route
+    clock trees and power distribution as wide wires.  Under the track
+    model a wide wire is drawn over several adjacent tracks of its
+    layer — :attr:`track_span` is that count, and
+    :meth:`Technology.net_footprint` turns it into the (span, guard)
+    pair the occupancy grid claims.  ``SIGNAL`` is a single track and
+    preserves historical behaviour exactly.
+    """
+
+    SIGNAL = "signal"
+    CLOCK = "clock"
+    POWER = "power"
+
+    @property
+    def track_span(self) -> int:
+        return _NET_CLASS_SPANS[self]
+
+
+_NET_CLASS_SPANS = {
+    NetClass.SIGNAL: 1,
+    NetClass.CLOCK: 2,
+    NetClass.POWER: 3,
+}
 
 
 @dataclass(frozen=True)
@@ -15,18 +44,24 @@ class ViaRule:
 
     ``size`` is the via cut dimension in lambda.  Vias between upper
     layers are larger, per the paper's discussion of multi-layer design
-    rules.
+    rules.  ``cost`` is the relative price of cutting one such via —
+    the knob the via-minimization objective (``objective="vias"``)
+    reads; ``1.0`` everywhere reproduces the uniform pricing the
+    presets always had.
     """
 
     lower: int
     upper: int
     size: int
+    cost: float = 1.0
 
     def __post_init__(self) -> None:
         if self.upper != self.lower + 1:
             raise ValueError("vias connect adjacent layers only")
         if self.size <= 0:
             raise ValueError("via size must be positive")
+        if self.cost <= 0:
+            raise ValueError("via cost must be positive")
 
 
 @dataclass(frozen=True)
@@ -105,18 +140,63 @@ class Technology:
         return max(self.via(i).size for i in range(lower, upper))
 
     # ------------------------------------------------------------------
+    # Width classes and via pricing (the data-driven rules model)
+    # ------------------------------------------------------------------
+    def net_footprint(self, net_class: NetClass, plane: int) -> tuple[int, int]:
+        """``(span, guard)`` a net of ``net_class`` claims on ``plane``.
+
+        ``span`` adjacent tracks carry metal (the class's
+        :attr:`NetClass.track_span`); ``guard`` further tracks on *each*
+        side must stay clear of foreign wiring so the plane's
+        width-dependent spacing tables are met.  The guard is the max
+        over the plane's two layers, since the occupancy grid applies
+        one footprint to both directions.  ``SIGNAL`` on any preset
+        technology is ``(1, 0)`` — the historical single-track claim.
+        """
+        span = net_class.track_span
+        v_idx, h_idx = plane_layer_indices(plane)
+        guard = max(
+            self.layer(v_idx).guard_tracks(span),
+            self.layer(h_idx).guard_tracks(span),
+        )
+        return span, guard
+
+    def corner_via_cost(self, plane: int) -> float:
+        """Cost of one plane-internal corner via (e.g. m3-m4 on plane 0)."""
+        v_idx, _ = plane_layer_indices(plane)
+        return self.via(v_idx).cost
+
+    def stack_via_cost(self, plane: int) -> float:
+        """Cost of one terminal via stack from the channel pair to ``plane``.
+
+        The accounting model charges ``1 + 2 * plane`` vias per pin
+        (:attr:`~repro.core.router.LevelBResult.total_vias`); this is
+        the same climb priced through the per-level via costs, so
+        technologies with expensive upper vias pull the plane
+        assignment down harder under ``objective="vias"``.
+        """
+        v_idx, _ = plane_layer_indices(plane)
+        return sum(self.via(i).cost for i in range(2, v_idx))
+
+    # ------------------------------------------------------------------
     # Presets
     # ------------------------------------------------------------------
     @staticmethod
     def two_layer() -> "Technology":
         """metal1 (vertical) + metal2 (horizontal): the channel pair."""
-        return Technology(
-            name="generic-2L",
-            layers=(
-                Layer(1, "metal1", RoutingDirection.VERTICAL, pitch=8, width=4),
-                Layer(2, "metal2", RoutingDirection.HORIZONTAL, pitch=8, width=4),
-            ),
-            vias=(ViaRule(1, 2, size=4),),
+        from repro.technology.ingest import technology_from_stackup
+
+        return technology_from_stackup(
+            {
+                "name": "generic-2L",
+                "metals": [
+                    {"name": "metal1", "index": 1, "direction": "vertical",
+                     "pitch": 8, "width": 4},
+                    {"name": "metal2", "index": 2, "direction": "horizontal",
+                     "pitch": 8, "width": 4},
+                ],
+                "vias": [{"lower": 1, "upper": 2, "size": 4}],
+            }
         )
 
     @staticmethod
@@ -129,24 +209,7 @@ class Technology:
         and why a 50 % track cut in a multi-layer channel is not a 50 %
         area cut.
         """
-        return Technology(
-            name="generic-4L",
-            layers=(
-                Layer(1, "metal1", RoutingDirection.VERTICAL, pitch=8, width=4,
-                      sheet_resistance=0.09, cap_per_lambda=0.23),
-                Layer(2, "metal2", RoutingDirection.HORIZONTAL, pitch=8, width=4,
-                      sheet_resistance=0.07, cap_per_lambda=0.21),
-                Layer(3, "metal3", RoutingDirection.VERTICAL, pitch=12, width=6,
-                      sheet_resistance=0.04, cap_per_lambda=0.19),
-                Layer(4, "metal4", RoutingDirection.HORIZONTAL, pitch=12, width=6,
-                      sheet_resistance=0.03, cap_per_lambda=0.18),
-            ),
-            vias=(
-                ViaRule(1, 2, size=4),
-                ViaRule(2, 3, size=6),
-                ViaRule(3, 4, size=8),
-            ),
-        )
+        return Technology.with_overcell_planes(1)
 
     @staticmethod
     def six_layer() -> "Technology":
@@ -162,36 +225,15 @@ class Technology:
         leans on - coarser pitch, wider lines, thicker (lower sheet
         resistance) metal, larger vias.
         ``with_overcell_planes(1) == four_layer()`` up to the name.
+
+        The preset is *data*, not code: it is expressed as a stackup
+        document (:func:`repro.technology.ingest.preset_stackup`) and
+        built through the same ingestion path as a user-supplied JSON
+        file, so the hard-coded and ingested models cannot drift.
         """
-        if planes < 1:
-            raise ValueError("need at least one over-cell plane")
-        base = Technology.four_layer()
-        layers = list(base.layers)
-        vias = list(base.vias)
-        for p in range(1, planes):
-            v_idx, h_idx = plane_layer_indices(p)
-            pitch = 12 + 4 * p
-            width = pitch // 2
-            scale = 0.75**p
-            layers.append(
-                Layer(v_idx, f"metal{v_idx}", RoutingDirection.VERTICAL,
-                      pitch=pitch, width=width,
-                      sheet_resistance=0.04 * scale,
-                      cap_per_lambda=max(0.05, 0.19 - 0.01 * p)),
-            )
-            layers.append(
-                Layer(h_idx, f"metal{h_idx}", RoutingDirection.HORIZONTAL,
-                      pitch=pitch, width=width,
-                      sheet_resistance=0.03 * scale,
-                      cap_per_lambda=max(0.05, 0.18 - 0.01 * p)),
-            )
-            vias.append(ViaRule(v_idx - 1, v_idx, size=8 + 2 * (v_idx - 4)))
-            vias.append(ViaRule(v_idx, h_idx, size=8 + 2 * (v_idx - 3)))
-        return Technology(
-            name=f"generic-{2 + 2 * planes}L",
-            layers=tuple(layers),
-            vias=tuple(vias),
-        )
+        from repro.technology.ingest import preset_stackup, technology_from_stackup
+
+        return technology_from_stackup(preset_stackup(planes))
 
     # ------------------------------------------------------------------
     # The over-cell plane view

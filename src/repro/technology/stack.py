@@ -103,6 +103,17 @@ class LayerStack:
     channel: tuple[Layer, Layer]
     planes: tuple[RoutingPlane, ...]
 
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for layer in self.all_layers():
+            if layer.pitch <= 0:
+                raise ValueError(
+                    f"{layer.name}: pitch must be positive, got {layer.pitch}"
+                )
+            if layer.name in seen:
+                raise ValueError(f"duplicate layer name {layer.name!r} in stack")
+            seen.add(layer.name)
+
     @staticmethod
     def from_technology(tech: "Technology") -> "LayerStack":
         """Pair layers 3, 4, 5, ... into over-cell planes.
@@ -121,6 +132,14 @@ class LayerStack:
                 RoutingPlane(p, tech.layer(v_idx), tech.layer(h_idx))
             )
         return LayerStack(channel=channel, planes=tuple(planes))
+
+    def all_layers(self) -> list[Layer]:
+        """Every layer in the stack, channel pair first."""
+        layers = list(self.channel)
+        for plane in self.planes:
+            layers.append(plane.vertical)
+            layers.append(plane.horizontal)
+        return layers
 
     @property
     def num_planes(self) -> int:
